@@ -1,0 +1,283 @@
+// Package simcal's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper (see DESIGN.md's per-experiment index),
+// plus microbenchmarks of the substrates the experiments are built on.
+//
+// The per-artifact benchmarks run each experiment at a reduced but
+// shape-preserving scale (experiments.Default-like, further trimmed so a
+// single iteration stays in the seconds range); `cmd/experiments -full`
+// regenerates artifacts at paper scale.
+package simcal
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"simcal/internal/core"
+	"simcal/internal/experiments"
+	"simcal/internal/groundtruth"
+	"simcal/internal/loss"
+	"simcal/internal/mpi"
+	"simcal/internal/mpisim"
+	"simcal/internal/opt"
+	"simcal/internal/wfgen"
+	"simcal/internal/wfsim"
+)
+
+// benchOptions trims the default experiment scale so one benchmark
+// iteration completes in seconds while preserving every comparison.
+func benchOptions() experiments.Options {
+	o := experiments.Default()
+	o.MaxEvals = 60
+	o.Restarts = 1
+	o.TrainingBudget = 500 * time.Millisecond
+	o.Workers = 2
+	o.WFApps = []wfgen.App{wfgen.Epigenomics}
+	o.WFSizeIdx = []int{0, 1}
+	o.WFWorkIdx = []int{0, 3}
+	o.WFFootIdx = []int{0, 1}
+	o.WFWorkers = []int{1, 2}
+	o.Reps = 2
+	o.MPINodes = []int{4, 8}
+	o.MPIMsgSizes = []float64{1 << 10, 1 << 16, 1 << 22}
+	o.MPIRounds = 2
+	return o
+}
+
+func BenchmarkTable1Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1Rows()
+		if len(rows) != 7 {
+			b.Fatal("table1 rows")
+		}
+	}
+}
+
+func BenchmarkTable3CalibrationError(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(context.Background(), o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1LossVsTime(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure1(context.Background(), o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2LevelOfDetail(b *testing.B) {
+	o := benchOptions()
+	o.MaxEvals = 40
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(context.Background(), o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaseline1NoCalibration(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Baseline1(context.Background(), o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3TrainingCost(b *testing.B) {
+	o := benchOptions()
+	o.MaxEvals = 30
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3(context.Background(), o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSection55DataDiversity(b *testing.B) {
+	o := benchOptions()
+	o.MaxEvals = 30
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Section55(context.Background(), o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5CalibrationError(b *testing.B) {
+	o := benchOptions()
+	o.MaxEvals = 40
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5(context.Background(), o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4LossVsTime(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(context.Background(), o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5LevelOfDetail(b *testing.B) {
+	o := benchOptions()
+	o.MaxEvals = 30
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(context.Background(), o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaseline2NoCalibration(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Baseline2(context.Background(), o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSection65Generalization(b *testing.B) {
+	o := benchOptions()
+	o.MaxEvals = 30
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Section65(context.Background(), o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate microbenchmarks ---
+
+func BenchmarkWorkflowSimulateSmall(b *testing.B) {
+	wf := wfgen.Generate(wfgen.Spec{App: wfgen.Epigenomics, Tasks: 43, WorkSeconds: 1.15, FootprintBytes: 150 * wfgen.MB})
+	cfg := wfsim.HighestDetail.DecodeConfig(groundtruth.WorkflowTruthPoint(wfsim.HighestDetail))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wfsim.Simulate(wfsim.HighestDetail, cfg, wfsim.Scenario{Workflow: wf, Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkflowSimulateLarge(b *testing.B) {
+	wf := wfgen.Generate(wfgen.Spec{App: wfgen.Seismology, Tasks: 515, WorkSeconds: 8.34, FootprintBytes: 15000 * wfgen.MB})
+	cfg := wfsim.HighestDetail.DecodeConfig(groundtruth.WorkflowTruthPoint(wfsim.HighestDetail))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wfsim.Simulate(wfsim.HighestDetail, cfg, wfsim.Scenario{Workflow: wf, Workers: 6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMPISimulatePingPong32(b *testing.B) {
+	cfg := groundtruth.MPITruth
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mpisim.Simulate(groundtruth.MPIReferenceVersion, cfg, mpisim.Scenario{
+			Benchmark: mpi.PingPong, Nodes: 32, MsgBytes: 1 << 16, Rounds: 2,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMPISimulateStencil128(b *testing.B) {
+	cfg := groundtruth.MPITruth
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mpisim.Simulate(groundtruth.MPIReferenceVersion, cfg, mpisim.Scenario{
+			Benchmark: mpi.Stencil, Nodes: 128, MsgBytes: 1 << 16, Rounds: 2,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroundTruthGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := groundtruth.GenerateWorkflowData(groundtruth.WFOptions{
+			Apps:    []wfgen.App{wfgen.Epigenomics},
+			SizeIdx: []int{0}, WorkIdx: []int{1}, FootIdx: []int{1},
+			Workers: []int{2}, Reps: 3, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sphere is a cheap analytic loss for optimizer benchmarks.
+func sphereEval(_ context.Context, p core.Point) (float64, error) {
+	dx, dy, dz := p["x"]-1, p["y"]+2, p["z"]-3
+	return dx*dx + dy*dy + dz*dz, nil
+}
+
+var benchSpace = core.Space{
+	{Name: "x", Kind: core.Continuous, Min: -5, Max: 5},
+	{Name: "y", Kind: core.Continuous, Min: -5, Max: 5},
+	{Name: "z", Kind: core.Continuous, Min: -5, Max: 5},
+}
+
+// BenchmarkAblationOptimizers compares every calibration algorithm at an
+// equal 120-evaluation budget on an analytic objective — the repository's
+// algorithm-choice ablation (the paper's GRID/GRAD omission rationale).
+func BenchmarkAblationOptimizers(b *testing.B) {
+	algs := []core.Algorithm{
+		opt.Random{}, opt.Grid{}, opt.GradientDescent{},
+		opt.NewBOGP(), opt.NewBORF(), opt.NewBOET(), opt.NewBOGBRT(),
+	}
+	for _, alg := range algs {
+		b.Run(alg.Name(), func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				cal := &core.Calibrator{
+					Space: benchSpace, Simulator: core.Evaluator(sphereEval),
+					Algorithm: alg, MaxEvaluations: 120, Workers: 2, Seed: int64(i),
+				}
+				res, err := cal.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.Best.Loss
+			}
+			b.ReportMetric(last, "final-loss")
+		})
+	}
+}
+
+// BenchmarkAblationLossFunctions compares the six workflow losses on one
+// evaluation each — the loss-choice ablation.
+func BenchmarkAblationLossFunctions(b *testing.B) {
+	ds, err := groundtruth.GenerateWorkflowData(groundtruth.WFOptions{
+		Apps:    []wfgen.App{wfgen.Epigenomics},
+		SizeIdx: []int{0}, WorkIdx: []int{1}, FootIdx: []int{1},
+		Workers: []int{2}, Reps: 2, Seed: 9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := wfsim.HighestDetail
+	pt := groundtruth.WorkflowTruthPoint(v)
+	for _, kind := range loss.AllWFKinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			ev := loss.WFEvaluator(v, kind, ds)
+			for i := 0; i < b.N; i++ {
+				if _, err := ev(context.Background(), pt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,95 @@
+// Command batchsim runs the batch-scheduling simulator (case study #3,
+// the paper's future-work domain) on a Standard Workload Format log or a
+// synthetic PWA-style workload, and prints schedule metrics.
+//
+// Usage:
+//
+//	batchsim -jobs 100 -procs 64 -policy easy
+//	batchsim -swf log.swf -procs 128 -policy fcfs
+//	batchsim -jobs 50 -procs 32 -emit-swf out.swf   # generate a log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simcal/internal/batch"
+	"simcal/internal/stats"
+)
+
+func main() {
+	var (
+		swfPath = flag.String("swf", "", "SWF workload file (otherwise synthetic)")
+		jobs    = flag.Int("jobs", 100, "synthetic: number of jobs")
+		procs   = flag.Int("procs", 64, "cluster size in processors")
+		rate    = flag.Float64("rate", 0.03, "synthetic: arrival rate (jobs/s)")
+		seed    = flag.Int64("seed", 1, "synthetic workload seed")
+		policy  = flag.String("policy", "easy", "scheduling policy: fcfs, easy")
+		speed   = flag.Float64("speed", 1, "machine speed scale")
+		startup = flag.Float64("startup", 0, "per-job startup overhead (s)")
+		cycle   = flag.Float64("cycle", 0, "scheduling cycle period (s)")
+		emitSWF = flag.String("emit-swf", "", "write the workload as SWF and exit")
+	)
+	flag.Parse()
+
+	var workload []batch.Job
+	if *swfPath != "" {
+		f, err := os.Open(*swfPath)
+		if err != nil {
+			fatal(err)
+		}
+		workload, err = batch.ReadSWF(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		workload = batch.GenerateWorkload(batch.WorkloadSpec{
+			Jobs: *jobs, Procs: *procs, ArrivalRate: *rate, Seed: *seed,
+		})
+	}
+	if *emitSWF != "" {
+		f, err := os.Create(*emitSWF)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := batch.WriteSWF(f, workload, *procs); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "batchsim: wrote %d jobs to %s\n", len(workload), *emitSWF)
+		return
+	}
+
+	var pol batch.Policy
+	switch *policy {
+	case "fcfs":
+		pol = batch.FCFS
+	case "easy":
+		pol = batch.EASY
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+	cfg := batch.Config{Procs: *procs, SpeedScale: *speed, StartupOverhead: *startup, SchedInterval: *cycle}
+	res, err := batch.Simulate(pol, cfg, workload)
+	if err != nil {
+		fatal(err)
+	}
+	var waits, slowdowns []float64
+	for _, j := range workload {
+		waits = append(waits, res.Waits[j.ID])
+		slowdowns = append(slowdowns, res.BoundedSlowdown(j))
+	}
+	fmt.Printf("jobs:              %d on %d processors (%s)\n", len(workload), *procs, *policy)
+	fmt.Printf("makespan:          %.0f s\n", res.Makespan)
+	fmt.Printf("mean wait:         %.0f s (median %.0f, max %.0f)\n",
+		stats.Mean(waits), stats.Median(waits), stats.Max(waits))
+	fmt.Printf("bounded slowdown:  mean %.2f (median %.2f, max %.2f)\n",
+		stats.Mean(slowdowns), stats.Median(slowdowns), stats.Max(slowdowns))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "batchsim:", err)
+	os.Exit(1)
+}

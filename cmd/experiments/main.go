@@ -1,0 +1,329 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run table3            # one artifact
+//	experiments -run all               # everything
+//	experiments -run figure5 -full     # paper-scale (hours)
+//	experiments -run figure2 -evals 200 -seed 7
+//
+// Artifact ids: table1 table2 table3 figure1 figure2 baseline1 figure3
+// section55 table4 table5 figure4 figure5 baseline2 section65.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"simcal/internal/experiments"
+	"simcal/internal/wfgen"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "artifact id to regenerate (or 'all')")
+		full    = flag.Bool("full", false, "paper-scale configuration (hours) instead of the fast default")
+		evals   = flag.Int("evals", 0, "override loss evaluations per calibration")
+		seed    = flag.Int64("seed", 0, "override random seed")
+		workers = flag.Int("workers", 0, "override parallel evaluation workers")
+		budget  = flag.Duration("budget", 0, "optional wall-clock budget per calibration")
+		jsonDir = flag.String("json", "", "also write each artifact's result as JSON into this directory")
+	)
+	flag.Parse()
+
+	o := experiments.Default()
+	if *full {
+		o = experiments.Full()
+	}
+	if *evals > 0 {
+		o.MaxEvals = *evals
+	}
+	if *seed != 0 {
+		o.Seed = *seed
+	}
+	if *workers > 0 {
+		o.Workers = *workers
+	}
+	if *budget > 0 {
+		o.Budget = *budget
+	}
+
+	ids := strings.Split(*run, ",")
+	if *run == "all" {
+		ids = []string{"table1", "table2", "table3", "figure1", "figure2", "baseline1",
+			"figure3", "section55", "table4", "table5", "figure4", "figure5", "baseline2", "section65",
+			"ablation-alg", "ablation-budget", "ablation-storage", "casestudy3"}
+	}
+	ctx := context.Background()
+	for _, id := range ids {
+		start := time.Now()
+		fmt.Printf("==> %s\n", id)
+		if err := runOne(ctx, id, o, *jsonDir); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("    (%s)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// saveJSON writes v as <dir>/<id>.json when dir is set.
+func saveJSON(dir, id string, v any) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".json"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func runOne(ctx context.Context, id string, o experiments.Options, jsonDir string) error {
+	record := func(v any) error { return saveJSON(jsonDir, id, v) }
+	switch id {
+	case "table1":
+		var rows [][]string
+		for _, r := range experiments.Table1Rows() {
+			rows = append(rows, []string{
+				string(r.App),
+				intsToString(r.Sizes),
+				floatsToString(r.WorkSeconds),
+				floatsToString(r.FootprintsMB),
+				fmt.Sprintf("%v", r.Generated),
+			})
+		}
+		fmt.Print(experiments.FormatTable(
+			[]string{"application", "sizes(#tasks)", "work/task(s)", "footprints(MB)", "generated"}, rows))
+	case "table2":
+		var rows [][]string
+		for _, r := range experiments.Table2Rows() {
+			rows = append(rows, []string{r.Version, fmt.Sprintf("%d", r.Params), strings.Join(r.Names, ",")})
+		}
+		fmt.Print(experiments.FormatTable([]string{"version", "#params", "parameters"}, rows))
+	case "table4":
+		var rows [][]string
+		for _, r := range experiments.Table4Rows() {
+			rows = append(rows, []string{r.Version, fmt.Sprintf("%d", r.Params), strings.Join(r.Names, ",")})
+		}
+		fmt.Print(experiments.FormatTable([]string{"version", "#params", "parameters"}, rows))
+	case "table3":
+		res, err := experiments.Table3(ctx, o)
+		if err != nil {
+			return err
+		}
+		if err := record(res); err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatMatrix("calib-err", res.Algorithms, res.Losses, res.Errors))
+		fmt.Printf("winner: %s with %s\n", res.WinnerAlg, res.WinnerLoss)
+	case "figure1":
+		res, err := experiments.Figure1(ctx, o)
+		if err != nil {
+			return err
+		}
+		if err := record(res); err != nil {
+			return err
+		}
+		fmt.Printf("loss vs time, app=%s\n", res.App)
+		fmt.Print(experiments.FormatConvergence(res.Points, 20))
+	case "figure2":
+		res, err := experiments.Figure2(ctx, o)
+		if err != nil {
+			return err
+		}
+		if err := record(res); err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatVersionAccuracy(res.Versions))
+		fmt.Printf("best version: %s\n", res.Best)
+	case "baseline1":
+		res, err := experiments.Baseline1(ctx, o)
+		if err != nil {
+			return err
+		}
+		if err := record(res); err != nil {
+			return err
+		}
+		fmt.Printf("spec-based error:  %.1f%%\ncalibrated error:  %.1f%%\n", res.SpecError, res.CalibratedError)
+		apps := make([]wfgen.App, 0, len(res.PerApp))
+		for a := range res.PerApp {
+			apps = append(apps, a)
+		}
+		sort.Slice(apps, func(i, j int) bool { return apps[i] < apps[j] })
+		for _, a := range apps {
+			fmt.Printf("  %-14s %.1f%%\n", a, res.PerApp[a])
+		}
+	case "figure3":
+		res, err := experiments.Figure3(ctx, o)
+		if err != nil {
+			return err
+		}
+		if err := record(res); err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFigure3(res))
+	case "section55":
+		res, err := experiments.Section55(ctx, o)
+		if err != nil {
+			return err
+		}
+		if err := record(res); err != nil {
+			return err
+		}
+		fmt.Printf("baseline (diverse) test loss: %.4f\n", res.BaselineLoss)
+		fmt.Printf("restricted options worse:     %d/%d\n", res.WorseCount, res.TotalRestricted)
+		keys := make([]string, 0, len(res.RestrictedLosses))
+		for k := range res.RestrictedLosses {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-28s %.4f\n", k, res.RestrictedLosses[k])
+		}
+		fmt.Printf("chain-only: %.4f  forkjoin-only: %.4f  both: %.4f\n", res.ChainLoss, res.ForkjoinLoss, res.BothLoss)
+	case "table5":
+		res, err := experiments.Table5(ctx, o)
+		if err != nil {
+			return err
+		}
+		if err := record(res); err != nil {
+			return err
+		}
+		fmt.Println("calibration error:")
+		fmt.Print(experiments.FormatMatrix("alg", res.Algorithms, res.Losses, res.CalibErrors))
+		fmt.Println("relative avg transfer-rate error:")
+		fmt.Print(experiments.FormatMatrix("alg", res.Algorithms, res.Losses, res.RateErrors))
+		fmt.Printf("winner: %s with %s\n", res.WinnerAlg, res.WinnerLoss)
+	case "figure4":
+		res, err := experiments.Figure4(ctx, o)
+		if err != nil {
+			return err
+		}
+		if err := record(res); err != nil {
+			return err
+		}
+		fmt.Printf("loss vs time, %d nodes\n", res.Nodes)
+		fmt.Print(experiments.FormatConvergence(res.Points, 20))
+	case "figure5":
+		res, err := experiments.Figure5(ctx, o)
+		if err != nil {
+			return err
+		}
+		if err := record(res); err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatVersionAccuracy(res.Versions))
+		fmt.Printf("best version: %s\n", res.Best)
+	case "baseline2":
+		res, err := experiments.Baseline2(ctx, o)
+		if err != nil {
+			return err
+		}
+		if err := record(res); err != nil {
+			return err
+		}
+		fmt.Printf("spec-based error:  %.1f%%\ncalibrated error:  %.1f%%\n", res.SpecError, res.CalibratedError)
+		for b, e := range res.PerBenchmark {
+			fmt.Printf("  %-10s %.1f%%\n", b, e)
+		}
+	case "section65":
+		res, err := experiments.Section65(ctx, o)
+		if err != nil {
+			return err
+		}
+		if err := record(res); err != nil {
+			return err
+		}
+		fmt.Printf("Stencil error from P2P calibration:    %.1f%%\n", res.StencilFromP2P)
+		fmt.Printf("Stencil error from native calibration: %.1f%%\n", res.StencilNative)
+		nodes := make([]int, 0, len(res.ScaleErrors))
+		for n := range res.ScaleErrors {
+			nodes = append(nodes, n)
+		}
+		sort.Ints(nodes)
+		for _, n := range nodes {
+			tag := ""
+			if n == res.TrainNodes {
+				tag = " (training scale)"
+			}
+			fmt.Printf("  %4d nodes: %.1f%%%s\n", n, res.ScaleErrors[n], tag)
+		}
+	case "casestudy3":
+		res, err := experiments.CaseStudy3(ctx, o)
+		if err != nil {
+			return err
+		}
+		if err := record(res); err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatVersionAccuracy(res.Versions))
+		fmt.Printf("best version: %s\n", res.Best)
+	case "ablation-alg":
+		res, err := experiments.AblationAlgorithms(ctx, o)
+		if err != nil {
+			return err
+		}
+		if err := record(res); err != nil {
+			return err
+		}
+		for _, name := range res.Order {
+			fmt.Printf("  %-8s best loss %.4f\n", name, res.Losses[name])
+		}
+		fmt.Printf("BO-variant spread (max/min): %.2fx\n", res.BOSpread)
+	case "ablation-budget":
+		res, err := experiments.AblationBudget(ctx, o)
+		if err != nil {
+			return err
+		}
+		if err := record(res); err != nil {
+			return err
+		}
+		for i, budget := range res.Budgets {
+			fmt.Printf("  %5d evals: best loss %.4f\n", budget, res.Losses[i])
+		}
+	case "ablation-storage":
+		res, err := experiments.AblationStorageValue(ctx, o)
+		if err != nil {
+			return err
+		}
+		if err := record(res); err != nil {
+			return err
+		}
+		fmt.Printf("data-heavy workloads: submit-only %.1f%%, all-nodes %.1f%%\n",
+			res.DataHeavySubmitOnly, res.DataHeavyAllNodes)
+		fmt.Printf("data-free  workloads: submit-only %.1f%%, all-nodes %.1f%%\n",
+			res.DataFreeSubmitOnly, res.DataFreeAllNodes)
+	default:
+		return fmt.Errorf("unknown artifact %q", id)
+	}
+	return nil
+}
+
+func intsToString(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return strings.Join(parts, ",")
+}
+
+func floatsToString(xs []float64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("%g", x)
+	}
+	return strings.Join(parts, ",")
+}

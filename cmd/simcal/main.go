@@ -1,0 +1,293 @@
+// Command simcal runs an automated simulation calibration for either
+// case study and reports the calibrated parameter values, the achieved
+// loss, and — because this repository's ground truth has known true
+// parameters — the calibration error.
+//
+// Usage:
+//
+//	simcal -case wf  -alg BO-GP -loss L1 -evals 200
+//	simcal -case mpi -alg RAND  -loss L2 -budget 30s
+//	simcal -case wf  -network series -storage all -compute htcondor
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"simcal/internal/core"
+	"simcal/internal/experiments"
+	"simcal/internal/groundtruth"
+	"simcal/internal/loss"
+	"simcal/internal/mpi"
+	"simcal/internal/mpisim"
+	"simcal/internal/opt"
+	"simcal/internal/wfgen"
+	"simcal/internal/wfsim"
+)
+
+func main() {
+	var (
+		study    = flag.String("case", "wf", "case study: wf (workflows) or mpi (message passing)")
+		algName  = flag.String("alg", "BO-GP", "algorithm: GRID, RAND, GRAD, BO-GP, BO-RF, BO-ET, BO-GBRT")
+		lossName = flag.String("loss", "L1", "loss function (L1..L6 for wf, L1..L4 for mpi)")
+		evals    = flag.Int("evals", 100, "maximum loss evaluations")
+		budget   = flag.Duration("budget", 0, "optional wall-clock budget")
+		seed     = flag.Int64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 0, "parallel evaluation workers (default GOMAXPROCS)")
+		outPath  = flag.String("out", "", "write the calibration result as JSON (with history)")
+
+		network = flag.String("network", "", "wf: one-link|star|series; mpi: backbone|backbone-links|tree4|fat-tree")
+		storage = flag.String("storage", "all", "wf: submit|all")
+		compute = flag.String("compute", "htcondor", "wf: direct|htcondor")
+		node    = flag.String("node", "complex", "mpi: simple|complex")
+		proto   = flag.String("protocol", "fixed", "mpi: fixed|free")
+	)
+	flag.Parse()
+
+	alg, err := parseAlg(*algName)
+	if err != nil {
+		fatal(err)
+	}
+	o := experiments.Default()
+	o.Seed = *seed
+	o.MaxEvals = *evals
+	o.Budget = *budget
+	if *workers > 0 {
+		o.Workers = *workers
+	}
+
+	switch *study {
+	case "wf":
+		if err := runWF(o, alg, *lossName, *network, *storage, *compute, *outPath); err != nil {
+			fatal(err)
+		}
+	case "mpi":
+		if err := runMPI(o, alg, *lossName, *network, *node, *proto, *outPath); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown case study %q", *study))
+	}
+}
+
+// saveResult writes the result JSON when a path was given.
+func saveResult(path string, res *core.Result) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := res.WriteJSON(f, true); err != nil {
+		return err
+	}
+	fmt.Printf("result written to %s\n", path)
+	return nil
+}
+
+func runWF(o experiments.Options, alg core.Algorithm, lossName, network, storage, compute, outPath string) error {
+	v := wfsim.HighestDetail
+	if network != "" {
+		var err error
+		v, err = parseWFVersion(network, storage, compute)
+		if err != nil {
+			return err
+		}
+	}
+	kind, err := parseWFLoss(lossName)
+	if err != nil {
+		return err
+	}
+	ds, err := groundtruth.GenerateWorkflowData(groundtruth.WFOptions{
+		Apps:    []wfgen.App{wfgen.Epigenomics},
+		SizeIdx: []int{1}, WorkIdx: []int{1, 3}, FootIdx: []int{1, 2},
+		Workers: []int{2}, Reps: 3, Seed: o.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("calibrating %s with %s/%s over %d ground-truth groups...\n",
+		v.Name(), alg.Name(), kind, len(ds.Groups))
+	cal := &core.Calibrator{
+		Space: v.Space(), Simulator: loss.WFEvaluator(v, kind, ds),
+		Algorithm: alg, MaxEvaluations: o.MaxEvals, Budget: o.Budget,
+		Workers: o.Workers, Seed: o.Seed,
+	}
+	start := time.Now()
+	res, err := cal.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	report(v.Space(), res, start)
+	truth := groundtruth.WorkflowTruthPoint(v)
+	fmt.Printf("calibration error vs hidden truth: %.1f%%\n",
+		core.CalibrationError(v.Space(), res.Best.Point, truth))
+	return saveResult(outPath, res)
+}
+
+func runMPI(o experiments.Options, alg core.Algorithm, lossName, network, node, proto, outPath string) error {
+	v := mpisim.HighestDetail
+	if network != "" {
+		var err error
+		v, err = parseMPIVersion(network, node, proto)
+		if err != nil {
+			return err
+		}
+	}
+	kind, err := parseMPILoss(lossName)
+	if err != nil {
+		return err
+	}
+	ds, err := groundtruth.GenerateMPIData(groundtruth.MPIOptions{
+		Benchmarks: []mpi.Benchmark{mpi.PingPong, mpi.PingPing, mpi.BiRandom},
+		Nodes:      []int{8}, MsgSizes: o.MPIMsgSizes, Rounds: 2, Reps: 3, Seed: o.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("calibrating %s with %s/%s over %d measurements...\n",
+		v.Name(), alg.Name(), kind, len(ds.Measurements))
+	cal := &core.Calibrator{
+		Space: v.Space(), Simulator: loss.MPIEvaluator(v, kind, ds, 2),
+		Algorithm: alg, MaxEvaluations: o.MaxEvals, Budget: o.Budget,
+		Workers: o.Workers, Seed: o.Seed,
+	}
+	start := time.Now()
+	res, err := cal.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	report(v.Space(), res, start)
+	truth := groundtruth.MPITruthPoint(v)
+	fmt.Printf("calibration error vs hidden truth: %.1f%%\n",
+		core.CalibrationError(v.Space(), res.Best.Point, truth))
+	return saveResult(outPath, res)
+}
+
+func report(space core.Space, res *core.Result, start time.Time) {
+	fmt.Printf("evaluations: %d in %s\n", res.Evaluations, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("best loss:   %.6f\n", res.Best.Loss)
+	fmt.Println("calibrated parameters:")
+	names := make([]string, 0, len(res.Best.Point))
+	for n := range res.Best.Point {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-24s %.6g\n", n, res.Best.Point[n])
+	}
+}
+
+func parseAlg(name string) (core.Algorithm, error) {
+	switch name {
+	case "GRID":
+		return opt.Grid{}, nil
+	case "RAND":
+		return opt.Random{}, nil
+	case "GRAD":
+		return opt.GradientDescent{}, nil
+	case "BO-GP":
+		return opt.NewBOGP(), nil
+	case "BO-RF":
+		return opt.NewBORF(), nil
+	case "BO-ET":
+		return opt.NewBOET(), nil
+	case "BO-GBRT":
+		return opt.NewBOGBRT(), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func parseWFLoss(name string) (loss.WFKind, error) {
+	for _, k := range loss.AllWFKinds {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown workflow loss %q", name)
+}
+
+func parseMPILoss(name string) (loss.MPIKind, error) {
+	for _, k := range loss.AllMPIKinds {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown MPI loss %q", name)
+}
+
+func parseWFVersion(network, storage, compute string) (wfsim.Version, error) {
+	var v wfsim.Version
+	switch network {
+	case "one-link":
+		v.Network = wfsim.OneLink
+	case "star":
+		v.Network = wfsim.Star
+	case "series":
+		v.Network = wfsim.Series
+	default:
+		return v, fmt.Errorf("unknown wf network %q", network)
+	}
+	switch storage {
+	case "submit":
+		v.Storage = wfsim.SubmitOnly
+	case "all":
+		v.Storage = wfsim.AllNodes
+	default:
+		return v, fmt.Errorf("unknown wf storage %q", storage)
+	}
+	switch compute {
+	case "direct":
+		v.Compute = wfsim.Direct
+	case "htcondor":
+		v.Compute = wfsim.HTCondor
+	default:
+		return v, fmt.Errorf("unknown wf compute %q", compute)
+	}
+	return v, nil
+}
+
+func parseMPIVersion(network, node, proto string) (mpisim.Version, error) {
+	var v mpisim.Version
+	switch network {
+	case "backbone":
+		v.Network = mpisim.Backbone
+	case "backbone-links":
+		v.Network = mpisim.BackboneLinks
+	case "tree4":
+		v.Network = mpisim.Tree4
+	case "fat-tree":
+		v.Network = mpisim.FatTree
+	default:
+		return v, fmt.Errorf("unknown mpi network %q", network)
+	}
+	switch node {
+	case "simple":
+		v.Node = mpisim.SimpleNode
+	case "complex":
+		v.Node = mpisim.ComplexNode
+	default:
+		return v, fmt.Errorf("unknown mpi node %q", node)
+	}
+	switch proto {
+	case "fixed":
+		v.Protocol = mpisim.FixedPoints
+	case "free":
+		v.Protocol = mpisim.FreePoints
+	default:
+		return v, fmt.Errorf("unknown mpi protocol %q", proto)
+	}
+	return v, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simcal:", err)
+	os.Exit(1)
+}

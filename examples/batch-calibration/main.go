@@ -1,0 +1,55 @@
+// Batch calibration: the paper's conclusion names batch scheduling
+// (Alea/Batsim with Parallel Workload Archive logs) as the next domain
+// for the methodology. This example runs it end to end: generate a
+// PWA-style job log, execute it on a reference EASY-backfilling cluster
+// with hidden parameters and noise, then calibrate simulator versions at
+// two levels of detail and compare — the same experiment shape as the
+// paper's Figures 2 and 5, in a third domain.
+//
+//	go run ./examples/batch-calibration
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"simcal/internal/batch"
+	"simcal/internal/core"
+	"simcal/internal/opt"
+)
+
+func main() {
+	spec := batch.WorkloadSpec{Jobs: 80, Procs: 64, ArrivalRate: 0.03, Seed: 21}
+	gt, err := batch.GenerateGroundTruth(spec, 5, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ground truth: %d jobs on %d processors, 5 repetitions\n", len(gt.Jobs), gt.Procs)
+
+	for _, v := range []batch.Version{
+		{Policy: batch.FCFS, Detail: batch.NoOverheads},
+		{Policy: batch.EASY, Detail: batch.NoOverheads},
+		{Policy: batch.EASY, Detail: batch.WithOverheads},
+	} {
+		cal := &core.Calibrator{
+			Space:          v.Space(),
+			Simulator:      batch.Evaluator(v, gt),
+			Algorithm:      opt.NewBOGP(),
+			MaxEvaluations: 200,
+			Workers:        4,
+			Seed:           1,
+		}
+		res, err := cal.Run(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nversion %-22s (%d parameters)\n", v.Name(), v.Space().Dim())
+		fmt.Printf("  calibrated loss (avg rel. turnaround error): %.4f\n", res.Best.Loss)
+		fmt.Printf("  calibrated point: %s\n", res.Best.Point)
+	}
+	fmt.Println("\nexpected ordering: easy/with-overheads < easy/no-overheads < fcfs —")
+	fmt.Println("the reference system backfills and has real dispatch costs, so both")
+	fmt.Println("the policy and the middleware level of detail pay off, exactly as the")
+	fmt.Println("methodology predicts for the other two case studies.")
+}

@@ -1,0 +1,118 @@
+// Custom simulator: bring your own simulator and use the paper's full
+// methodology — including synthetic benchmarking to choose the best
+// loss-function/algorithm pair before spending a real calibration
+// budget.
+//
+// The simulator here is a small M/M/1-style queueing model of a service
+// (arrival rate is known; service rate and a fixed network delay are
+// calibrated). Two candidate loss functions and two algorithms are
+// compared by planting a known calibration, recovering it with each
+// pair, and measuring the calibration error — then the winning pair is
+// used against the "real" (noisy) measurements.
+//
+//	go run ./examples/custom-simulator
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"simcal/internal/core"
+	"simcal/internal/opt"
+	"simcal/internal/stats"
+)
+
+// queueSim predicts mean response time of an M/M/1 queue plus a fixed
+// network delay, for a given arrival rate.
+func queueSim(p core.Point, arrival float64) float64 {
+	mu := p["service_rate"]
+	if mu <= arrival {
+		return 1e6 // saturated: report an enormous response time
+	}
+	return 1/(mu-arrival) + p["net_delay"]
+}
+
+// lossFn builds an evaluator comparing simulated response times against
+// the observations with either avg or max aggregation.
+func lossFn(arrivals, observed []float64, aggregate string) core.Evaluator {
+	return func(_ context.Context, p core.Point) (float64, error) {
+		var errs []float64
+		for i, a := range arrivals {
+			errs = append(errs, stats.RelError(observed[i], queueSim(p, a)))
+		}
+		if aggregate == "max" {
+			return stats.Max(errs), nil
+		}
+		return stats.Mean(errs), nil
+	}
+}
+
+func main() {
+	space := core.Space{
+		{Name: "service_rate", Kind: core.Continuous, Min: 1, Max: 500},
+		{Name: "net_delay", Kind: core.Continuous, Min: 0, Max: 1},
+	}
+	arrivals := []float64{10, 40, 70, 100, 130}
+
+	// ---- Step 1: synthetic benchmarking (Section 3 of the paper). ----
+	planted := core.Point{"service_rate": 150, "net_delay": 0.05}
+	synthetic := make([]float64, len(arrivals))
+	for i, a := range arrivals {
+		synthetic[i] = queueSim(planted, a) // noise-free, truth known
+	}
+	type pair struct {
+		alg  core.Algorithm
+		loss string
+	}
+	pairs := []pair{
+		{opt.Random{}, "avg"}, {opt.Random{}, "max"},
+		{opt.NewBOGP(), "avg"}, {opt.NewBOGP(), "max"},
+	}
+	best := pair{}
+	bestErr := -1.0
+	fmt.Println("synthetic benchmarking (calibration error, lower is better):")
+	for _, pr := range pairs {
+		cal := &core.Calibrator{
+			Space:          space,
+			Simulator:      lossFn(arrivals, synthetic, pr.loss),
+			Algorithm:      pr.alg,
+			MaxEvaluations: 120,
+			Workers:        4,
+			Seed:           1,
+		}
+		res, err := cal.Run(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		ce := core.CalibrationError(space, res.Best.Point, planted)
+		fmt.Printf("  %-6s / %-3s : %7.2f\n", pr.alg.Name(), pr.loss, ce)
+		if bestErr < 0 || ce < bestErr {
+			bestErr, best = ce, pr
+		}
+	}
+	fmt.Printf("selected pair: %s / %s\n\n", best.alg.Name(), best.loss)
+
+	// ---- Step 2: calibrate against the real (noisy) measurements. ----
+	truth := core.Point{"service_rate": 180, "net_delay": 0.02}
+	rng := stats.NewRNG(99)
+	observed := make([]float64, len(arrivals))
+	for i, a := range arrivals {
+		observed[i] = queueSim(truth, a) * rng.NoisyScale(0.05)
+	}
+	cal := &core.Calibrator{
+		Space:          space,
+		Simulator:      lossFn(arrivals, observed, best.loss),
+		Algorithm:      best.alg,
+		MaxEvaluations: 200,
+		Workers:        4,
+		Seed:           2,
+	}
+	res, err := cal.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("real calibration: loss %.4f\n", res.Best.Loss)
+	fmt.Printf("  service_rate = %.1f (truth %.1f)\n", res.Best.Point["service_rate"], truth["service_rate"])
+	fmt.Printf("  net_delay    = %.4f (truth %.4f)\n", res.Best.Point["net_delay"], truth["net_delay"])
+}

@@ -1,0 +1,3 @@
+module simcal
+
+go 1.24

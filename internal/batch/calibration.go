@@ -1,0 +1,162 @@
+package batch
+
+import (
+	"context"
+	"fmt"
+
+	"simcal/internal/core"
+	"simcal/internal/stats"
+)
+
+// DetailOption selects the middleware level of detail: whether the
+// simulator models dispatch overheads and the scheduling cycle.
+type DetailOption int
+
+const (
+	// NoOverheads abstracts the batch middleware away entirely.
+	NoOverheads DetailOption = iota
+	// WithOverheads models per-job startup overhead and the scheduler's
+	// dispatch cycle.
+	WithOverheads
+)
+
+func (d DetailOption) String() string {
+	if d == WithOverheads {
+		return "with-overheads"
+	}
+	return "no-overheads"
+}
+
+// Version is one level-of-detail combination of the batch simulator —
+// the case-study-#3 analogue of Tables 2 and 4.
+type Version struct {
+	Policy Policy
+	Detail DetailOption
+}
+
+// Name returns a stable identifier like "easy/with-overheads".
+func (v Version) Name() string { return fmt.Sprintf("%s/%s", v.Policy, v.Detail) }
+
+// AllVersions enumerates the four versions.
+func AllVersions() []Version {
+	var out []Version
+	for _, p := range []Policy{FCFS, EASY} {
+		for _, d := range []DetailOption{NoOverheads, WithOverheads} {
+			out = append(out, Version{Policy: p, Detail: d})
+		}
+	}
+	return out
+}
+
+// Parameter names.
+const (
+	ParamSpeedScale = "speed_scale_exp" // 2^x, x ∈ [-2, 2]
+	ParamStartupOvh = "startup_overhead"
+	ParamSchedInt   = "sched_interval"
+)
+
+// Space returns the calibration space for the version.
+func (v Version) Space() core.Space {
+	sp := core.Space{
+		{Name: ParamSpeedScale, Kind: core.Exponential, Min: -2, Max: 2},
+	}
+	if v.Detail == WithOverheads {
+		sp = append(sp,
+			core.ParamSpec{Name: ParamStartupOvh, Kind: core.Continuous, Min: 0, Max: 120},
+			core.ParamSpec{Name: ParamSchedInt, Kind: core.Continuous, Min: 0, Max: 120},
+		)
+	}
+	return sp
+}
+
+// DecodeConfig maps a calibration point into a Config.
+func (v Version) DecodeConfig(p core.Point, procs int) Config {
+	cfg := Config{Procs: procs, SpeedScale: p[ParamSpeedScale]}
+	if v.Detail == WithOverheads {
+		cfg.StartupOverhead = p[ParamStartupOvh]
+		cfg.SchedInterval = p[ParamSchedInt]
+	}
+	return cfg
+}
+
+// ReferenceVersion is the level of detail of the reference batch system
+// (an EASY-backfilling scheduler with real middleware costs).
+var ReferenceVersion = Version{Policy: EASY, Detail: WithOverheads}
+
+// Truth holds the reference system's hidden parameters.
+var Truth = Config{
+	SpeedScale:      1.0,
+	StartupOverhead: 20,
+	SchedInterval:   30,
+}
+
+// TruthPoint returns the hidden truth as a calibration point in the
+// version's space.
+func TruthPoint(v Version) core.Point {
+	p := core.Point{ParamSpeedScale: Truth.SpeedScale}
+	if v.Detail == WithOverheads {
+		p[ParamStartupOvh] = Truth.StartupOverhead
+		p[ParamSchedInt] = Truth.SchedInterval
+	}
+	return p
+}
+
+// GroundTruth is a batch-scheduling ground-truth dataset: a job log plus
+// the mean measured turnaround time of every job across repetitions.
+type GroundTruth struct {
+	Jobs  []Job
+	Procs int
+	// MeanTurnaround maps job ID → mean (end − submit) over repetitions.
+	MeanTurnaround map[int]float64
+}
+
+// GenerateGroundTruth executes the workload on the reference system with
+// noise, reps times, and aggregates per-job turnarounds.
+func GenerateGroundTruth(spec WorkloadSpec, reps int, seed int64) (*GroundTruth, error) {
+	if reps <= 0 {
+		reps = 5
+	}
+	jobs := GenerateWorkload(spec)
+	sums := make(map[int]float64, len(jobs))
+	seedStream := stats.NewRNG(seed)
+	for rep := 0; rep < reps; rep++ {
+		cfg := Truth
+		cfg.Procs = spec.Procs
+		cfg.Noise = &NoiseModel{Seed: seedStream.Int63(), RuntimeSpread: 0.05, OverheadSpread: 0.15}
+		res, err := Simulate(ReferenceVersion.Policy, cfg, jobs)
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range jobs {
+			sums[j.ID] += res.Ends[j.ID] - j.Submit
+		}
+	}
+	gt := &GroundTruth{Jobs: jobs, Procs: spec.Procs, MeanTurnaround: make(map[int]float64, len(jobs))}
+	for id, s := range sums {
+		gt.MeanTurnaround[id] = s / float64(reps)
+	}
+	return gt, nil
+}
+
+// Evaluator returns the calibration loss for a version against the
+// ground truth: the mean relative error of per-job turnaround times —
+// the batch-domain analogue of the workflow case study's L3-style loss.
+func Evaluator(v Version, gt *GroundTruth) core.Evaluator {
+	return func(ctx context.Context, p core.Point) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		cfg := v.DecodeConfig(p, gt.Procs)
+		res, err := Simulate(v.Policy, cfg, gt.Jobs)
+		if err != nil {
+			return 0, err
+		}
+		var errs []float64
+		for _, j := range gt.Jobs {
+			truth := gt.MeanTurnaround[j.ID]
+			sim := res.Ends[j.ID] - j.Submit
+			errs = append(errs, stats.RelError(truth, sim))
+		}
+		return stats.Mean(errs), nil
+	}
+}

@@ -1,0 +1,127 @@
+package batch
+
+import (
+	"context"
+	"testing"
+
+	"simcal/internal/core"
+	"simcal/internal/opt"
+)
+
+func testGT(t *testing.T) *GroundTruth {
+	t.Helper()
+	gt, err := GenerateGroundTruth(WorkloadSpec{Jobs: 40, Procs: 32, ArrivalRate: 0.03, Seed: 5}, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gt
+}
+
+func TestGroundTruthShape(t *testing.T) {
+	gt := testGT(t)
+	if len(gt.Jobs) != 40 || len(gt.MeanTurnaround) != 40 {
+		t.Fatalf("ground truth incomplete: %d jobs, %d turnarounds", len(gt.Jobs), len(gt.MeanTurnaround))
+	}
+	for _, j := range gt.Jobs {
+		// Runtime noise can shrink a job slightly, but a turnaround far
+		// below the nominal runtime means lost accounting.
+		if gt.MeanTurnaround[j.ID] < 0.7*j.Runtime/Truth.SpeedScale {
+			t.Fatalf("job %d turnaround %v far below runtime %v", j.ID, gt.MeanTurnaround[j.ID], j.Runtime)
+		}
+	}
+}
+
+func TestEvaluatorLowAtTruth(t *testing.T) {
+	gt := testGT(t)
+	v := ReferenceVersion
+	got, err := Evaluator(v, gt)(context.Background(), TruthPoint(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 0.25 {
+		t.Errorf("loss at truth = %v, want small (noise-limited)", got)
+	}
+}
+
+func TestEvaluatorHighAwayFromTruth(t *testing.T) {
+	gt := testGT(t)
+	v := ReferenceVersion
+	off := TruthPoint(v)
+	off[ParamSpeedScale] = 0.25 // 4x slower machine
+	got, err := Evaluator(v, gt)(context.Background(), off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atTruth, err := Evaluator(v, gt)(context.Background(), TruthPoint(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 2*atTruth {
+		t.Errorf("loss away from truth (%v) not clearly above loss at truth (%v)", got, atTruth)
+	}
+}
+
+// TestCalibrationRecoversTruth is the end-to-end demonstration that the
+// paper's methodology carries to the batch-scheduling domain: BO-GP
+// calibration of the reference-detail simulator recovers the hidden
+// parameters well enough to predict turnarounds accurately.
+func TestCalibrationRecoversTruth(t *testing.T) {
+	gt := testGT(t)
+	v := ReferenceVersion
+	cal := &core.Calibrator{
+		Space:          v.Space(),
+		Simulator:      Evaluator(v, gt),
+		Algorithm:      opt.NewBOGP(),
+		MaxEvaluations: 150,
+		Workers:        2,
+		Seed:           1,
+	}
+	res, err := cal.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Loss > 0.3 {
+		t.Errorf("calibrated loss = %v, want < 0.3", res.Best.Loss)
+	}
+	// The speed scale is strongly identifiable from turnarounds.
+	got := res.Best.Point[ParamSpeedScale]
+	if got < 0.7 || got > 1.5 {
+		t.Errorf("calibrated speed scale %v far from truth 1.0", got)
+	}
+}
+
+// TestLevelOfDetailMatters mirrors the case studies' headline: the
+// version that cannot express middleware overheads calibrates to a
+// clearly worse loss than the one that can.
+func TestLevelOfDetailMatters(t *testing.T) {
+	gt := testGT(t)
+	lossOf := func(v Version) float64 {
+		cal := &core.Calibrator{
+			Space:          v.Space(),
+			Simulator:      Evaluator(v, gt),
+			Algorithm:      opt.NewBOGP(),
+			MaxEvaluations: 120,
+			Workers:        2,
+			Seed:           2,
+		}
+		res, err := cal.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Best.Loss
+	}
+	with := lossOf(Version{Policy: EASY, Detail: WithOverheads})
+	without := lossOf(Version{Policy: EASY, Detail: NoOverheads})
+	if with >= without {
+		t.Errorf("overhead-aware loss (%v) should beat overhead-free loss (%v)", with, without)
+	}
+}
+
+func TestEvaluatorRespectsContext(t *testing.T) {
+	gt := testGT(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Evaluator(ReferenceVersion, gt)(ctx, TruthPoint(ReferenceVersion)); err == nil {
+		t.Error("canceled context not honored")
+	}
+}

@@ -1,0 +1,141 @@
+package batch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGenerateWorkloadShape(t *testing.T) {
+	spec := WorkloadSpec{Jobs: 200, Procs: 64, ArrivalRate: 0.1, Seed: 1}
+	jobs := GenerateWorkload(spec)
+	if len(jobs) != 200 {
+		t.Fatalf("jobs = %d, want 200", len(jobs))
+	}
+	prevSubmit := -1.0
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatalf("invalid job: %v", err)
+		}
+		if j.Procs > spec.Procs {
+			t.Fatalf("job %d oversized", j.ID)
+		}
+		if j.Submit < prevSubmit {
+			t.Fatal("submits not monotone")
+		}
+		prevSubmit = j.Submit
+	}
+	if TotalWork(jobs) <= 0 {
+		t.Error("non-positive total work")
+	}
+}
+
+func TestGenerateWorkloadDeterministic(t *testing.T) {
+	spec := WorkloadSpec{Jobs: 50, Procs: 32, ArrivalRate: 0.05, Seed: 7}
+	a, b := GenerateWorkload(spec), GenerateWorkload(spec)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic workload")
+		}
+	}
+	spec.Seed = 8
+	c := GenerateWorkload(spec)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical workloads")
+	}
+}
+
+func TestGenerateWorkloadPanicsOnBadSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad spec accepted")
+		}
+	}()
+	GenerateWorkload(WorkloadSpec{Jobs: 0, Procs: 4, ArrivalRate: 1})
+}
+
+func TestSWFRoundTrip(t *testing.T) {
+	spec := WorkloadSpec{Jobs: 30, Procs: 16, ArrivalRate: 0.1, Seed: 2}
+	jobs := GenerateWorkload(spec)
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, jobs, spec.Procs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(jobs) {
+		t.Fatalf("jobs = %d, want %d", len(back), len(jobs))
+	}
+	for i, j := range jobs {
+		if back[i] != j {
+			t.Fatalf("job %d changed: %+v vs %+v", i, back[i], j)
+		}
+	}
+}
+
+func TestReadSWFSkipsAndClamps(t *testing.T) {
+	doc := `; a header comment
+; MaxProcs: 8
+1 0 -1 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1
+2 5 -1 -1 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1
+3 9 -1 50 -1 -1 -1 2 10 -1 1 -1 -1 -1 -1 -1 -1 -1
+`
+	jobs, err := ReadSWF(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 2 has unknown runtime → skipped. Job 3 uses requested procs
+	// and clamps requested time up to runtime.
+	if len(jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2", len(jobs))
+	}
+	if jobs[1].Procs != 2 || jobs[1].Requested != 50 {
+		t.Errorf("job 3 parsed wrong: %+v", jobs[1])
+	}
+}
+
+func TestReadSWFRejectsGarbage(t *testing.T) {
+	if _, err := ReadSWF(strings.NewReader("1 2 3\n")); err == nil {
+		t.Error("short line accepted")
+	}
+	if _, err := ReadSWF(strings.NewReader("a b c d e f g h i\n")); err == nil {
+		t.Error("non-numeric accepted")
+	}
+}
+
+func TestVersionsAndSpaces(t *testing.T) {
+	vs := AllVersions()
+	if len(vs) != 4 {
+		t.Fatalf("versions = %d, want 4", len(vs))
+	}
+	if ReferenceVersion.Space().Dim() != 3 {
+		t.Errorf("reference space dims = %d, want 3", ReferenceVersion.Space().Dim())
+	}
+	if (Version{FCFS, NoOverheads}).Space().Dim() != 1 {
+		t.Error("no-overheads space should have 1 dim")
+	}
+	for _, v := range vs {
+		if err := v.Space().Validate(); err != nil {
+			t.Errorf("%s: %v", v.Name(), err)
+		}
+		pt := TruthPoint(v)
+		u := v.Space().Encode(pt)
+		for i, s := range v.Space() {
+			if u[i] < 0 || u[i] > 1 {
+				t.Errorf("%s: truth outside range for %s", v.Name(), s.Name)
+			}
+		}
+	}
+	if (Version{EASY, WithOverheads}).Name() != "easy/with-overheads" {
+		t.Error("Name wrong")
+	}
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"simcal/internal/stats"
+)
+
+// Simulator is the framework's simulator abstraction, mirroring the
+// paper's Python Simulator class: Run invokes the (use-case-specific)
+// simulator for every ground-truth data point under the given parameter
+// values and returns the scalar loss computed by the user's loss
+// function.
+type Simulator interface {
+	Run(ctx context.Context, p Point) (float64, error)
+}
+
+// Evaluator is the functional form of Simulator.
+type Evaluator func(ctx context.Context, p Point) (float64, error)
+
+// Run implements Simulator.
+func (e Evaluator) Run(ctx context.Context, p Point) (float64, error) { return e(ctx, p) }
+
+// Sample records one loss evaluation.
+type Sample struct {
+	// Unit is the position in the unit cube.
+	Unit []float64
+	// Point is the decoded parameter assignment.
+	Point Point
+	// Loss is the evaluated loss value.
+	Loss float64
+	// Elapsed is the wall-clock time since the calibration started at
+	// which this evaluation completed. It drives the loss-vs-time curves
+	// (Figures 1 and 4).
+	Elapsed time.Duration
+}
+
+// Problem is what an optimization algorithm sees: the space, a way to
+// evaluate batches of candidates in parallel, an RNG, and budget state.
+type Problem struct {
+	Space Space
+	RNG   *stats.RNG
+
+	sim      Simulator
+	workers  int
+	maxEvals int
+	start    time.Time
+
+	mu      sync.Mutex
+	history []Sample
+	best    *Sample
+	evals   int
+}
+
+// ErrBudgetExhausted is returned by Evaluate when the evaluation budget
+// (count or context deadline) has been consumed. Algorithms should treat
+// it as a signal to return their best-so-far.
+var ErrBudgetExhausted = errors.New("core: calibration budget exhausted")
+
+// Evaluate runs the loss at every unit-cube position in units, in
+// parallel over the configured workers, and returns the samples in input
+// order. It returns ErrBudgetExhausted when no budget remains before any
+// evaluation starts; partial batches are truncated to the remaining
+// budget. Failed evaluations yield +Inf loss, so brittle simulator
+// configurations are simply avoided rather than aborting calibration.
+func (p *Problem) Evaluate(ctx context.Context, units [][]float64) ([]Sample, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, ErrBudgetExhausted
+	}
+	p.mu.Lock()
+	remaining := p.maxEvals - p.evals
+	p.mu.Unlock()
+	if p.maxEvals > 0 {
+		if remaining <= 0 {
+			return nil, ErrBudgetExhausted
+		}
+		if len(units) > remaining {
+			units = units[:remaining]
+		}
+	}
+	if len(units) == 0 {
+		return nil, ErrBudgetExhausted
+	}
+	out := make([]Sample, len(units))
+	workers := p.workers
+	if workers > len(units) {
+		workers = len(units)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				u := units[i]
+				pt := p.Space.Decode(u)
+				loss, err := p.sim.Run(ctx, pt)
+				if err != nil || math.IsNaN(loss) {
+					loss = math.Inf(1)
+				}
+				out[i] = Sample{Unit: append([]float64(nil), u...), Point: pt, Loss: loss, Elapsed: time.Since(p.start)}
+			}
+		}()
+	}
+	for i := range units {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	p.record(out)
+	return out, nil
+}
+
+// record appends samples to history and updates the incumbent.
+func (p *Problem) record(samples []Sample) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range samples {
+		s := samples[i]
+		p.history = append(p.history, s)
+		p.evals++
+		if p.best == nil || s.Loss < p.best.Loss {
+			c := s
+			p.best = &c
+		}
+	}
+}
+
+// Best returns the incumbent sample, or nil before any evaluation.
+func (p *Problem) Best() *Sample {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.best
+}
+
+// Evaluations returns the number of completed loss evaluations.
+func (p *Problem) Evaluations() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.evals
+}
+
+// History returns the evaluations completed so far, in completion order.
+func (p *Problem) History() []Sample {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Sample(nil), p.history...)
+}
+
+// Algorithm is an iterative calibration algorithm. Optimize must keep
+// proposing and evaluating candidates until Evaluate returns
+// ErrBudgetExhausted (or the context expires), then return normally; the
+// framework extracts the incumbent from the problem.
+type Algorithm interface {
+	Name() string
+	Optimize(ctx context.Context, prob *Problem) error
+}
+
+// Result is the outcome of a calibration run.
+type Result struct {
+	// Best is the lowest-loss sample found.
+	Best Sample
+	// History lists all evaluations in completion order.
+	History []Sample
+	// Evaluations counts completed loss evaluations.
+	Evaluations int
+	// Elapsed is the total wall-clock calibration time.
+	Elapsed time.Duration
+	// Algorithm is the name of the algorithm used.
+	Algorithm string
+}
+
+// LossOverTime returns (elapsed, best-so-far loss) pairs, one per
+// evaluation, for convergence plots like the paper's Figures 1 and 4.
+func (r *Result) LossOverTime() (times []time.Duration, losses []float64) {
+	best := math.Inf(1)
+	for _, s := range r.History {
+		if s.Loss < best {
+			best = s.Loss
+		}
+		times = append(times, s.Elapsed)
+		losses = append(losses, best)
+	}
+	return times, losses
+}
+
+// Calibrator configures and runs an automated calibration, the
+// framework's top-level entry point.
+type Calibrator struct {
+	// Space declares the parameters to calibrate and their ranges.
+	Space Space
+	// Simulator evaluates the loss for a parameter assignment.
+	Simulator Simulator
+	// Algorithm is the search strategy (see the opt package).
+	Algorithm Algorithm
+	// Budget bounds wall-clock time; zero means no time bound.
+	Budget time.Duration
+	// MaxEvaluations bounds the number of loss evaluations; zero means
+	// no count bound. At least one of Budget and MaxEvaluations must be
+	// set.
+	MaxEvaluations int
+	// Workers is the parallelism for loss evaluation; zero defaults to
+	// GOMAXPROCS.
+	Workers int
+	// Seed makes the calibration reproducible.
+	Seed int64
+}
+
+// Run executes the calibration and returns the result. The configured
+// budget is enforced through the context passed to evaluations.
+func (c *Calibrator) Run(ctx context.Context) (*Result, error) {
+	if err := c.Space.Validate(); err != nil {
+		return nil, err
+	}
+	if c.Simulator == nil {
+		return nil, errors.New("core: Calibrator requires a Simulator")
+	}
+	if c.Algorithm == nil {
+		return nil, errors.New("core: Calibrator requires an Algorithm")
+	}
+	if c.Budget <= 0 && c.MaxEvaluations <= 0 {
+		return nil, errors.New("core: Calibrator requires a Budget or MaxEvaluations")
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Budget)
+		defer cancel()
+	}
+	prob := &Problem{
+		Space:    c.Space,
+		RNG:      stats.NewRNG(c.Seed),
+		sim:      c.Simulator,
+		workers:  workers,
+		maxEvals: c.MaxEvaluations,
+		start:    time.Now(),
+	}
+	err := c.Algorithm.Optimize(ctx, prob)
+	if err != nil && !errors.Is(err, ErrBudgetExhausted) && !errors.Is(err, context.DeadlineExceeded) {
+		return nil, fmt.Errorf("core: algorithm %s: %w", c.Algorithm.Name(), err)
+	}
+	best := prob.Best()
+	if best == nil {
+		return nil, errors.New("core: no evaluation completed within budget")
+	}
+	return &Result{
+		Best:        *best,
+		History:     prob.History(),
+		Evaluations: prob.Evaluations(),
+		Elapsed:     time.Since(prob.start),
+		Algorithm:   c.Algorithm.Name(),
+	}, nil
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// sphereLoss is a simple convex test objective with its optimum planted
+// at the given point.
+func sphereLoss(optimum Point) Evaluator {
+	return func(_ context.Context, p Point) (float64, error) {
+		s := 0.0
+		for k, v := range optimum {
+			d := (p[k] - v) / math.Max(math.Abs(v), 1)
+			s += d * d
+		}
+		return s, nil
+	}
+}
+
+// randomSearch is a minimal in-package algorithm used to test the
+// framework without importing opt (which would create an import cycle in
+// tests).
+type randomSearch struct{ batch int }
+
+func (randomSearch) Name() string { return "test-random" }
+
+func (r randomSearch) Optimize(ctx context.Context, prob *Problem) error {
+	b := r.batch
+	if b <= 0 {
+		b = 8
+	}
+	for {
+		units := make([][]float64, b)
+		for i := range units {
+			units[i] = prob.Space.Sample(prob.RNG)
+		}
+		if _, err := prob.Evaluate(ctx, units); err != nil {
+			return err
+		}
+	}
+}
+
+var testSpace = Space{
+	{Name: "x", Kind: Continuous, Min: 0, Max: 10},
+	{Name: "y", Kind: Continuous, Min: 0, Max: 10},
+}
+
+func TestCalibratorFindsReasonableOptimum(t *testing.T) {
+	c := &Calibrator{
+		Space:          testSpace,
+		Simulator:      sphereLoss(Point{"x": 3, "y": 7}),
+		Algorithm:      randomSearch{},
+		MaxEvaluations: 400,
+		Workers:        4,
+		Seed:           1,
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 400 {
+		t.Errorf("Evaluations = %d, want 400", res.Evaluations)
+	}
+	if res.Best.Loss > 0.05 {
+		t.Errorf("best loss = %v, want < 0.05 after 400 random samples", res.Best.Loss)
+	}
+	if len(res.History) != 400 {
+		t.Errorf("history length = %d, want 400", len(res.History))
+	}
+	if res.Algorithm != "test-random" {
+		t.Errorf("Algorithm = %q", res.Algorithm)
+	}
+}
+
+func TestCalibratorDeterministicGivenSeed(t *testing.T) {
+	mk := func() *Result {
+		c := &Calibrator{
+			Space:          testSpace,
+			Simulator:      sphereLoss(Point{"x": 5, "y": 5}),
+			Algorithm:      randomSearch{batch: 4},
+			MaxEvaluations: 64,
+			Workers:        3,
+			Seed:           42,
+		}
+		res, err := c.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := mk(), mk()
+	if a.Best.Loss != b.Best.Loss {
+		t.Errorf("same seed, different best loss: %v vs %v", a.Best.Loss, b.Best.Loss)
+	}
+	for k := range a.Best.Point {
+		if a.Best.Point[k] != b.Best.Point[k] {
+			t.Errorf("same seed, different best point at %q", k)
+		}
+	}
+}
+
+func TestCalibratorTimeBudget(t *testing.T) {
+	slow := Evaluator(func(ctx context.Context, p Point) (float64, error) {
+		select {
+		case <-time.After(5 * time.Millisecond):
+		case <-ctx.Done():
+		}
+		return p["x"], nil
+	})
+	c := &Calibrator{
+		Space:     testSpace,
+		Simulator: slow,
+		Algorithm: randomSearch{batch: 2},
+		Budget:    60 * time.Millisecond,
+		Workers:   2,
+		Seed:      7,
+	}
+	start := time.Now()
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("budget not enforced: ran %v", el)
+	}
+	if res.Evaluations == 0 {
+		t.Error("no evaluations completed within budget")
+	}
+}
+
+func TestCalibratorValidation(t *testing.T) {
+	base := func() *Calibrator {
+		return &Calibrator{
+			Space:          testSpace,
+			Simulator:      sphereLoss(Point{"x": 1, "y": 1}),
+			Algorithm:      randomSearch{},
+			MaxEvaluations: 10,
+		}
+	}
+	c := base()
+	c.Space = nil
+	if _, err := c.Run(context.Background()); err == nil {
+		t.Error("nil space accepted")
+	}
+	c = base()
+	c.Simulator = nil
+	if _, err := c.Run(context.Background()); err == nil {
+		t.Error("nil simulator accepted")
+	}
+	c = base()
+	c.Algorithm = nil
+	if _, err := c.Run(context.Background()); err == nil {
+		t.Error("nil algorithm accepted")
+	}
+	c = base()
+	c.MaxEvaluations = 0
+	if _, err := c.Run(context.Background()); err == nil {
+		t.Error("missing budget accepted")
+	}
+}
+
+func TestEvaluateTruncatesToBudget(t *testing.T) {
+	prob := &Problem{
+		Space:    testSpace,
+		sim:      sphereLoss(Point{"x": 1, "y": 1}),
+		workers:  2,
+		maxEvals: 3,
+		start:    time.Now(),
+	}
+	units := [][]float64{{0, 0}, {0.5, 0.5}, {1, 1}, {0.2, 0.8}}
+	samples, err := prob.Evaluate(context.Background(), units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Errorf("batch not truncated: got %d samples", len(samples))
+	}
+	if _, err := prob.Evaluate(context.Background(), units); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("expected ErrBudgetExhausted, got %v", err)
+	}
+}
+
+func TestEvaluatorErrorBecomesInfLoss(t *testing.T) {
+	var calls atomic.Int64
+	failing := Evaluator(func(ctx context.Context, p Point) (float64, error) {
+		if calls.Add(1)%2 == 0 {
+			return 0, errors.New("simulator crashed")
+		}
+		return p["x"], nil
+	})
+	c := &Calibrator{
+		Space:          testSpace,
+		Simulator:      failing,
+		Algorithm:      randomSearch{batch: 4},
+		MaxEvaluations: 20,
+		Workers:        2,
+		Seed:           3,
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(res.Best.Loss, 1) {
+		t.Error("all losses infinite despite successful evaluations")
+	}
+	inf := 0
+	for _, s := range res.History {
+		if math.IsInf(s.Loss, 1) {
+			inf++
+		}
+	}
+	if inf == 0 {
+		t.Error("failing evaluations should appear as +Inf in history")
+	}
+}
+
+func TestNaNLossBecomesInf(t *testing.T) {
+	nanSim := Evaluator(func(ctx context.Context, p Point) (float64, error) {
+		return math.NaN(), nil
+	})
+	prob := &Problem{Space: testSpace, sim: nanSim, workers: 1, maxEvals: 1, start: time.Now()}
+	samples, err := prob.Evaluate(context.Background(), [][]float64{{0.5, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(samples[0].Loss, 1) {
+		t.Errorf("NaN loss = %v, want +Inf", samples[0].Loss)
+	}
+}
+
+func TestLossOverTimeMonotone(t *testing.T) {
+	c := &Calibrator{
+		Space:          testSpace,
+		Simulator:      sphereLoss(Point{"x": 2, "y": 8}),
+		Algorithm:      randomSearch{},
+		MaxEvaluations: 100,
+		Workers:        4,
+		Seed:           5,
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, losses := res.LossOverTime()
+	if len(losses) != 100 {
+		t.Fatalf("curve length = %d, want 100", len(losses))
+	}
+	for i := 1; i < len(losses); i++ {
+		if losses[i] > losses[i-1] {
+			t.Fatal("best-so-far curve must be non-increasing")
+		}
+	}
+	if losses[len(losses)-1] != res.Best.Loss {
+		t.Error("curve must end at best loss")
+	}
+}
+
+func TestProblemAccessors(t *testing.T) {
+	prob := &Problem{Space: testSpace, sim: sphereLoss(Point{"x": 0, "y": 0}), workers: 1, start: time.Now()}
+	if prob.Best() != nil {
+		t.Error("Best before evaluation should be nil")
+	}
+	if prob.Evaluations() != 0 {
+		t.Error("Evaluations before any run should be 0")
+	}
+	if _, err := prob.Evaluate(context.Background(), [][]float64{{0.1, 0.2}, {0.9, 0.9}}); err != nil {
+		t.Fatal(err)
+	}
+	if prob.Evaluations() != 2 {
+		t.Errorf("Evaluations = %d, want 2", prob.Evaluations())
+	}
+	if prob.Best() == nil || len(prob.History()) != 2 {
+		t.Error("Best/History not tracked")
+	}
+}

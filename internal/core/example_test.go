@@ -1,0 +1,76 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+
+	"simcal/internal/core"
+	"simcal/internal/opt"
+)
+
+// ExampleCalibrator shows the full calibration loop on an analytic
+// simulator whose optimum is known.
+func ExampleCalibrator() {
+	space := core.Space{
+		{Name: "speed", Kind: core.Continuous, Min: 1, Max: 100},
+	}
+	// The "simulator": predicted duration of a 60-unit task, compared
+	// against a measured duration of 2 s (true speed 30).
+	lossFn := core.Evaluator(func(_ context.Context, p core.Point) (float64, error) {
+		predicted := 60 / p["speed"]
+		diff := predicted - 2
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff / 2, nil
+	})
+	cal := &core.Calibrator{
+		Space:          space,
+		Simulator:      lossFn,
+		Algorithm:      opt.NewBOGP(),
+		MaxEvaluations: 120,
+		Workers:        2,
+		Seed:           1,
+	}
+	res, err := cal.Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("recovered speed within 10%%: %v\n", res.Best.Point["speed"] > 27 && res.Best.Point["speed"] < 33)
+	fmt.Printf("evaluations: %d\n", res.Evaluations)
+	// Output:
+	// recovered speed within 10%: true
+	// evaluations: 120
+}
+
+// ExampleSpace_Decode shows how unit-cube coordinates map to parameter
+// values, including exponential (2^x) parameters.
+func ExampleSpace_Decode() {
+	space := core.Space{
+		{Name: "bandwidth", Kind: core.Exponential, Min: 20, Max: 30},
+		{Name: "latency", Kind: core.Continuous, Min: 0, Max: 0.01},
+		{Name: "slots", Kind: core.Integer, Min: 1, Max: 9},
+	}
+	p := space.Decode([]float64{0.5, 0.5, 0.5})
+	fmt.Printf("bandwidth: %.0f\n", p["bandwidth"])
+	fmt.Printf("latency:   %.3f\n", p["latency"])
+	fmt.Printf("slots:     %.0f\n", p["slots"])
+	// Output:
+	// bandwidth: 33554432
+	// latency:   0.005
+	// slots:     5
+}
+
+// ExampleCalibrationError shows the synthetic-benchmarking metric: the
+// range-normalized L1 distance to a planted calibration, in percent.
+func ExampleCalibrationError() {
+	space := core.Space{
+		{Name: "a", Kind: core.Continuous, Min: 0, Max: 10},
+		{Name: "b", Kind: core.Continuous, Min: 0, Max: 10},
+	}
+	truth := core.Point{"a": 2, "b": 8}
+	got := core.Point{"a": 3, "b": 8} // one dimension off by 10% of range
+	fmt.Printf("%.0f%%\n", core.CalibrationError(space, got, truth))
+	// Output:
+	// 10%
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	c := &Calibrator{
+		Space:          testSpace,
+		Simulator:      sphereLoss(Point{"x": 3, "y": 7}),
+		Algorithm:      randomSearch{},
+		MaxEvaluations: 40,
+		Workers:        2,
+		Seed:           5,
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Algorithm != res.Algorithm || back.Evaluations != res.Evaluations {
+		t.Error("metadata lost in round trip")
+	}
+	if back.Best.Loss != res.Best.Loss {
+		t.Errorf("best loss %v != %v", back.Best.Loss, res.Best.Loss)
+	}
+	for k, v := range res.Best.Point {
+		if back.Best.Point[k] != v {
+			t.Errorf("best point %s lost", k)
+		}
+	}
+	if len(back.History) != len(res.History) {
+		t.Errorf("history %d != %d", len(back.History), len(res.History))
+	}
+	// Convergence curve must survive the round trip.
+	_, lossesA := res.LossOverTime()
+	_, lossesB := back.LossOverTime()
+	for i := range lossesA {
+		if lossesA[i] != lossesB[i] {
+			t.Fatal("convergence curve changed by round trip")
+		}
+	}
+}
+
+func TestResultJSONWithoutHistory(t *testing.T) {
+	c := &Calibrator{
+		Space:          testSpace,
+		Simulator:      sphereLoss(Point{"x": 1, "y": 1}),
+		Algorithm:      randomSearch{},
+		MaxEvaluations: 10,
+		Workers:        1,
+		Seed:           2,
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.History) != 0 {
+		t.Error("history should be omitted")
+	}
+	if back.Best.Loss != res.Best.Loss {
+		t.Error("best lost")
+	}
+}
+
+func TestReadResultRejectsBadDocs(t *testing.T) {
+	cases := []string{
+		"{oops",
+		`{"kind":"wrong"}`,
+		`{"kind":"simcal-calibration-result","best":{"point":{}}}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadResult(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package des implements a minimal discrete-event simulation kernel: a
+// virtual clock and a time-ordered event queue with cancelable timers.
+// It is the foundation both case-study simulators are built on, playing
+// the role the SimGrid/WRENCH core plays in the paper.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. Events returned by At/After can be
+// canceled before they fire.
+type Event struct {
+	time     float64
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 when not queued
+	canceled bool
+}
+
+// Time returns the simulated time at which the event is scheduled.
+func (e *Event) Time() float64 { return e.time }
+
+// Cancel prevents the event from firing. Canceling an event that already
+// fired or was already canceled is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// eventHeap orders events by (time, seq) so simultaneous events fire in
+// scheduling order, keeping simulations deterministic.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; create engines with NewEngine.
+type Engine struct {
+	now    float64
+	seq    uint64
+	fired  int
+	events eventHeap
+}
+
+// NewEngine returns an engine with the clock at time 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired returns the number of events fired so far.
+func (e *Engine) Fired() int { return e.fired }
+
+// Pending returns the number of queued (non-fired) events, including
+// canceled events that have not been drained yet.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past panics: that is always a simulator bug.
+func (e *Engine) At(t float64, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("des: scheduling event at %g before now %g", t, e.now))
+	}
+	if math.IsNaN(t) {
+		panic("des: scheduling event at NaN time")
+	}
+	ev := &Event{time: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d seconds from now. Negative delays panic.
+func (e *Engine) After(d float64, fn func()) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Step fires the next event, advancing the clock to its timestamp. It
+// returns false when the queue is empty. Canceled events are skipped.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.time
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty and returns the final clock
+// value. maxEvents bounds the number of fired events to guard against
+// runaway simulations; pass 0 for no bound. It returns an error if the
+// bound is reached.
+func (e *Engine) Run(maxEvents int) (float64, error) {
+	start := e.fired
+	for e.Step() {
+		if maxEvents > 0 && e.fired-start >= maxEvents {
+			return e.now, fmt.Errorf("des: event bound %d reached at t=%g", maxEvents, e.now)
+		}
+	}
+	return e.now, nil
+}
+
+// RunUntil fires events with timestamps ≤ t, then advances the clock to
+// exactly t. Events scheduled after t remain queued.
+func (e *Engine) RunUntil(t float64) {
+	for {
+		ev := e.peek()
+		if ev == nil || ev.time > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// peek returns the next non-canceled event without firing it, draining
+// canceled entries it encounters.
+func (e *Engine) peek() *Event {
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if !ev.canceled {
+			return ev
+		}
+		heap.Pop(&e.events)
+	}
+	return nil
+}

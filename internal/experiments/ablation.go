@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"simcal/internal/core"
+	"simcal/internal/groundtruth"
+	"simcal/internal/loss"
+	"simcal/internal/opt"
+	"simcal/internal/wfsim"
+)
+
+// AblationAlgResult compares every calibration algorithm at an equal
+// budget on the same problem — the evidence behind the paper's Section 4
+// statements that GRID and GRAD "performed poorly in preliminary
+// experiments" and that "all versions of the BO algorithms perform
+// almost identically".
+type AblationAlgResult struct {
+	// Losses maps algorithm name → best loss after the budget.
+	Losses map[string]float64
+	// Order lists algorithm names in run order.
+	Order []string
+	// BOSpread is max/min best loss across the four BO variants.
+	BOSpread float64
+}
+
+// AblationAlgorithms calibrates the highest-detail workflow simulator
+// with all seven algorithms on real ground truth and compares the final
+// losses.
+func AblationAlgorithms(ctx context.Context, o Options) (*AblationAlgResult, error) {
+	ds, err := trainingDataset(o)
+	if err != nil {
+		return nil, err
+	}
+	v := wfsim.HighestDetail
+	ev := loss.WFEvaluator(v, loss.WFL1, ds)
+	algs := []core.Algorithm{
+		opt.Grid{}, opt.Random{}, opt.GradientDescent{},
+		opt.NewBOGP(), opt.NewBORF(), opt.NewBOET(), opt.NewBOGBRT(),
+	}
+	out := &AblationAlgResult{Losses: make(map[string]float64)}
+	boMin, boMax := -1.0, -1.0
+	for _, alg := range algs {
+		cal := o.calibrator(v.Space(), ev, alg, o.Seed)
+		r, err := cal.Run(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", alg.Name(), err)
+		}
+		out.Order = append(out.Order, alg.Name())
+		out.Losses[alg.Name()] = r.Best.Loss
+		if len(alg.Name()) > 3 && alg.Name()[:3] == "BO-" {
+			if boMin < 0 || r.Best.Loss < boMin {
+				boMin = r.Best.Loss
+			}
+			if r.Best.Loss > boMax {
+				boMax = r.Best.Loss
+			}
+		}
+	}
+	if boMin > 0 {
+		out.BOSpread = boMax / boMin
+	}
+	return out, nil
+}
+
+// AblationBudgetResult traces how the achievable accuracy scales with
+// the calibration budget — the justification for the paper's fixed
+// time-budget methodology step.
+type AblationBudgetResult struct {
+	// Budgets lists the evaluation budgets tried, ascending.
+	Budgets []int
+	// Losses[i] is the best loss achieved within Budgets[i].
+	Losses []float64
+}
+
+// AblationBudget calibrates the highest-detail workflow simulator at a
+// range of budgets with the paper's selected algorithm/loss pair.
+func AblationBudget(ctx context.Context, o Options) (*AblationBudgetResult, error) {
+	ds, err := trainingDataset(o)
+	if err != nil {
+		return nil, err
+	}
+	v := wfsim.HighestDetail
+	ev := loss.WFEvaluator(v, loss.WFL1, ds)
+	budgets := []int{o.MaxEvals / 8, o.MaxEvals / 4, o.MaxEvals / 2, o.MaxEvals}
+	out := &AblationBudgetResult{}
+	for _, b := range budgets {
+		if b < 8 {
+			continue
+		}
+		oo := o
+		oo.MaxEvals = b
+		cal := oo.calibrator(v.Space(), ev, opt.NewBOGP(), o.Seed)
+		r, err := cal.Run(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("ablation budget %d: %w", b, err)
+		}
+		out.Budgets = append(out.Budgets, b)
+		out.Losses = append(out.Losses, r.Best.Loss)
+	}
+	if len(out.Budgets) == 0 {
+		return nil, fmt.Errorf("ablation budget: MaxEvals %d too small", o.MaxEvals)
+	}
+	return out, nil
+}
+
+// AblationStorageValueResult quantifies what the all-nodes storage level
+// of detail buys on data-heavy vs data-free workloads — the design-
+// choice ablation DESIGN.md calls out for case study #1.
+type AblationStorageValueResult struct {
+	// DataHeavy and DataFree report the avg makespan error (%) of the
+	// submit-only vs all-nodes storage versions on each workload class.
+	DataHeavySubmitOnly, DataHeavyAllNodes float64
+	DataFreeSubmitOnly, DataFreeAllNodes   float64
+}
+
+// AblationStorageValue calibrates the one-link/htcondor simulator with
+// both storage options on data-heavy and data-free ground truth.
+func AblationStorageValue(ctx context.Context, o Options) (*AblationStorageValueResult, error) {
+	mk := func(footIdx []int) (*groundtruth.WFDataset, error) {
+		return groundtruth.GenerateWorkflowData(groundtruth.WFOptions{
+			Apps:    o.WFApps[:1],
+			SizeIdx: o.WFSizeIdx, WorkIdx: o.WFWorkIdx, FootIdx: footIdx,
+			Workers: defaultWorkers(o)[:1], Reps: o.Reps, Seed: o.Seed,
+		})
+	}
+	foots := wfFootprints(o)
+	heavy, err := mk([]int{foots[len(foots)-1]})
+	if err != nil {
+		return nil, err
+	}
+	free, err := mk([]int{foots[0]})
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationStorageValueResult{}
+	run := func(storage wfsim.StorageOption, ds *groundtruth.WFDataset) (float64, error) {
+		v := wfsim.Version{Network: wfsim.OneLink, Storage: storage, Compute: wfsim.HTCondor}
+		va, err := calibrateAndTestWF(ctx, o, v, ds, ds)
+		if err != nil {
+			return 0, err
+		}
+		return va.AvgError, nil
+	}
+	if out.DataHeavySubmitOnly, err = run(wfsim.SubmitOnly, heavy); err != nil {
+		return nil, err
+	}
+	if out.DataHeavyAllNodes, err = run(wfsim.AllNodes, heavy); err != nil {
+		return nil, err
+	}
+	if out.DataFreeSubmitOnly, err = run(wfsim.SubmitOnly, free); err != nil {
+		return nil, err
+	}
+	if out.DataFreeAllNodes, err = run(wfsim.AllNodes, free); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// wfFootprints returns the footprint indices in effect for the options'
+// first app.
+func wfFootprints(o Options) []int {
+	if o.WFFootIdx != nil {
+		return o.WFFootIdx
+	}
+	n := 4 // Table 1 real apps have 4 footprints
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}

@@ -1,0 +1,338 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"simcal/internal/core"
+	"simcal/internal/groundtruth"
+	"simcal/internal/loss"
+	"simcal/internal/stats"
+	"simcal/internal/wfgen"
+	"simcal/internal/wfsim"
+)
+
+// Table3Result holds the calibration error (percent relative L1 distance
+// to the planted calibration) for every algorithm × loss-function pair —
+// the paper's Table 3.
+type Table3Result struct {
+	Losses     []string
+	Algorithms []string
+	// Errors[alg][loss] is the calibration error.
+	Errors map[string]map[string]float64
+	// Winner is the (algorithm, loss) pair with the lowest error.
+	WinnerAlg, WinnerLoss string
+}
+
+// Table3 runs the synthetic-benchmarking selection of Section 5.3.2:
+// plant the true calibration in the highest-detail workflow simulator,
+// generate synthetic ground truth, calibrate with every algorithm × loss
+// pair, and report the calibration errors.
+func Table3(ctx context.Context, o Options) (*Table3Result, error) {
+	v := wfsim.HighestDetail
+	template, err := trainingDataset(o)
+	if err != nil {
+		return nil, err
+	}
+	planted := groundtruth.WorkflowTruthPoint(v)
+	syn, err := groundtruth.SyntheticWorkflowData(v, planted, template)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table3Result{Errors: make(map[string]map[string]float64)}
+	for _, kind := range loss.AllWFKinds {
+		res.Losses = append(res.Losses, kind.String())
+	}
+	best := -1.0
+	for ai, alg := range algorithms() {
+		res.Algorithms = append(res.Algorithms, alg.Name())
+		res.Errors[alg.Name()] = make(map[string]float64)
+		for ki, kind := range loss.AllWFKinds {
+			// Distinct seed per cell: with a shared seed, RAND would
+			// evaluate the identical point sequence for every loss and
+			// the whole row would collapse to one value.
+			cal := o.calibrator(v.Space(), loss.WFEvaluator(v, kind, syn), alg, o.Seed+int64(100*ai+ki+1))
+			r, err := cal.Run(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("table3 %s/%s: %w", alg.Name(), kind, err)
+			}
+			ce := core.CalibrationError(v.Space(), r.Best.Point, planted)
+			res.Errors[alg.Name()][kind.String()] = ce
+			if best < 0 || ce < best {
+				best = ce
+				res.WinnerAlg, res.WinnerLoss = alg.Name(), kind.String()
+			}
+		}
+	}
+	return res, nil
+}
+
+// ConvergencePoint is one sample of a loss-vs-time curve.
+type ConvergencePoint struct {
+	Elapsed     time.Duration
+	Evaluations int
+	Loss        float64
+}
+
+// Figure1Result is the loss-vs-time convergence curve of Figure 1.
+type Figure1Result struct {
+	App    wfgen.App
+	Points []ConvergencePoint
+}
+
+// Figure1 calibrates the highest-detail workflow simulator against all
+// ground-truth data for one application and traces the best-so-far loss
+// over time.
+func Figure1(ctx context.Context, o Options) (*Figure1Result, error) {
+	app := wfgen.Epigenomics
+	if len(o.WFApps) > 0 {
+		app = o.WFApps[0]
+	}
+	ds, err := groundtruth.GenerateWorkflowData(groundtruth.WFOptions{
+		Apps:    []wfgen.App{app},
+		SizeIdx: o.WFSizeIdx, WorkIdx: o.WFWorkIdx, FootIdx: o.WFFootIdx,
+		Workers: o.WFWorkers, Reps: o.Reps, Seed: o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	v := wfsim.HighestDetail
+	cal := o.calibrator(v.Space(), loss.WFEvaluator(v, loss.WFL1, ds), algorithms()[1], o.Seed)
+	r, err := cal.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure1Result{App: app}
+	best := r.History[0].Loss
+	for i, s := range r.History {
+		if s.Loss < best {
+			best = s.Loss
+		}
+		out.Points = append(out.Points, ConvergencePoint{Elapsed: s.Elapsed, Evaluations: i + 1, Loss: best})
+	}
+	return out, nil
+}
+
+// VersionAccuracy reports the post-calibration accuracy of one simulator
+// version (one bar of Figure 2 / Figure 5).
+type VersionAccuracy struct {
+	Version string
+	// AvgError, MinError, MaxError are percent relative errors over the
+	// testing dataset (makespans for case 1, transfer rates for case 2).
+	AvgError, MinError, MaxError float64
+	// TrainLoss is the loss achieved on the training dataset.
+	TrainLoss float64
+	Params    int
+	// SimMicros is the wall-clock cost of one simulated execution at
+	// this level of detail, in microseconds — the "simulation speed"
+	// dimension the paper notes users weigh against accuracy.
+	SimMicros float64
+}
+
+// Figure2Result compares all 12 calibrated workflow simulator versions.
+type Figure2Result struct {
+	Versions []VersionAccuracy
+	// Best names the most accurate version.
+	Best string
+}
+
+// Figure2 implements Section 5.4: calibrate every simulator version on
+// the training dataset (second-largest worker count and workflow size)
+// and evaluate percent makespan error on the testing dataset (largest
+// executions).
+func Figure2(ctx context.Context, o Options) (*Figure2Result, error) {
+	full, err := fullDataset(o)
+	if err != nil {
+		return nil, err
+	}
+	train, test := splitTrainTest(full, o)
+	res := &Figure2Result{}
+	bestAvg := -1.0
+	for _, v := range wfsim.AllVersions() {
+		va, err := calibrateAndTestWF(ctx, o, v, train, test)
+		if err != nil {
+			return nil, fmt.Errorf("figure2 %s: %w", v.Name(), err)
+		}
+		res.Versions = append(res.Versions, *va)
+		if bestAvg < 0 || va.AvgError < bestAvg {
+			bestAvg = va.AvgError
+			res.Best = va.Version
+		}
+	}
+	return res, nil
+}
+
+// calibrateAndTestWF calibrates one version on train and scores it on
+// test.
+func calibrateAndTestWF(ctx context.Context, o Options, v wfsim.Version, train, test *groundtruth.WFDataset) (*VersionAccuracy, error) {
+	r, err := o.calibrateBest(ctx, v.Space(), loss.WFEvaluator(v, loss.WFL1, train), algorithms()[1], o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := v.DecodeConfig(r.Best.Point)
+	simStart := time.Now()
+	errs, err := loss.WFMakespanErrors(v, cfg, test)
+	if err != nil {
+		return nil, err
+	}
+	simMicros := float64(time.Since(simStart).Microseconds()) / float64(len(test.Groups))
+	return &VersionAccuracy{
+		Version:   v.Name(),
+		AvgError:  stats.Mean(errs),
+		MinError:  stats.Min(errs),
+		MaxError:  stats.Max(errs),
+		TrainLoss: r.Best.Loss,
+		Params:    v.Space().Dim(),
+		SimMicros: simMicros,
+	}, nil
+}
+
+// Baseline1Result is Section 5.4's no-calibration comparison: the lowest
+// level of detail with parameter values read off hardware
+// specifications.
+type Baseline1Result struct {
+	// SpecError is the percent makespan error of the spec-based
+	// parameters; CalibratedError is the same simulator version after
+	// automated calibration.
+	SpecError, CalibratedError float64
+	// PerApp maps application → spec-based average error.
+	PerApp map[wfgen.App]float64
+}
+
+// SpecBasedConfig returns the parameter values a user would read off the
+// Chameleon Cloud hardware documentation: nominal CPU clock×IPC, 10 Gb/s
+// network, datasheet disk bandwidth, and — critically — no middleware
+// overheads, since no datasheet documents HTCondor's scheduling costs.
+func SpecBasedConfig() wfsim.Config {
+	return wfsim.Config{
+		CoreSpeed: 2.4e9 * 4, // 2.4 GHz Icelake × nominal 4 ops/cycle
+		DiskBW:    500e6,     // datasheet sequential bandwidth
+		DiskConc:  64,
+		LinkBW:    1.25e9, // 10 Gb/s NIC
+		LinkLat:   5e-5,
+	}
+}
+
+// Baseline1 measures the spec-based lowest-detail simulator against the
+// calibrated one on the testing dataset.
+func Baseline1(ctx context.Context, o Options) (*Baseline1Result, error) {
+	full, err := fullDataset(o)
+	if err != nil {
+		return nil, err
+	}
+	train, test := splitTrainTest(full, o)
+	v := wfsim.LowestDetail
+	specErrs, err := loss.WFMakespanErrors(v, SpecBasedConfig(), test)
+	if err != nil {
+		return nil, err
+	}
+	va, err := calibrateAndTestWF(ctx, o, v, train, test)
+	if err != nil {
+		return nil, err
+	}
+	out := &Baseline1Result{
+		SpecError:       stats.Mean(specErrs),
+		CalibratedError: va.AvgError,
+		PerApp:          make(map[wfgen.App]float64),
+	}
+	perApp := make(map[wfgen.App][]float64)
+	for i, g := range test.Groups {
+		perApp[g.Spec.App] = append(perApp[g.Spec.App], specErrs[i])
+	}
+	for app, errs := range perApp {
+		out.PerApp[app] = stats.Mean(errs)
+	}
+	return out, nil
+}
+
+// trainingDataset builds the default training dataset: per app, the
+// second-largest worker count and second-largest size (Section 5.4).
+func trainingDataset(o Options) (*groundtruth.WFDataset, error) {
+	sizeIdx := secondLargestIdx(o.WFSizeIdx, len(wfgen.Table1[wfgen.Epigenomics].Sizes))
+	workerIdx := secondLargestIdx(nil, len(defaultWorkers(o)))
+	workers := defaultWorkers(o)
+	return groundtruth.GenerateWorkflowData(groundtruth.WFOptions{
+		Apps:    o.WFApps,
+		SizeIdx: []int{sizeIdx},
+		WorkIdx: o.WFWorkIdx,
+		FootIdx: o.WFFootIdx,
+		Workers: []int{workers[workerIdx]},
+		Reps:    o.Reps,
+		Seed:    o.Seed,
+	})
+}
+
+// fullDataset generates the complete ground-truth grid for the options.
+func fullDataset(o Options) (*groundtruth.WFDataset, error) {
+	return groundtruth.GenerateWorkflowData(groundtruth.WFOptions{
+		Apps:    o.WFApps,
+		SizeIdx: o.WFSizeIdx, WorkIdx: o.WFWorkIdx, FootIdx: o.WFFootIdx,
+		Workers: defaultWorkers(o), Reps: o.Reps, Seed: o.Seed,
+	})
+}
+
+// splitTrainTest implements the paper's split: testing = the "large"
+// executions (largest worker count with size above minimum, or largest
+// size with worker count above minimum); training = second-largest
+// worker count and second-largest size.
+func splitTrainTest(full *groundtruth.WFDataset, o Options) (train, test *groundtruth.WFDataset) {
+	workers := defaultWorkers(o)
+	maxWorkers := workers[len(workers)-1]
+	trainWorkers := workers[max(0, len(workers)-2)]
+	sizesOf := func(app wfgen.App) []int {
+		sizes := wfgen.Table1[app].Sizes
+		var out []int
+		if o.WFSizeIdx == nil {
+			out = append(out, sizes...)
+		} else {
+			for _, i := range o.WFSizeIdx {
+				out = append(out, sizes[i])
+			}
+		}
+		sort.Ints(out)
+		return out
+	}
+	test = full.Filter(func(g *groundtruth.WFGroup) bool {
+		sizes := sizesOf(g.Spec.App)
+		maxSize, minSize := sizes[len(sizes)-1], sizes[0]
+		if g.Workers == maxWorkers && g.Spec.Tasks > minSize {
+			return true
+		}
+		return g.Spec.Tasks == maxSize && g.Workers > workers[0]
+	})
+	train = full.Filter(func(g *groundtruth.WFGroup) bool {
+		sizes := sizesOf(g.Spec.App)
+		trainSize := sizes[max(0, len(sizes)-2)]
+		return g.Workers == trainWorkers && g.Spec.Tasks == trainSize
+	})
+	return train, test
+}
+
+func defaultWorkers(o Options) []int {
+	if len(o.WFWorkers) > 0 {
+		ws := append([]int(nil), o.WFWorkers...)
+		sort.Ints(ws)
+		return ws
+	}
+	return []int{1, 2, 4, 6}
+}
+
+// secondLargestIdx returns the index of the second-largest element given
+// either an explicit index subset or the full range length.
+func secondLargestIdx(subset []int, n int) int {
+	if subset == nil {
+		return max(0, n-2)
+	}
+	sorted := append([]int(nil), subset...)
+	sort.Ints(sorted)
+	return sorted[max(0, len(sorted)-2)]
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

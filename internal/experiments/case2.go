@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"simcal/internal/core"
+	"simcal/internal/groundtruth"
+	"simcal/internal/loss"
+	"simcal/internal/mpi"
+	"simcal/internal/mpisim"
+	"simcal/internal/stats"
+)
+
+// p2pBenchmarks are the training benchmarks of Section 6.4 (Stencil is
+// held out for the generalization study).
+var p2pBenchmarks = []mpi.Benchmark{mpi.PingPing, mpi.PingPong, mpi.BiRandom}
+
+// mpiTrainData generates the (smallest-scale) MPI training dataset.
+func mpiTrainData(o Options, benchmarks []mpi.Benchmark, nodes []int) (*groundtruth.MPIDataset, error) {
+	return groundtruth.GenerateMPIData(groundtruth.MPIOptions{
+		Benchmarks: benchmarks,
+		Nodes:      nodes,
+		MsgSizes:   o.MPIMsgSizes,
+		Rounds:     o.MPIRounds,
+		Reps:       o.Reps,
+		Seed:       o.Seed,
+	})
+}
+
+// Table5Result holds calibration error and average relative transfer-
+// rate error for every algorithm × loss pair — the paper's Table 5.
+type Table5Result struct {
+	Losses     []string
+	Algorithms []string
+	// CalibErrors[alg][loss] is the calibration error (percent relative
+	// L1 distance to the planted calibration).
+	CalibErrors map[string]map[string]float64
+	// RateErrors[alg][loss] is the relative average transfer-rate error
+	// (fractional, as in the paper's Table 5).
+	RateErrors map[string]map[string]float64
+	// Winner is the pair the methodology would select.
+	WinnerAlg, WinnerLoss string
+}
+
+// Table5 runs the synthetic-benchmarking selection of Section 6.3.2 on
+// the highest-detail MPI simulator, reporting both calibration error and
+// transfer-rate error (the latter disambiguates bandwidth/factor
+// compensation, as the paper notes).
+func Table5(ctx context.Context, o Options) (*Table5Result, error) {
+	v := mpisim.HighestDetail
+	nodes := o.MPINodes[:1]
+	template, err := mpiTrainData(o, p2pBenchmarks, nodes)
+	if err != nil {
+		return nil, err
+	}
+	planted := groundtruth.MPITruthPoint(v)
+	syn, err := groundtruth.SyntheticMPIData(v, planted, template, o.MPIRounds)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table5Result{
+		CalibErrors: make(map[string]map[string]float64),
+		RateErrors:  make(map[string]map[string]float64),
+	}
+	for _, kind := range loss.AllMPIKinds {
+		res.Losses = append(res.Losses, kind.String())
+	}
+	bestRate := -1.0
+	for ai, alg := range algorithms() {
+		res.Algorithms = append(res.Algorithms, alg.Name())
+		res.CalibErrors[alg.Name()] = make(map[string]float64)
+		res.RateErrors[alg.Name()] = make(map[string]float64)
+		for ki, kind := range loss.AllMPIKinds {
+			// Distinct seed per cell (see Table3).
+			cal := o.calibrator(v.Space(), loss.MPIEvaluator(v, kind, syn, o.MPIRounds), alg, o.Seed+int64(100*ai+ki+1))
+			r, err := cal.Run(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("table5 %s/%s: %w", alg.Name(), kind, err)
+			}
+			ce := core.CalibrationError(v.Space(), r.Best.Point, planted)
+			res.CalibErrors[alg.Name()][kind.String()] = ce
+			rerrs, err := loss.MPIRateErrors(v, v.DecodeConfig(r.Best.Point), syn, o.MPIRounds)
+			if err != nil {
+				return nil, err
+			}
+			re := stats.Mean(rerrs) / 100 // fractional, like the paper
+			res.RateErrors[alg.Name()][kind.String()] = re
+			if bestRate < 0 || re < bestRate {
+				bestRate = re
+				res.WinnerAlg, res.WinnerLoss = alg.Name(), kind.String()
+			}
+		}
+	}
+	return res, nil
+}
+
+// Figure4Result is the MPI loss-vs-time convergence curve of Figure 4.
+type Figure4Result struct {
+	Nodes  int
+	Points []ConvergencePoint
+}
+
+// Figure4 calibrates the highest-detail MPI simulator against all
+// ground-truth data at the smallest node count and traces the loss.
+func Figure4(ctx context.Context, o Options) (*Figure4Result, error) {
+	v := mpisim.HighestDetail
+	nodes := o.MPINodes[:1]
+	ds, err := mpiTrainData(o, p2pBenchmarks, nodes)
+	if err != nil {
+		return nil, err
+	}
+	cal := o.calibrator(v.Space(), loss.MPIEvaluator(v, loss.MPIL1, ds, o.MPIRounds), algorithms()[1], o.Seed)
+	r, err := cal.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure4Result{Nodes: nodes[0]}
+	best := r.History[0].Loss
+	for i, s := range r.History {
+		if s.Loss < best {
+			best = s.Loss
+		}
+		out.Points = append(out.Points, ConvergencePoint{Elapsed: s.Elapsed, Evaluations: i + 1, Loss: best})
+	}
+	return out, nil
+}
+
+// Figure5Result compares all 16 calibrated MPI simulator versions.
+type Figure5Result struct {
+	Versions []VersionAccuracy
+	Best     string
+}
+
+// Figure5 implements Section 6.4: calibrate every version on the
+// smallest-scale PingPing/PingPong/BiRandom data and report percent
+// transfer-rate errors on the same data (the paper presents this as an
+// overfitting study; generalization is Section 6.5).
+func Figure5(ctx context.Context, o Options) (*Figure5Result, error) {
+	nodes := o.MPINodes[:1]
+	ds, err := mpiTrainData(o, p2pBenchmarks, nodes)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure5Result{}
+	bestAvg := -1.0
+	for _, v := range mpisim.AllVersions() {
+		va, err := calibrateAndTestMPI(ctx, o, v, ds, ds)
+		if err != nil {
+			return nil, fmt.Errorf("figure5 %s: %w", v.Name(), err)
+		}
+		res.Versions = append(res.Versions, *va)
+		if bestAvg < 0 || va.AvgError < bestAvg {
+			bestAvg = va.AvgError
+			res.Best = va.Version
+		}
+	}
+	return res, nil
+}
+
+// calibrateAndTestMPI calibrates one version on train and scores percent
+// rate errors on test.
+func calibrateAndTestMPI(ctx context.Context, o Options, v mpisim.Version, train, test *groundtruth.MPIDataset) (*VersionAccuracy, error) {
+	r, err := o.calibrateBest(ctx, v.Space(), loss.MPIEvaluator(v, loss.MPIL1, train, o.MPIRounds), algorithms()[1], o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	simStart := time.Now()
+	errs, err := loss.MPIRateErrors(v, v.DecodeConfig(r.Best.Point), test, o.MPIRounds)
+	if err != nil {
+		return nil, err
+	}
+	simMicros := float64(time.Since(simStart).Microseconds()) / float64(len(test.Measurements))
+	return &VersionAccuracy{
+		Version:   v.Name(),
+		AvgError:  stats.Mean(errs),
+		MinError:  stats.Min(errs),
+		MaxError:  stats.Max(errs),
+		TrainLoss: r.Best.Loss,
+		Params:    v.Space().Dim(),
+		SimMicros: simMicros,
+	}, nil
+}
+
+// Baseline2Result is Section 6.4's no-calibration comparison.
+type Baseline2Result struct {
+	SpecError, CalibratedError float64
+	PerBenchmark               map[mpi.Benchmark]float64
+}
+
+// SpecBasedMPIConfig returns parameter values read off Summit's public
+// specifications: 25 GB/s node injection bandwidth, ~1 µs switch
+// latency, and an ideal protocol (factor 1 everywhere) — datasheets do
+// not document MPI protocol inefficiencies.
+func SpecBasedMPIConfig() mpisim.Config {
+	return mpisim.Config{
+		BackboneBW:  25e9 * 64, // aggregate fabric guess
+		BackboneLat: 1e-6,
+		LinkBW:      25e9,
+		LinkLat:     1e-6,
+		NICBW:       25e9,
+		XBusBW:      64e9,
+		PCIeBW:      32e9,
+		Protocol: mpi.Protocol{
+			Factors:      [3]float64{1, 1, 1},
+			ChangePoints: mpisim.KnownChangePoints,
+		},
+	}
+}
+
+// Baseline2 measures the spec-based lowest-detail MPI simulator against
+// its calibrated counterpart.
+func Baseline2(ctx context.Context, o Options) (*Baseline2Result, error) {
+	nodes := o.MPINodes[:1]
+	ds, err := mpiTrainData(o, p2pBenchmarks, nodes)
+	if err != nil {
+		return nil, err
+	}
+	v := mpisim.LowestDetail
+	specErrs, err := loss.MPIRateErrors(v, SpecBasedMPIConfig(), ds, o.MPIRounds)
+	if err != nil {
+		return nil, err
+	}
+	va, err := calibrateAndTestMPI(ctx, o, v, ds, ds)
+	if err != nil {
+		return nil, err
+	}
+	out := &Baseline2Result{
+		SpecError:       stats.Mean(specErrs),
+		CalibratedError: va.AvgError,
+		PerBenchmark:    make(map[mpi.Benchmark]float64),
+	}
+	per := make(map[mpi.Benchmark][]float64)
+	for i, m := range ds.Measurements {
+		per[m.Benchmark] = append(per[m.Benchmark], specErrs[i])
+	}
+	for b, errs := range per {
+		out.PerBenchmark[b] = stats.Mean(errs)
+	}
+	return out, nil
+}
+
+// Section65Result reports the generalization study of Section 6.5.
+type Section65Result struct {
+	// StencilFromP2P is the average percent rate error simulating
+	// Stencil with a calibration computed from the P2P benchmarks;
+	// StencilNative uses a calibration computed from Stencil itself.
+	StencilFromP2P, StencilNative float64
+	// ScaleErrors[nodes] is the average percent rate error at each node
+	// count using the calibration computed at the smallest count.
+	ScaleErrors map[int]float64
+	// TrainNodes is the node count the calibration was computed at.
+	TrainNodes int
+}
+
+// Section65 tests cross-benchmark and cross-scale generalization of the
+// highest-detail MPI simulator's calibration.
+func Section65(ctx context.Context, o Options) (*Section65Result, error) {
+	v := mpisim.HighestDetail
+	trainNodes := o.MPINodes[:1]
+	out := &Section65Result{ScaleErrors: make(map[int]float64), TrainNodes: trainNodes[0]}
+
+	// Cross-benchmark: calibrate on P2P, evaluate on Stencil.
+	p2p, err := mpiTrainData(o, p2pBenchmarks, trainNodes)
+	if err != nil {
+		return nil, err
+	}
+	stencil, err := mpiTrainData(o, []mpi.Benchmark{mpi.Stencil}, trainNodes)
+	if err != nil {
+		return nil, err
+	}
+	fromP2P, err := calibrateAndTestMPI(ctx, o, v, p2p, stencil)
+	if err != nil {
+		return nil, err
+	}
+	out.StencilFromP2P = fromP2P.AvgError
+	native, err := calibrateAndTestMPI(ctx, o, v, stencil, stencil)
+	if err != nil {
+		return nil, err
+	}
+	out.StencilNative = native.AvgError
+
+	// Cross-scale: calibrate at the smallest count, evaluate at each
+	// larger count.
+	r, err := o.calibrateBest(ctx, v.Space(), loss.MPIEvaluator(v, loss.MPIL1, p2p, o.MPIRounds), algorithms()[1], o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := v.DecodeConfig(r.Best.Point)
+	for _, n := range o.MPINodes {
+		ds, err := mpiTrainData(o, p2pBenchmarks, []int{n})
+		if err != nil {
+			return nil, err
+		}
+		errs, err := loss.MPIRateErrors(v, cfg, ds, o.MPIRounds)
+		if err != nil {
+			return nil, err
+		}
+		out.ScaleErrors[n] = stats.Mean(errs)
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+// Package experiments implements one driver per table and figure of the
+// paper's evaluation (see DESIGN.md's per-experiment index). Every driver
+// takes an Options value that scales the experiment: the defaults run in
+// seconds to minutes on a laptop; Full() approaches the paper's scale
+// (which used 24–48 h calibration budgets on a 48-core node).
+package experiments
+
+import (
+	"context"
+	"runtime"
+	"time"
+
+	"simcal/internal/core"
+	"simcal/internal/opt"
+	"simcal/internal/wfgen"
+)
+
+// Options scales every experiment.
+type Options struct {
+	// Seed drives all randomness (data generation and search).
+	Seed int64
+	// Workers is the loss-evaluation parallelism (default GOMAXPROCS).
+	Workers int
+	// MaxEvals bounds each calibration's loss evaluations — the budget
+	// proxy used instead of the paper's wall-clock 24 h/48 h budgets so
+	// results stay machine-independent. Budget, when non-zero, applies a
+	// wall-clock cap too.
+	MaxEvals int
+	Budget   time.Duration
+	// Restarts re-runs each version calibration with distinct seeds and
+	// keeps the lowest training loss, the standard defense against
+	// unlucky search trajectories at small budgets. Defaults to 1.
+	Restarts int
+	// TrainingBudget is the wall-clock budget per calibration in the
+	// Figure 3 training-cost study. Figure 3 *must* use a time budget
+	// rather than an evaluation count: the paper's effect — larger
+	// training datasets can be detrimental — exists precisely because
+	// costlier loss evaluations buy fewer optimizer iterations within a
+	// fixed time. Defaults to 3 s (the paper used 24 h).
+	TrainingBudget time.Duration
+
+	// Case study #1 scale.
+	WFApps    []wfgen.App
+	WFSizeIdx []int // indices into Table1 sizes (default {0,1,2,3,4})
+	WFWorkIdx []int
+	WFFootIdx []int
+	WFWorkers []int // worker-count grid (default {1,2,4,6})
+	Reps      int   // ground-truth repetitions (default 5)
+
+	// Case study #2 scale.
+	MPINodes    []int     // node counts standing in for 128/256/512
+	MPIMsgSizes []float64 // message sizes (default 2^10…2^22)
+	MPIRounds   int       // benchmark rounds per execution
+}
+
+// Default returns the fast configuration used by the benchmark harness:
+// reduced workload grids and evaluation budgets that preserve every
+// qualitative comparison the paper makes.
+func Default() Options {
+	return Options{
+		Seed:           1,
+		Workers:        runtime.GOMAXPROCS(0),
+		MaxEvals:       300,
+		Restarts:       3,
+		TrainingBudget: 3 * time.Second,
+		WFApps:         []wfgen.App{wfgen.Epigenomics, wfgen.Seismology},
+		WFSizeIdx:      []int{0, 1, 2},
+		WFWorkIdx:      []int{0, 3},
+		WFFootIdx:      []int{0, 1, 2},
+		WFWorkers:      []int{1, 2, 4},
+		Reps:           3,
+		MPINodes:       []int{8, 16, 32},
+		MPIMsgSizes: []float64{
+			1 << 10, 1 << 13, 1 << 16, 1 << 19, 1 << 22,
+		},
+		MPIRounds: 2,
+	}
+}
+
+// Full returns the paper-scale configuration: the complete Table 1 grid,
+// 128/256/512-node MPI runs, the full message-size sweep, five
+// repetitions, and a much larger evaluation budget. Expect hours.
+func Full() Options {
+	o := Default()
+	o.MaxEvals = 2000
+	o.TrainingBudget = 60 * time.Second
+	o.WFApps = wfgen.RealApps
+	o.WFSizeIdx = nil // full
+	o.WFWorkIdx = nil
+	o.WFFootIdx = nil
+	o.WFWorkers = []int{1, 2, 4, 6}
+	o.Reps = 5
+	o.MPINodes = []int{128, 256, 512}
+	o.MPIMsgSizes = nil // full sweep
+	o.MPIRounds = 4
+	return o
+}
+
+// calibrator assembles a core.Calibrator from the options.
+func (o Options) calibrator(space core.Space, sim core.Simulator, alg core.Algorithm, seed int64) *core.Calibrator {
+	return &core.Calibrator{
+		Space:          space,
+		Simulator:      sim,
+		Algorithm:      alg,
+		Budget:         o.Budget,
+		MaxEvaluations: o.MaxEvals,
+		Workers:        o.Workers,
+		Seed:           seed,
+	}
+}
+
+// calibrateBest runs the calibration o.Restarts times with distinct
+// seeds and returns the result with the lowest training loss.
+func (o Options) calibrateBest(ctx context.Context, space core.Space, sim core.Simulator, alg core.Algorithm, seed int64) (*core.Result, error) {
+	restarts := o.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	var best *core.Result
+	for i := 0; i < restarts; i++ {
+		r, err := o.calibrator(space, sim, alg, seed+int64(1000*i)).Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || r.Best.Loss < best.Best.Loss {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// algorithms returns the algorithm set compared in Tables 3 and 5 (the
+// paper omits GRID and GRAD from the result tables after preliminary
+// experiments showed them uncompetitive; they remain available in opt).
+func algorithms() []core.Algorithm {
+	return []core.Algorithm{opt.Random{}, opt.NewBOGP()}
+}

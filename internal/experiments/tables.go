@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"simcal/internal/mpisim"
+	"simcal/internal/wfgen"
+	"simcal/internal/wfsim"
+)
+
+// Table1Row describes one application's benchmark grid.
+type Table1Row struct {
+	App          wfgen.App
+	Sizes        []int
+	WorkSeconds  []float64
+	FootprintsMB []float64
+	// Generated confirms every size generates a valid workflow of
+	// exactly that size.
+	Generated bool
+}
+
+// Table1Rows reproduces the paper's Table 1 and validates every
+// configuration by generating it.
+func Table1Rows() []Table1Row {
+	var rows []Table1Row
+	for _, app := range wfgen.AllApps {
+		spec := wfgen.Table1[app]
+		row := Table1Row{App: app, Sizes: spec.Sizes, WorkSeconds: spec.WorkSeconds, FootprintsMB: spec.FootprintsMB, Generated: true}
+		for _, n := range spec.Sizes {
+			w := wfgen.Generate(wfgen.Spec{App: app, Tasks: n, WorkSeconds: 1, FootprintBytes: 150 * wfgen.MB})
+			if w.Size() != n || w.Validate() != nil {
+				row.Generated = false
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table2Row describes one workflow simulator version (Table 2).
+type Table2Row struct {
+	Version string
+	Params  int
+	Names   []string
+}
+
+// Table2Rows enumerates the 12 workflow simulator versions and their
+// calibratable parameters.
+func Table2Rows() []Table2Row {
+	var rows []Table2Row
+	for _, v := range wfsim.AllVersions() {
+		sp := v.Space()
+		row := Table2Row{Version: v.Name(), Params: sp.Dim()}
+		for _, s := range sp {
+			row.Names = append(row.Names, s.Name)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table4Row describes one MPI simulator version (Table 4).
+type Table4Row struct {
+	Version string
+	Params  int
+	Names   []string
+}
+
+// Table4Rows enumerates the 16 MPI simulator versions and their
+// calibratable parameters.
+func Table4Rows() []Table4Row {
+	var rows []Table4Row
+	for _, v := range mpisim.AllVersions() {
+		sp := v.Space()
+		row := Table4Row{Version: v.Name(), Params: sp.Dim()}
+		for _, s := range sp {
+			row.Names = append(row.Names, s.Name)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatTable renders rows of cells as an aligned text table.
+func FormatTable(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	var sep []string
+	for _, w := range width {
+		sep = append(sep, strings.Repeat("-", w))
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// FormatMatrix renders a map[alg]map[loss]float64 as a table with one
+// row per algorithm.
+func FormatMatrix(title string, algs, losses []string, m map[string]map[string]float64) string {
+	header := append([]string{title}, losses...)
+	var rows [][]string
+	for _, a := range algs {
+		row := []string{a}
+		for _, l := range losses {
+			row = append(row, fmt.Sprintf("%.2f", m[a][l]))
+		}
+		rows = append(rows, row)
+	}
+	return FormatTable(header, rows)
+}
+
+// FormatVersionAccuracy renders Figure 2 / Figure 5-style results.
+func FormatVersionAccuracy(vs []VersionAccuracy) string {
+	header := []string{"version", "params", "avg%err", "min%err", "max%err", "train-loss", "sim-µs"}
+	var rows [][]string
+	for _, v := range vs {
+		rows = append(rows, []string{
+			v.Version,
+			fmt.Sprintf("%d", v.Params),
+			fmt.Sprintf("%.1f", v.AvgError),
+			fmt.Sprintf("%.1f", v.MinError),
+			fmt.Sprintf("%.1f", v.MaxError),
+			fmt.Sprintf("%.4f", v.TrainLoss),
+			fmt.Sprintf("%.0f", v.SimMicros),
+		})
+	}
+	return FormatTable(header, rows)
+}
+
+// FormatConvergence renders a loss-vs-time curve, subsampled.
+func FormatConvergence(points []ConvergencePoint, maxRows int) string {
+	header := []string{"evals", "elapsed", "best-loss"}
+	var rows [][]string
+	stride := 1
+	if maxRows > 0 && len(points) > maxRows {
+		stride = len(points)/maxRows + 1
+	}
+	for i := 0; i < len(points); i += stride {
+		p := points[i]
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Evaluations),
+			p.Elapsed.Round(1000000).String(),
+			fmt.Sprintf("%.4f", p.Loss),
+		})
+	}
+	if len(points) > 0 && (len(points)-1)%stride != 0 {
+		p := points[len(points)-1]
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Evaluations),
+			p.Elapsed.Round(1000000).String(),
+			fmt.Sprintf("%.4f", p.Loss),
+		})
+	}
+	return FormatTable(header, rows)
+}
+
+// FormatFigure3 renders the training-cost-vs-loss scatter as rows sorted
+// by cost.
+func FormatFigure3(r *Figure3Result) string {
+	pts := append([]Figure3Point(nil), r.Points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Cost < pts[j].Cost })
+	header := []string{"app", "scheme", "workers", "tasks", "cost(s)", "test-loss", "ref"}
+	var rows [][]string
+	for _, p := range pts {
+		ref := ""
+		if p.Reference {
+			ref = "*"
+		}
+		rows = append(rows, []string{
+			string(p.App), p.Scheme,
+			fmt.Sprintf("%d", p.Workers), fmt.Sprintf("%d", p.Tasks),
+			fmt.Sprintf("%.0f", p.Cost), fmt.Sprintf("%.4f", p.TestLoss), ref,
+		})
+	}
+	return FormatTable(header, rows)
+}

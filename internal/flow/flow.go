@@ -1,0 +1,442 @@
+// Package flow implements a fluid activity model on top of the
+// discrete-event kernel: activities (data transfers, computations)
+// consume capacity on one or more shared resources (links, CPUs, disks,
+// buses), and the instantaneous rate of each activity is determined by
+// progressive-filling max-min fairness — the same bandwidth-sharing model
+// family used by SimGrid, the framework underlying the paper's simulators.
+//
+// Whenever the set of activities changes, rates are recomputed and the
+// next completion is scheduled on the engine. Between changes all rates
+// are constant, so the simulation advances in O(changes) steps rather
+// than fixed time steps.
+package flow
+
+import (
+	"fmt"
+	"math"
+
+	"simcal/internal/des"
+)
+
+const workEps = 1e-9
+
+// Resource is a shared capacity (e.g. a link's bandwidth in bytes/s, a
+// core's speed in ops/s, a disk's bandwidth in bytes/s).
+type Resource struct {
+	Name     string
+	Capacity float64
+}
+
+// NewResource returns a resource with the given capacity. Capacity must
+// be positive or zero (a zero-capacity resource stalls its users).
+func NewResource(name string, capacity float64) *Resource {
+	if capacity < 0 || math.IsNaN(capacity) {
+		panic(fmt.Sprintf("flow: resource %q with invalid capacity %g", name, capacity))
+	}
+	return &Resource{Name: name, Capacity: capacity}
+}
+
+// Usage declares that an activity consumes Weight × rate units/s of a
+// resource while running. Weight is typically 1.
+type Usage struct {
+	Res    *Resource
+	Weight float64
+}
+
+// Activity is a unit of fluid work in progress.
+type Activity struct {
+	Name      string
+	initial   float64
+	remaining float64
+	bound     float64 // max rate; 0 means unbounded
+	usage     []Usage
+	uidx      []int // resource indices, parallel to usage
+	onDone    func()
+	rate      float64
+	done      bool
+	canceled  bool
+	fixedGen  int // solver generation at which the rate was fixed
+	sys       *System
+}
+
+// Rate returns the activity's current allocated rate in units/s.
+func (a *Activity) Rate() float64 { return a.rate }
+
+// Remaining returns the work remaining as of the last model update.
+func (a *Activity) Remaining() float64 { return a.remaining }
+
+// Done reports whether the activity has completed.
+func (a *Activity) Done() bool { return a.done }
+
+// Cancel removes an in-flight activity without firing its completion
+// callback. Canceling a finished activity is a no-op.
+func (a *Activity) Cancel() {
+	if a.done || a.canceled {
+		return
+	}
+	a.canceled = true
+	a.sys.remove(a)
+}
+
+// System manages the set of active fluid activities over an engine.
+type System struct {
+	eng        *des.Engine
+	active     map[*Activity]struct{}
+	lastUpdate float64
+	completion *des.Event
+	inUpdate   bool
+
+	// Solver state. Resources are registered once and indexed; scratch
+	// arrays are reused across solves to avoid per-solve allocation.
+	resIdx    map[*Resource]int
+	resources []*Resource
+	capLeft   []float64
+	weightSum []float64
+	resetGen  []int
+	users     [][]*Activity
+	solveGen  int
+}
+
+// NewSystem returns an empty fluid system bound to eng.
+func NewSystem(eng *des.Engine) *System {
+	return &System{
+		eng:    eng,
+		active: make(map[*Activity]struct{}),
+		resIdx: make(map[*Resource]int),
+	}
+}
+
+// register assigns (or returns) the index of a resource.
+func (s *System) register(r *Resource) int {
+	if i, ok := s.resIdx[r]; ok {
+		return i
+	}
+	i := len(s.resources)
+	s.resIdx[r] = i
+	s.resources = append(s.resources, r)
+	s.capLeft = append(s.capLeft, 0)
+	s.weightSum = append(s.weightSum, 0)
+	s.resetGen = append(s.resetGen, 0)
+	s.users = append(s.users, nil)
+	return i
+}
+
+// Engine returns the engine the system schedules on.
+func (s *System) Engine() *des.Engine { return s.eng }
+
+// ActiveCount returns the number of in-flight activities.
+func (s *System) ActiveCount() int { return len(s.active) }
+
+// StartActivity begins a fluid activity with the given total work,
+// optional rate bound (0 = unbounded), resource usages, and completion
+// callback (may be nil). An activity with zero work completes via an
+// immediate event. The returned activity can be canceled.
+func (s *System) StartActivity(name string, work, bound float64, usage []Usage, onDone func()) *Activity {
+	if work < 0 || math.IsNaN(work) {
+		panic(fmt.Sprintf("flow: activity %q with invalid work %g", name, work))
+	}
+	if bound < 0 {
+		panic(fmt.Sprintf("flow: activity %q with negative bound", name))
+	}
+	for _, u := range usage {
+		if u.Weight <= 0 || u.Res == nil {
+			panic(fmt.Sprintf("flow: activity %q with invalid usage", name))
+		}
+	}
+	a := &Activity{Name: name, initial: work, remaining: work, bound: bound, usage: usage, onDone: onDone, sys: s}
+	a.uidx = make([]int, len(usage))
+	for i, u := range usage {
+		a.uidx[i] = s.register(u.Res)
+	}
+	s.advance()
+	s.active[a] = struct{}{}
+	s.reschedule()
+	return a
+}
+
+// Batch runs fn, deferring rate recomputation until fn returns, so that
+// many activities can be started (or canceled) with a single max-min
+// solve. Nested batches are flattened. Simulators that launch hundreds
+// of simultaneous transfers (e.g. an MPI exchange round) should wrap
+// them in a Batch.
+func (s *System) Batch(fn func()) {
+	if s.inUpdate {
+		fn()
+		return
+	}
+	s.inUpdate = true
+	fn()
+	s.inUpdate = false
+	s.reschedule()
+}
+
+// remove drops an activity from the active set and recomputes the
+// schedule.
+func (s *System) remove(a *Activity) {
+	s.advance()
+	delete(s.active, a)
+	s.reschedule()
+}
+
+// advance integrates all activity progress from lastUpdate to now.
+func (s *System) advance() {
+	now := s.eng.Now()
+	dt := now - s.lastUpdate
+	s.lastUpdate = now
+	if dt <= 0 {
+		return
+	}
+	for a := range s.active {
+		if math.IsInf(a.rate, 1) {
+			a.remaining = 0
+			continue
+		}
+		a.remaining -= a.rate * dt
+		if a.remaining < a.eps() {
+			a.remaining = 0
+		}
+	}
+}
+
+// eps is the completion threshold: relative to the activity's initial
+// work so that float64 rounding on large work values (e.g. 10^9 ops)
+// cannot strand a microscopic residue that forces extra tiny steps.
+func (a *Activity) eps() float64 {
+	e := workEps * a.initial
+	if e < workEps {
+		e = workEps
+	}
+	return e
+}
+
+// timeEps is the smallest delay representable at the current clock
+// value: below it, now+dt == now and an event could fire forever without
+// advancing time. Activities whose remaining time falls under it are
+// complete for all simulation purposes.
+func (s *System) timeEps() float64 {
+	now := s.eng.Now()
+	ulp := math.Nextafter(now, math.Inf(1)) - now
+	if ulp < 1e-12 {
+		ulp = 1e-12
+	}
+	return 2 * ulp
+}
+
+// effectivelyDone reports whether the activity has exhausted its work or
+// cannot progress measurably within the clock's float64 resolution.
+func (a *Activity) effectivelyDone(timeEps float64) bool {
+	if a.remaining <= a.eps() || math.IsInf(a.rate, 1) {
+		return true
+	}
+	return a.rate > 0 && a.remaining/a.rate <= timeEps
+}
+
+// reschedule recomputes rates and (re)schedules the next completion
+// event. During a batch update it is deferred until the batch ends.
+func (s *System) reschedule() {
+	if s.inUpdate {
+		return
+	}
+	s.solve()
+	if s.completion != nil {
+		s.completion.Cancel()
+		s.completion = nil
+	}
+	te := s.timeEps()
+	dt := math.Inf(1)
+	for a := range s.active {
+		var d float64
+		switch {
+		case a.effectivelyDone(te):
+			d = 0
+		case a.rate <= 0:
+			continue // stalled; cannot complete
+		default:
+			d = a.remaining / a.rate
+		}
+		if d < dt {
+			dt = d
+		}
+	}
+	if math.IsInf(dt, 1) {
+		return
+	}
+	if dt > 0 && dt < te {
+		// Never schedule below the clock's resolution: the event would
+		// fire at an unchanged Now() and make no progress.
+		dt = te
+	}
+	s.completion = s.eng.After(dt, s.onCompletion)
+}
+
+// onCompletion fires completion callbacks for every activity that has
+// exhausted its work, then reschedules. Callbacks may start new
+// activities; those are folded into a single rate recomputation.
+func (s *System) onCompletion() {
+	s.completion = nil
+	s.advance()
+	te := s.timeEps()
+	var finished []*Activity
+	for a := range s.active {
+		if a.effectivelyDone(te) {
+			finished = append(finished, a)
+		}
+	}
+	// Deterministic callback order: by name, then pointer identity is
+	// avoided entirely by sorting on insertion order via names. Ties keep
+	// map order out of the picture for simulators that name activities
+	// uniquely.
+	sortActivities(finished)
+	s.inUpdate = true
+	for _, a := range finished {
+		delete(s.active, a)
+		a.done = true
+		a.remaining = 0
+	}
+	for _, a := range finished {
+		if a.onDone != nil {
+			a.onDone()
+		}
+	}
+	s.inUpdate = false
+	s.reschedule()
+}
+
+// sortActivities orders activities by name for deterministic callback
+// sequencing.
+func sortActivities(as []*Activity) {
+	for i := 1; i < len(as); i++ {
+		for j := i; j > 0 && as[j].Name < as[j-1].Name; j-- {
+			as[j], as[j-1] = as[j-1], as[j]
+		}
+	}
+}
+
+// solve computes max-min fair rates for all active activities using
+// progressive filling: repeatedly find the tightest constraint (a
+// resource's fair share or an activity's rate bound), freeze the
+// activities it limits, and continue with the remaining capacity.
+//
+// The implementation is allocation-light and index-based: per-resource
+// remaining capacity, unfixed weight sums, and user lists live in
+// reusable arrays, and fixing an activity incrementally updates the
+// weight sums of the resources it touches. Complexity is
+// O(A·u + iterations·R) where A is the number of activities, u the
+// usages per activity, and R the touched resources — versus the naive
+// O(iterations·A·u) with per-iteration map rebuilds.
+func (s *System) solve() {
+	if len(s.active) == 0 {
+		return
+	}
+	s.solveGen++
+	gen := s.solveGen
+	touched := make([]int, 0, 16)
+	var bounded []*Activity
+	unfixed := 0
+	for a := range s.active {
+		a.rate = 0
+		a.fixedGen = 0
+		unfixed++
+		if a.bound > 0 {
+			bounded = append(bounded, a)
+		}
+	}
+	// Init per-resource state exactly once per solve using generation
+	// stamps, then accumulate weights and user lists.
+	for a := range s.active {
+		for _, ri := range a.uidx {
+			if s.resetGen[ri] != gen {
+				s.resetGen[ri] = gen
+				touched = append(touched, ri)
+				s.capLeft[ri] = s.resources[ri].Capacity
+				s.weightSum[ri] = 0
+				s.users[ri] = s.users[ri][:0]
+			}
+		}
+	}
+	for a := range s.active {
+		for i, ri := range a.uidx {
+			s.weightSum[ri] += a.usage[i].Weight
+			s.users[ri] = append(s.users[ri], a)
+		}
+	}
+
+	// fix freezes an activity's rate and removes its weight from its
+	// resources.
+	fix := func(a *Activity, rate float64) {
+		a.rate = rate
+		a.fixedGen = gen
+		unfixed--
+		for i, ri := range a.uidx {
+			w := a.usage[i].Weight
+			s.capLeft[ri] -= w * rate
+			if s.capLeft[ri] < 0 {
+				s.capLeft[ri] = 0
+			}
+			s.weightSum[ri] -= w
+			if s.weightSum[ri] < 1e-12 {
+				s.weightSum[ri] = 0
+			}
+		}
+	}
+
+	for unfixed > 0 {
+		best := math.Inf(1)
+		bottleneck := -1
+		for _, ri := range touched {
+			if s.weightSum[ri] <= 0 {
+				continue
+			}
+			share := s.capLeft[ri] / s.weightSum[ri]
+			if share < best {
+				best = share
+				bottleneck = ri
+			}
+		}
+		boundLimited := false
+		for _, a := range bounded {
+			if a.fixedGen != gen && a.bound < best {
+				best = a.bound
+				boundLimited = true
+			}
+		}
+		if math.IsInf(best, 1) {
+			// No constraints left: remaining activities finish instantly.
+			for a := range s.active {
+				if a.fixedGen != gen {
+					a.rate = math.Inf(1)
+					a.fixedGen = gen
+					unfixed--
+				}
+			}
+			return
+		}
+		if best < 0 {
+			best = 0
+		}
+		if boundLimited {
+			for _, a := range bounded {
+				if a.fixedGen != gen && a.bound <= best {
+					fix(a, best)
+				}
+			}
+			continue
+		}
+		fixedAny := false
+		for _, a := range s.users[bottleneck] {
+			if a.fixedGen == gen {
+				continue
+			}
+			fix(a, best)
+			fixedAny = true
+		}
+		if !fixedAny {
+			// Defensive: numerically stuck — freeze everything left.
+			for a := range s.active {
+				if a.fixedGen != gen {
+					fix(a, best)
+				}
+			}
+		}
+	}
+}

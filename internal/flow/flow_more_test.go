@@ -1,0 +1,194 @@
+package flow
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"simcal/internal/des"
+)
+
+// TestSolverStateReuseAcrossWaves: the index-based solver reuses scratch
+// arrays; run many waves of activities over the same resources and check
+// the allocations stay exact.
+func TestSolverStateReuseAcrossWaves(t *testing.T) {
+	eng := des.NewEngine()
+	sys := NewSystem(eng)
+	link := NewResource("link", 100)
+	other := NewResource("other", 50)
+	var completions []float64
+	var wave func(k int)
+	wave = func(k int) {
+		if k >= 20 {
+			return
+		}
+		n := 1 + k%4
+		remaining := n
+		for i := 0; i < n; i++ {
+			res := link
+			if i%2 == 1 {
+				res = other
+			}
+			sys.StartActivity(fmt.Sprintf("w%d-%d", k, i), 100, 0, []Usage{{res, 1}}, func() {
+				remaining--
+				if remaining == 0 {
+					completions = append(completions, eng.Now())
+					wave(k + 1)
+				}
+			})
+		}
+	}
+	wave(0)
+	if _, err := eng.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if len(completions) != 20 {
+		t.Fatalf("waves completed = %d, want 20", len(completions))
+	}
+	for i := 1; i < len(completions); i++ {
+		if completions[i] <= completions[i-1] {
+			t.Fatal("waves out of order")
+		}
+	}
+}
+
+// TestCancelInsideBatch: canceling during a batch must not corrupt the
+// schedule.
+func TestCancelInsideBatch(t *testing.T) {
+	eng := des.NewEngine()
+	sys := NewSystem(eng)
+	link := NewResource("link", 100)
+	var done []string
+	a := sys.StartActivity("a", 1000, 0, []Usage{{link, 1}}, func() { done = append(done, "a") })
+	sys.Batch(func() {
+		a.Cancel()
+		sys.StartActivity("b", 500, 0, []Usage{{link, 1}}, func() { done = append(done, "b") })
+	})
+	if _, err := eng.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 1 || done[0] != "b" {
+		t.Errorf("completions = %v, want [b]", done)
+	}
+}
+
+// TestDoubleCancelAndLateCancel: cancel twice, and cancel after done.
+func TestDoubleCancelAndLateCancel(t *testing.T) {
+	eng := des.NewEngine()
+	sys := NewSystem(eng)
+	link := NewResource("link", 100)
+	a := sys.StartActivity("a", 100, 0, []Usage{{link, 1}}, nil)
+	a.Cancel()
+	a.Cancel() // no-op
+	b := sys.StartActivity("b", 100, 0, []Usage{{link, 1}}, nil)
+	if _, err := eng.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Done() {
+		t.Error("b never completed")
+	}
+	b.Cancel() // canceling a finished activity is a no-op
+	if !b.Done() {
+		t.Error("late cancel corrupted state")
+	}
+}
+
+// TestMultipleUsagesOnSameResource: an activity can consume a resource
+// twice (e.g. a loopback route crossing a link both ways).
+func TestMultipleUsagesOnSameResource(t *testing.T) {
+	eng := des.NewEngine()
+	sys := NewSystem(eng)
+	link := NewResource("link", 100)
+	var doneAt float64
+	sys.StartActivity("loop", 100, 0, []Usage{{link, 1}, {link, 1}}, func() { doneAt = eng.Now() })
+	if _, err := eng.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	// Weight 2 total → rate 50 → 2 s.
+	if math.Abs(doneAt-2) > 1e-9 {
+		t.Errorf("done at %v, want 2", doneAt)
+	}
+}
+
+// TestTinyResidueResolution reproduces the float64 time-resolution
+// deadlock fixed in the kernel: an activity whose remaining time falls
+// below the ulp of a large clock value must still complete.
+func TestTinyResidueResolution(t *testing.T) {
+	eng := des.NewEngine()
+	sys := NewSystem(eng)
+	link := NewResource("link", 8.3e10) // very fast resource
+	done := false
+	// Advance the clock far first, so ulp(now) is large.
+	eng.At(10948.7, func() {
+		sys.StartActivity("late", 0.06, 0, []Usage{{link, 1}}, func() { done = true })
+	})
+	if _, err := eng.Run(10000); err != nil {
+		t.Fatalf("kernel looped: %v", err)
+	}
+	if !done {
+		t.Fatal("tiny activity never completed")
+	}
+}
+
+// TestManyConcurrentHeterogeneousActivities is a stress test of the
+// indexed solver: hundreds of activities across dozens of resources with
+// mixed weights and bounds must conserve capacity.
+func TestManyConcurrentHeterogeneousActivities(t *testing.T) {
+	eng := des.NewEngine()
+	sys := NewSystem(eng)
+	var resources []*Resource
+	for i := 0; i < 24; i++ {
+		resources = append(resources, NewResource(fmt.Sprintf("r%d", i), 100+float64(i)*10))
+	}
+	var acts []*Activity
+	for i := 0; i < 300; i++ {
+		usage := []Usage{
+			{resources[i%24], 1},
+			{resources[(i*7+3)%24], 0.5},
+		}
+		bound := 0.0
+		if i%5 == 0 {
+			bound = 3 + float64(i%11)
+		}
+		acts = append(acts, sys.StartActivity(fmt.Sprintf("a%d", i), 1e6, bound, usage, nil))
+	}
+	sys.solve()
+	load := make(map[*Resource]float64)
+	for _, a := range acts {
+		if a.Rate() < 0 {
+			t.Fatal("negative rate")
+		}
+		if a.bound > 0 && a.Rate() > a.bound+1e-9 {
+			t.Fatal("bound violated")
+		}
+		for _, u := range a.usage {
+			load[u.Res] += u.Weight * a.Rate()
+		}
+	}
+	for r, l := range load {
+		if l > r.Capacity+1e-6 {
+			t.Fatalf("resource %s overloaded: %v > %v", r.Name, l, r.Capacity)
+		}
+	}
+}
+
+// TestMaxMinIsParetoOptimalOnSingleResource: on one shared resource no
+// activity can be given more rate without taking from another —
+// i.e. the resource is saturated whenever someone is unbounded.
+func TestMaxMinWorkConservation(t *testing.T) {
+	eng := des.NewEngine()
+	sys := NewSystem(eng)
+	link := NewResource("link", 100)
+	var acts []*Activity
+	for i := 0; i < 5; i++ {
+		acts = append(acts, sys.StartActivity(fmt.Sprintf("a%d", i), 1e6, 0, []Usage{{link, 1}}, nil))
+	}
+	sys.solve()
+	total := 0.0
+	for _, a := range acts {
+		total += a.Rate()
+	}
+	if math.Abs(total-100) > 1e-9 {
+		t.Errorf("total rate %v, want full capacity 100", total)
+	}
+}

@@ -1,0 +1,137 @@
+package groundtruth
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"simcal/internal/mpi"
+	"simcal/internal/wfgen"
+)
+
+// The on-disk dataset formats: self-describing JSON documents so that
+// ground truth generated once (expensive at paper scale) can be reused
+// across calibration sessions and shared between machines, like the
+// paper's published execution logs.
+
+type wfDoc struct {
+	Kind   string       `json:"kind"` // "simcal-workflow-groundtruth"
+	Groups []wfGroupDoc `json:"groups"`
+}
+
+type wfGroupDoc struct {
+	App       wfgen.App  `json:"app"`
+	Tasks     int        `json:"tasks"`
+	WorkSec   float64    `json:"workSeconds"`
+	Footprint float64    `json:"footprintBytes"`
+	Workers   int        `json:"workers"`
+	Runs      []wfRunDoc `json:"runs"`
+}
+
+type wfRunDoc struct {
+	Makespan  float64            `json:"makespan"`
+	TaskTimes map[string]float64 `json:"taskTimes"`
+}
+
+const wfDocKind = "simcal-workflow-groundtruth"
+
+// WriteJSON serializes the workflow dataset.
+func (d *WFDataset) WriteJSON(out io.Writer) error {
+	doc := wfDoc{Kind: wfDocKind}
+	for _, g := range d.Groups {
+		gd := wfGroupDoc{
+			App: g.Spec.App, Tasks: g.Spec.Tasks,
+			WorkSec: g.Spec.WorkSeconds, Footprint: g.Spec.FootprintBytes,
+			Workers: g.Workers,
+		}
+		for _, r := range g.Runs {
+			gd.Runs = append(gd.Runs, wfRunDoc{Makespan: r.Makespan, TaskTimes: r.TaskTimes})
+		}
+		doc.Groups = append(doc.Groups, gd)
+	}
+	enc := json.NewEncoder(out)
+	return enc.Encode(doc)
+}
+
+// ReadWFDataset parses a workflow dataset previously written with
+// WriteJSON and recomputes the per-group aggregates.
+func ReadWFDataset(in io.Reader) (*WFDataset, error) {
+	var doc wfDoc
+	if err := json.NewDecoder(in).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("groundtruth: decoding workflow dataset: %w", err)
+	}
+	if doc.Kind != wfDocKind {
+		return nil, fmt.Errorf("groundtruth: unexpected document kind %q", doc.Kind)
+	}
+	ds := &WFDataset{}
+	for _, gd := range doc.Groups {
+		if gd.Workers < 1 || gd.Tasks < 1 {
+			return nil, fmt.Errorf("groundtruth: invalid group %v/%d", gd.App, gd.Tasks)
+		}
+		g := &WFGroup{
+			Spec: wfgen.Spec{
+				App: gd.App, Tasks: gd.Tasks,
+				WorkSeconds: gd.WorkSec, FootprintBytes: gd.Footprint,
+			},
+			Workers: gd.Workers,
+		}
+		for rep, rd := range gd.Runs {
+			if rd.Makespan <= 0 {
+				return nil, fmt.Errorf("groundtruth: group %s has non-positive makespan", g.Key())
+			}
+			g.Runs = append(g.Runs, &WFExecution{
+				Spec: g.Spec, Workers: g.Workers, Rep: rep,
+				Makespan: rd.Makespan, TaskTimes: rd.TaskTimes,
+			})
+		}
+		aggregateGroup(g)
+		ds.Groups = append(ds.Groups, g)
+	}
+	return ds, nil
+}
+
+type mpiDoc struct {
+	Kind         string       `json:"kind"` // "simcal-mpi-groundtruth"
+	Measurements []mpiMeasDoc `json:"measurements"`
+}
+
+type mpiMeasDoc struct {
+	Benchmark mpi.Benchmark `json:"benchmark"`
+	Nodes     int           `json:"nodes"`
+	MsgBytes  float64       `json:"msgBytes"`
+	Rates     []float64     `json:"rates"`
+}
+
+const mpiDocKind = "simcal-mpi-groundtruth"
+
+// WriteJSON serializes the MPI dataset.
+func (d *MPIDataset) WriteJSON(out io.Writer) error {
+	doc := mpiDoc{Kind: mpiDocKind}
+	for _, m := range d.Measurements {
+		doc.Measurements = append(doc.Measurements, mpiMeasDoc{
+			Benchmark: m.Benchmark, Nodes: m.Nodes, MsgBytes: m.MsgBytes, Rates: m.Rates,
+		})
+	}
+	return json.NewEncoder(out).Encode(doc)
+}
+
+// ReadMPIDataset parses an MPI dataset previously written with WriteJSON.
+func ReadMPIDataset(in io.Reader) (*MPIDataset, error) {
+	var doc mpiDoc
+	if err := json.NewDecoder(in).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("groundtruth: decoding MPI dataset: %w", err)
+	}
+	if doc.Kind != mpiDocKind {
+		return nil, fmt.Errorf("groundtruth: unexpected document kind %q", doc.Kind)
+	}
+	ds := &MPIDataset{}
+	for _, md := range doc.Measurements {
+		if md.Nodes < 2 || md.MsgBytes <= 0 || len(md.Rates) == 0 {
+			return nil, fmt.Errorf("groundtruth: invalid measurement %s@%d", md.Benchmark, md.Nodes)
+		}
+		ds.Measurements = append(ds.Measurements, &MPIMeasurement{
+			Benchmark: md.Benchmark, Nodes: md.Nodes, MsgBytes: md.MsgBytes, Rates: md.Rates,
+		})
+	}
+	return ds, nil
+}

@@ -1,0 +1,92 @@
+package groundtruth
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWFDatasetJSONRoundTrip(t *testing.T) {
+	ds, err := GenerateWorkflowData(smallWFOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWFDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Groups) != len(ds.Groups) {
+		t.Fatalf("groups = %d, want %d", len(back.Groups), len(ds.Groups))
+	}
+	for i, g := range ds.Groups {
+		b := back.Groups[i]
+		if b.Key() != g.Key() {
+			t.Errorf("group %d key %q != %q", i, b.Key(), g.Key())
+		}
+		if b.MeanMakespan != g.MeanMakespan {
+			t.Errorf("group %d mean makespan %v != %v", i, b.MeanMakespan, g.MeanMakespan)
+		}
+		if len(b.MeanTaskTimes) != len(g.MeanTaskTimes) {
+			t.Errorf("group %d task means lost", i)
+		}
+		if b.Cost() != g.Cost() {
+			t.Errorf("group %d cost %v != %v", i, b.Cost(), g.Cost())
+		}
+	}
+}
+
+func TestMPIDatasetJSONRoundTrip(t *testing.T) {
+	ds, err := GenerateMPIData(smallMPIOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMPIDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Measurements) != len(ds.Measurements) {
+		t.Fatalf("measurements = %d, want %d", len(back.Measurements), len(ds.Measurements))
+	}
+	for i, m := range ds.Measurements {
+		b := back.Measurements[i]
+		if b.Key() != m.Key() || b.MeanRate() != m.MeanRate() {
+			t.Errorf("measurement %d mismatch after round trip", i)
+		}
+	}
+}
+
+func TestReadWFDatasetRejectsBadDocs(t *testing.T) {
+	cases := []string{
+		"{not json",
+		`{"kind":"wrong","groups":[]}`,
+		`{"kind":"simcal-workflow-groundtruth","groups":[{"app":"chain","tasks":0,"workers":1,"runs":[]}]}`,
+		`{"kind":"simcal-workflow-groundtruth","groups":[{"app":"chain","tasks":5,"workers":1,"runs":[{"makespan":-1}]}]}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadWFDataset(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadMPIDatasetRejectsBadDocs(t *testing.T) {
+	cases := []string{
+		"{not json",
+		`{"kind":"wrong","measurements":[]}`,
+		`{"kind":"simcal-mpi-groundtruth","measurements":[{"benchmark":"PingPong","nodes":1,"msgBytes":1024,"rates":[1]}]}`,
+		`{"kind":"simcal-mpi-groundtruth","measurements":[{"benchmark":"PingPong","nodes":4,"msgBytes":1024,"rates":[]}]}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadMPIDataset(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

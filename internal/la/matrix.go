@@ -1,0 +1,277 @@
+// Package la provides the small dense linear-algebra kernel used by the
+// surrogate models in the Bayesian-optimization implementation: dense
+// matrices, Cholesky factorization, and triangular solves.
+//
+// The package is deliberately minimal. It targets the sizes that arise in
+// simulation calibration (hundreds of rows, tens of columns), favors
+// clarity and numerical robustness over raw speed, and depends only on
+// the standard library.
+package la
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix returns a zero-initialized rows×cols matrix.
+// It panics if either dimension is not positive.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("la: invalid matrix dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+// It panics if rows is empty or ragged.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("la: FromRows requires at least one non-empty row")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic("la: FromRows given ragged rows")
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Add adds v to the element at row i, column j.
+func (m *Matrix) Add(i, j int, v float64) { m.data[i*m.cols+j] += v }
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product m·b.
+// It panics on a dimension mismatch.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.cols != b.rows {
+		panic(fmt.Sprintf("la: Mul dimension mismatch %dx%d · %dx%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	out := NewMatrix(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		mi := m.data[i*m.cols : (i+1)*m.cols]
+		oi := out.data[i*out.cols : (i+1)*out.cols]
+		for k, mv := range mi {
+			if mv == 0 {
+				continue
+			}
+			bk := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range bk {
+				oi[j] += mv * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m·x.
+// It panics if len(x) != Cols().
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.cols {
+		panic("la: MulVec dimension mismatch")
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		s := 0.0
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is
+// not (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("la: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular factor L such that m = L·Lᵀ.
+// The input must be square and symmetric positive definite; otherwise
+// ErrNotPositiveDefinite is returned.
+func Cholesky(m *Matrix) (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("la: Cholesky of non-square %dx%d matrix", m.rows, m.cols)
+	}
+	n := m.rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := m.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := m.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return l, nil
+}
+
+// SolveLower solves L·x = b for x where L is lower triangular
+// (forward substitution). It panics on dimension mismatch and returns an
+// error if a diagonal entry is zero.
+func SolveLower(l *Matrix, b []float64) ([]float64, error) {
+	n := l.rows
+	if l.cols != n || len(b) != n {
+		panic("la: SolveLower dimension mismatch")
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= l.At(i, j) * x[j]
+		}
+		d := l.At(i, i)
+		if d == 0 {
+			return nil, errors.New("la: singular lower-triangular matrix")
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// SolveUpper solves U·x = b for x where U is upper triangular
+// (backward substitution). It panics on dimension mismatch and returns an
+// error if a diagonal entry is zero.
+func SolveUpper(u *Matrix, b []float64) ([]float64, error) {
+	n := u.rows
+	if u.cols != n || len(b) != n {
+		panic("la: SolveUpper dimension mismatch")
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= u.At(i, j) * x[j]
+		}
+		d := u.At(i, i)
+		if d == 0 {
+			return nil, errors.New("la: singular upper-triangular matrix")
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// CholSolve solves (L·Lᵀ)·x = b given the lower Cholesky factor L.
+func CholSolve(l *Matrix, b []float64) ([]float64, error) {
+	y, err := SolveLower(l, b)
+	if err != nil {
+		return nil, err
+	}
+	return solveLowerT(l, y)
+}
+
+// solveLowerT solves Lᵀ·x = b without materializing the transpose.
+func solveLowerT(l *Matrix, b []float64) ([]float64, error) {
+	n := l.rows
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= l.At(j, i) * x[j]
+		}
+		d := l.At(i, i)
+		if d == 0 {
+			return nil, errors.New("la: singular triangular matrix")
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// Dot returns the inner product of two equal-length vectors.
+// It panics if the lengths differ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("la: Dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// AddDiagonal adds v to every diagonal entry of the square matrix m,
+// in place. It panics if m is not square.
+func AddDiagonal(m *Matrix, v float64) {
+	if m.rows != m.cols {
+		panic("la: AddDiagonal of non-square matrix")
+	}
+	for i := 0; i < m.rows; i++ {
+		m.Add(i, i, v)
+	}
+}

@@ -1,0 +1,222 @@
+// Package loss defines the paper's loss functions: the six workflow
+// losses of Section 5.3.2 (combinations of average/maximum makespan and
+// task-execution-time errors) and the four MPI losses of Section 6.3.2
+// (combinations of average/maximum explained variance of data transfer
+// rates). Each loss is packaged as a core.Evaluator that invokes the
+// corresponding simulator for every ground-truth data point.
+package loss
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"simcal/internal/core"
+	"simcal/internal/groundtruth"
+	"simcal/internal/mpisim"
+	"simcal/internal/stats"
+	"simcal/internal/wfgen"
+	"simcal/internal/wfsim"
+	"simcal/internal/workflow"
+)
+
+// WFKind selects one of the workflow loss functions L1–L6.
+type WFKind int
+
+// The six workflow losses. With e_i the makespan error of workflow i and
+// e_{i,j} the execution-time error of its task j:
+//
+//	L1 = avg_i(e_i)                L2 = max_i(e_i)
+//	L3 = avg_i(e_i + avg_j e_ij)   L4 = max_i(e_i + avg_j e_ij)
+//	L5 = avg_i(e_i + max_j e_ij)   L6 = max_i(e_i + max_j e_ij)
+const (
+	WFL1 WFKind = iota
+	WFL2
+	WFL3
+	WFL4
+	WFL5
+	WFL6
+)
+
+// AllWFKinds lists L1–L6 in order.
+var AllWFKinds = []WFKind{WFL1, WFL2, WFL3, WFL4, WFL5, WFL6}
+
+// String returns "L1"…"L6".
+func (k WFKind) String() string { return fmt.Sprintf("L%d", int(k)+1) }
+
+// wfCache memoizes generated workflows across loss evaluations: the
+// calibration loop simulates the same specs thousands of times.
+var wfCache sync.Map // wfgen.Spec → *workflow.Workflow
+
+func cachedWorkflow(spec wfgen.Spec) *workflow.Workflow {
+	if v, ok := wfCache.Load(spec); ok {
+		return v.(*workflow.Workflow)
+	}
+	w := wfgen.Generate(spec)
+	actual, _ := wfCache.LoadOrStore(spec, w)
+	return actual.(*workflow.Workflow)
+}
+
+// wfErrors simulates one group and returns the makespan error e_i and
+// the per-task errors e_{i,j}.
+func wfErrors(v wfsim.Version, cfg wfsim.Config, g *groundtruth.WFGroup) (float64, []float64, error) {
+	wf := cachedWorkflow(g.Spec)
+	res, err := wfsim.Simulate(v, cfg, wfsim.Scenario{Workflow: wf, Workers: g.Workers})
+	if err != nil {
+		return 0, nil, err
+	}
+	ei := stats.RelError(g.MeanMakespan, res.Makespan)
+	taskErrs := make([]float64, 0, len(g.MeanTaskTimes))
+	for name, gt := range g.MeanTaskTimes {
+		taskErrs = append(taskErrs, stats.RelError(gt, res.TaskTimes[name]))
+	}
+	return ei, taskErrs, nil
+}
+
+// WFEvaluator returns the calibration loss: simulate every group of the
+// dataset under the version at the candidate point and aggregate errors
+// according to kind.
+func WFEvaluator(v wfsim.Version, kind WFKind, ds *groundtruth.WFDataset) core.Evaluator {
+	return func(ctx context.Context, p core.Point) (float64, error) {
+		cfg := v.DecodeConfig(p)
+		var terms []float64
+		for _, g := range ds.Groups {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			ei, taskErrs, err := wfErrors(v, cfg, g)
+			if err != nil {
+				return 0, err
+			}
+			var term float64
+			switch kind {
+			case WFL1, WFL2:
+				term = ei
+			case WFL3, WFL4:
+				term = ei + stats.Mean(taskErrs)
+			case WFL5, WFL6:
+				m := 0.0
+				if len(taskErrs) > 0 {
+					m = stats.Max(taskErrs)
+				}
+				term = ei + m
+			default:
+				return 0, fmt.Errorf("loss: unknown workflow kind %d", kind)
+			}
+			terms = append(terms, term)
+		}
+		if len(terms) == 0 {
+			return 0, fmt.Errorf("loss: empty workflow dataset")
+		}
+		switch kind {
+		case WFL1, WFL3, WFL5:
+			return stats.Mean(terms), nil
+		default:
+			return stats.Max(terms), nil
+		}
+	}
+}
+
+// WFMakespanErrors simulates every group under cfg and returns the
+// percent relative makespan errors, in group order — the Figure 2
+// accuracy metric.
+func WFMakespanErrors(v wfsim.Version, cfg wfsim.Config, ds *groundtruth.WFDataset) ([]float64, error) {
+	var out []float64
+	for _, g := range ds.Groups {
+		ei, _, err := wfErrors(v, cfg, g)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, 100*ei)
+	}
+	return out, nil
+}
+
+// MPIKind selects one of the MPI loss functions L1–L4.
+type MPIKind int
+
+// The four MPI losses over explained variance ev_{i,j} (benchmark i,
+// message size j):
+//
+//	L1 = avg_i(avg_j ev_ij)   L2 = avg_i(max_j ev_ij)
+//	L3 = max_i(avg_j ev_ij)   L4 = max_i(max_j ev_ij)
+const (
+	MPIL1 MPIKind = iota
+	MPIL2
+	MPIL3
+	MPIL4
+)
+
+// AllMPIKinds lists L1–L4 in order.
+var AllMPIKinds = []MPIKind{MPIL1, MPIL2, MPIL3, MPIL4}
+
+// String returns "L1"…"L4".
+func (k MPIKind) String() string { return fmt.Sprintf("L%d", int(k)+1) }
+
+// MPIEvaluator returns the calibration loss over the MPI dataset: the
+// explained variance between each measurement's rate samples and the
+// single simulated rate, aggregated per kind. rounds is forwarded to the
+// benchmark kernels (0 = default).
+func MPIEvaluator(v mpisim.Version, kind MPIKind, ds *groundtruth.MPIDataset, rounds int) core.Evaluator {
+	return func(ctx context.Context, p core.Point) (float64, error) {
+		cfg := v.DecodeConfig(p)
+		// Group explained variances by benchmark.
+		perBench := make(map[string][]float64)
+		var order []string
+		for _, m := range ds.Measurements {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			rate, err := mpisim.Simulate(v, cfg, mpisim.Scenario{
+				Benchmark: m.Benchmark, Nodes: m.Nodes, MsgBytes: m.MsgBytes, Rounds: rounds, Seed: 0,
+			})
+			if err != nil {
+				return 0, err
+			}
+			key := string(m.Benchmark)
+			if _, seen := perBench[key]; !seen {
+				order = append(order, key)
+			}
+			perBench[key] = append(perBench[key], stats.ExplainedVariance(m.Rates, rate))
+		}
+		if len(order) == 0 {
+			return 0, fmt.Errorf("loss: empty MPI dataset")
+		}
+		var terms []float64
+		for _, b := range order {
+			evs := perBench[b]
+			switch kind {
+			case MPIL1, MPIL3:
+				terms = append(terms, stats.Mean(evs))
+			case MPIL2, MPIL4:
+				terms = append(terms, stats.Max(evs))
+			default:
+				return 0, fmt.Errorf("loss: unknown MPI kind %d", kind)
+			}
+		}
+		switch kind {
+		case MPIL1, MPIL2:
+			return stats.Mean(terms), nil
+		default:
+			return stats.Max(terms), nil
+		}
+	}
+}
+
+// MPIRateErrors simulates every measurement under cfg and returns the
+// percent relative error between the simulated rate and the mean
+// ground-truth rate, in measurement order — the Figure 5 accuracy
+// metric, also used for Table 5's transfer-rate error row.
+func MPIRateErrors(v mpisim.Version, cfg mpisim.Config, ds *groundtruth.MPIDataset, rounds int) ([]float64, error) {
+	var out []float64
+	for _, m := range ds.Measurements {
+		rate, err := mpisim.Simulate(v, cfg, mpisim.Scenario{
+			Benchmark: m.Benchmark, Nodes: m.Nodes, MsgBytes: m.MsgBytes, Rounds: rounds, Seed: 0,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, 100*stats.RelError(m.MeanRate(), rate))
+	}
+	return out, nil
+}

@@ -1,0 +1,219 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+
+	"simcal/internal/stats"
+)
+
+// Benchmark identifies one of the IMB kernels the ground truth covers.
+type Benchmark string
+
+// The four IMB benchmarks of the paper's ground truth.
+const (
+	PingPong Benchmark = "PingPong"
+	PingPing Benchmark = "PingPing"
+	BiRandom Benchmark = "BiRandom"
+	Stencil  Benchmark = "Stencil"
+)
+
+// AllBenchmarks lists the four kernels.
+var AllBenchmarks = []Benchmark{PingPong, PingPing, BiRandom, Stencil}
+
+// RunSpec parameterizes one benchmark execution.
+type RunSpec struct {
+	Benchmark Benchmark
+	// MsgBytes is the message size (the paper sweeps 2^10 … 2^22).
+	MsgBytes float64
+	// Rounds is the number of exchange rounds (default 4).
+	Rounds int
+	// Seed drives the BiRandom pairing (deterministic per seed).
+	Seed int64
+}
+
+// Run executes the benchmark on the fabric and returns the aggregate
+// data transfer rate in bytes/s: total payload moved divided by the
+// simulated execution time.
+func Run(f *Fabric, spec RunSpec) (float64, error) {
+	if spec.MsgBytes <= 0 {
+		return nil2(fmt.Errorf("mpi: non-positive message size"))
+	}
+	rounds := spec.Rounds
+	if rounds <= 0 {
+		rounds = 4
+	}
+	n := f.Ranks()
+	if n < 2 {
+		return nil2(fmt.Errorf("mpi: need at least 2 ranks"))
+	}
+	start := f.ps.Engine.Now()
+	var totalBytes float64
+	switch spec.Benchmark {
+	case PingPong:
+		totalBytes = runPingPong(f, spec.MsgBytes, rounds)
+	case PingPing:
+		totalBytes = runPingPing(f, spec.MsgBytes, rounds)
+	case BiRandom:
+		totalBytes = runBiRandom(f, spec.MsgBytes, rounds, spec.Seed)
+	case Stencil:
+		totalBytes = runStencil(f, spec.MsgBytes, rounds)
+	default:
+		return nil2(fmt.Errorf("mpi: unknown benchmark %q", spec.Benchmark))
+	}
+	if _, err := f.ps.Engine.Run(eventBudget(n, rounds)); err != nil {
+		return 0, fmt.Errorf("mpi: %s: %w", spec.Benchmark, err)
+	}
+	elapsed := f.ps.Engine.Now() - start
+	if elapsed <= 0 {
+		return 0, fmt.Errorf("mpi: %s: zero elapsed time", spec.Benchmark)
+	}
+	return totalBytes / elapsed, nil
+}
+
+func nil2(err error) (float64, error) { return 0, err }
+
+func eventBudget(ranks, rounds int) int {
+	return 100*ranks*rounds + 100000
+}
+
+// runPingPong pairs rank i with rank i+n/2 and bounces a message back
+// and forth `rounds` times per pair; pairs progress independently, as in
+// IMB-P2P.
+func runPingPong(f *Fabric, msg float64, rounds int) float64 {
+	n := f.Ranks()
+	half := n / 2
+	f.ps.System.Batch(func() {
+		for i := 0; i < half; i++ {
+			a, b := i, i+half
+			bounce(f, a, b, msg, 2*rounds, 0)
+		}
+	})
+	return float64(half) * float64(2*rounds) * msg
+}
+
+// bounce sends a→b then b→a, `hops` times total.
+func bounce(f *Fabric, a, b int, msg float64, hops, k int) {
+	if k >= hops {
+		return
+	}
+	src, dst := a, b
+	if k%2 == 1 {
+		src, dst = b, a
+	}
+	f.Send(fmt.Sprintf("pp-%d-%d-%d", a, b, k), src, dst, msg, func() {
+		bounce(f, a, b, msg, hops, k+1)
+	})
+}
+
+// runPingPing has both partners of each pair send simultaneously each
+// round; a pair's next round starts when both of its messages arrive.
+func runPingPing(f *Fabric, msg float64, rounds int) float64 {
+	n := f.Ranks()
+	half := n / 2
+	var roundOf func(a, b, k int)
+	roundOf = func(a, b, k int) {
+		if k >= rounds {
+			return
+		}
+		outstanding := 2
+		done := func() {
+			outstanding--
+			if outstanding == 0 {
+				roundOf(a, b, k+1)
+			}
+		}
+		f.Send(fmt.Sprintf("pi-%d-%d-%d-f", a, b, k), a, b, msg, done)
+		f.Send(fmt.Sprintf("pi-%d-%d-%d-r", a, b, k), b, a, msg, done)
+	}
+	f.ps.System.Batch(func() {
+		for i := 0; i < half; i++ {
+			roundOf(i, i+half, 0)
+		}
+	})
+	return float64(half) * float64(2*rounds) * msg
+}
+
+// runBiRandom draws a fresh random pairing every round; each pair
+// exchanges bidirectionally, with a global barrier between rounds.
+func runBiRandom(f *Fabric, msg float64, rounds int, seed int64) float64 {
+	n := f.Ranks()
+	rng := stats.NewRNG(seed)
+	pairs := n / 2
+	var runRound func(k int)
+	runRound = func(k int) {
+		if k >= rounds {
+			return
+		}
+		perm := rng.Perm(n)
+		outstanding := 2 * pairs
+		done := func() {
+			outstanding--
+			if outstanding == 0 {
+				runRound(k + 1)
+			}
+		}
+		f.ps.System.Batch(func() {
+			for p := 0; p < pairs; p++ {
+				a, b := perm[2*p], perm[2*p+1]
+				f.Send(fmt.Sprintf("br-%d-%d-f", k, p), a, b, msg, done)
+				f.Send(fmt.Sprintf("br-%d-%d-r", k, p), b, a, msg, done)
+			}
+		})
+	}
+	runRound(0)
+	return float64(2*pairs) * float64(rounds) * msg
+}
+
+// runStencil arranges ranks in a 2D torus and exchanges with the four
+// neighbors each round, with a global barrier between rounds — the
+// IMB-P2P Stencil2D pattern.
+func runStencil(f *Fabric, msg float64, rounds int) float64 {
+	n := f.Ranks()
+	rows := gridRows(n)
+	cols := n / rows
+	used := rows * cols // ranks beyond the grid sit out
+	var runRound func(k int)
+	runRound = func(k int) {
+		if k >= rounds {
+			return
+		}
+		outstanding := 4 * used
+		done := func() {
+			outstanding--
+			if outstanding == 0 {
+				runRound(k + 1)
+			}
+		}
+		f.ps.System.Batch(func() {
+			for r := 0; r < rows; r++ {
+				for c := 0; c < cols; c++ {
+					self := r*cols + c
+					neighbors := [4]int{
+						((r+1)%rows)*cols + c,
+						((r-1+rows)%rows)*cols + c,
+						r*cols + (c+1)%cols,
+						r*cols + (c-1+cols)%cols,
+					}
+					for d, nb := range neighbors {
+						f.Send(fmt.Sprintf("st-%d-%d-%d", k, self, d), self, nb, msg, done)
+					}
+				}
+			}
+		})
+	}
+	runRound(0)
+	return float64(4*used) * float64(rounds) * msg
+}
+
+// gridRows returns the largest divisor of n that is ≤ √n, giving the
+// most square 2D factorization.
+func gridRows(n int) int {
+	best := 1
+	for r := 1; r <= int(math.Sqrt(float64(n))); r++ {
+		if n%r == 0 {
+			best = r
+		}
+	}
+	return best
+}

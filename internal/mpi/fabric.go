@@ -1,0 +1,228 @@
+// Package mpi implements the message-passing substrate of case study #2:
+// an SMPI-style rank-level simulator where every MPI point-to-point
+// message becomes a fluid transfer across the resources on its path —
+// node-internal buses (NIC, X-Bus, PCIe) and network links — with the
+// adaptive eager/rendez-vous protocol modeled as piecewise-constant
+// multiplicative bandwidth factors, exactly as in the SMPI network model
+// the paper's simulator uses. The package also provides the four Intel
+// MPI Benchmarks kernels the ground truth was collected with: PingPong,
+// PingPing, BiRandom, and Stencil.
+package mpi
+
+import (
+	"fmt"
+	"math"
+
+	"simcal/internal/flow"
+	"simcal/internal/platform"
+)
+
+// NodeModel selects the compute-node level of detail.
+type NodeModel int
+
+const (
+	// SimpleNode abstracts the node as cores behind a single NIC
+	// resource.
+	SimpleNode NodeModel = iota
+	// ComplexNode models two sockets bridged by an X-Bus, each reaching
+	// the NIC through its own PCIe bus — closer to a Summit node.
+	ComplexNode
+)
+
+func (m NodeModel) String() string {
+	if m == ComplexNode {
+		return "complex"
+	}
+	return "simple"
+}
+
+// Protocol is the adaptive MPI protocol model: below ChangePoints[0]
+// bytes the transfer rate is scaled by Factors[0], between the change
+// points by Factors[1], and above by Factors[2].
+type Protocol struct {
+	Factors      [3]float64
+	ChangePoints [2]float64 // bytes, ascending
+}
+
+// Factor returns the bandwidth factor for a message of the given size.
+func (p Protocol) Factor(bytes float64) float64 {
+	switch {
+	case bytes < p.ChangePoints[0]:
+		return p.Factors[0]
+	case bytes < p.ChangePoints[1]:
+		return p.Factors[1]
+	default:
+		return p.Factors[2]
+	}
+}
+
+// Validate rejects non-positive factors or disordered change points.
+func (p Protocol) Validate() error {
+	for _, f := range p.Factors {
+		if f <= 0 || math.IsNaN(f) {
+			return fmt.Errorf("mpi: non-positive protocol factor %g", f)
+		}
+	}
+	if p.ChangePoints[0] > p.ChangePoints[1] {
+		return fmt.Errorf("mpi: change points out of order: %g > %g", p.ChangePoints[0], p.ChangePoints[1])
+	}
+	return nil
+}
+
+// FabricConfig configures rank placement and node internals.
+type FabricConfig struct {
+	Nodes        int
+	RanksPerNode int // default 6, matching the paper's Summit runs
+	NodeModel    NodeModel
+
+	// NICBW is the per-node NIC bandwidth (bytes/s) for SimpleNode.
+	NICBW float64
+	// XBusBW and PCIeBW are the per-node bus bandwidths (bytes/s) for
+	// ComplexNode.
+	XBusBW, PCIeBW float64
+	// HostLatency is the per-message software/injection latency (s).
+	HostLatency float64
+
+	Protocol Protocol
+}
+
+// Fabric wires ranks onto a routed platform and sends messages.
+type Fabric struct {
+	cfg   FabricConfig
+	ps    *platform.Sim
+	hosts []*platform.Host
+
+	nic  []*flow.Resource   // SimpleNode: one per node
+	xbus []*flow.Resource   // ComplexNode: one per node
+	pcie [][]*flow.Resource // ComplexNode: per node, per socket
+
+	pending map[float64]*[]func()
+}
+
+// NewFabric builds a fabric over the given simulation harness. hosts must
+// be the platform's compute nodes, len(hosts) == cfg.Nodes, with routes
+// installed between every pair (via a topology builder).
+func NewFabric(ps *platform.Sim, hosts []*platform.Host, cfg FabricConfig) (*Fabric, error) {
+	if cfg.Nodes != len(hosts) || cfg.Nodes < 1 {
+		return nil, fmt.Errorf("mpi: %d hosts for %d nodes", len(hosts), cfg.Nodes)
+	}
+	if cfg.RanksPerNode <= 0 {
+		cfg.RanksPerNode = 6
+	}
+	if err := cfg.Protocol.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Fabric{cfg: cfg, ps: ps, hosts: hosts, pending: make(map[float64]*[]func())}
+	switch cfg.NodeModel {
+	case SimpleNode:
+		if cfg.NICBW <= 0 {
+			return nil, fmt.Errorf("mpi: SimpleNode requires positive NIC bandwidth")
+		}
+		for i := range hosts {
+			f.nic = append(f.nic, flow.NewResource(fmt.Sprintf("nic-%d", i), cfg.NICBW))
+		}
+	case ComplexNode:
+		if cfg.XBusBW <= 0 || cfg.PCIeBW <= 0 {
+			return nil, fmt.Errorf("mpi: ComplexNode requires positive X-Bus and PCIe bandwidths")
+		}
+		for i := range hosts {
+			f.xbus = append(f.xbus, flow.NewResource(fmt.Sprintf("xbus-%d", i), cfg.XBusBW))
+			f.pcie = append(f.pcie, []*flow.Resource{
+				flow.NewResource(fmt.Sprintf("pcie-%d-s0", i), cfg.PCIeBW),
+				flow.NewResource(fmt.Sprintf("pcie-%d-s1", i), cfg.PCIeBW),
+			})
+		}
+	default:
+		return nil, fmt.Errorf("mpi: unknown node model %d", cfg.NodeModel)
+	}
+	return f, nil
+}
+
+// Ranks returns the total number of MPI ranks.
+func (f *Fabric) Ranks() int { return f.cfg.Nodes * f.cfg.RanksPerNode }
+
+// Node returns the node index hosting rank r.
+func (f *Fabric) Node(r int) int { return r / f.cfg.RanksPerNode }
+
+// Socket returns the socket index (0 or 1) hosting rank r within its
+// node: the first half of a node's ranks live on socket 0.
+func (f *Fabric) Socket(r int) int {
+	if r%f.cfg.RanksPerNode < (f.cfg.RanksPerNode+1)/2 {
+		return 0
+	}
+	return 1
+}
+
+// Engine exposes the underlying event engine (for benchmarks).
+func (f *Fabric) Engine() interface{ Now() float64 } { return f.ps.Engine }
+
+// Send simulates a point-to-point message of size bytes from rank src to
+// rank dst, calling onDone at completion. The protocol factor scales the
+// effective bandwidth on every traversed resource; host latency plus the
+// route latency elapse before the fluid phase.
+func (f *Fabric) Send(name string, src, dst int, bytes float64, onDone func()) {
+	if src == dst {
+		f.ps.Engine.After(0, onDone)
+		return
+	}
+	factor := f.cfg.Protocol.Factor(bytes)
+	weight := 1 / factor
+	srcNode, dstNode := f.Node(src), f.Node(dst)
+	var usage []flow.Usage
+	latency := f.cfg.HostLatency
+
+	if srcNode == dstNode {
+		if f.cfg.NodeModel == ComplexNode && f.Socket(src) != f.Socket(dst) {
+			usage = append(usage, flow.Usage{Res: f.xbus[srcNode], Weight: weight})
+		}
+		// Same-socket (or simple-node local) messages are latency-only.
+	} else {
+		switch f.cfg.NodeModel {
+		case SimpleNode:
+			usage = append(usage, flow.Usage{Res: f.nic[srcNode], Weight: weight})
+		case ComplexNode:
+			usage = append(usage, flow.Usage{Res: f.pcie[srcNode][f.Socket(src)], Weight: weight})
+		}
+		route := f.ps.Platform.RouteBetween(f.hosts[srcNode], f.hosts[dstNode])
+		for _, l := range route {
+			usage = append(usage, flow.Usage{Res: l.Res, Weight: weight})
+		}
+		latency += route.Latency()
+		switch f.cfg.NodeModel {
+		case SimpleNode:
+			usage = append(usage, flow.Usage{Res: f.nic[dstNode], Weight: weight})
+		case ComplexNode:
+			usage = append(usage, flow.Usage{Res: f.pcie[dstNode][f.Socket(dst)], Weight: weight})
+		}
+	}
+
+	start := func() {
+		f.ps.System.StartActivity(name, bytes, 0, usage, onDone)
+	}
+	if latency > 0 {
+		f.deferStart(latency, start)
+	} else {
+		f.ps.System.Batch(start)
+	}
+}
+
+// deferStart coalesces all starts that land on the same timestamp into
+// one batched rate recomputation — crucial when hundreds of ranks begin
+// an exchange round simultaneously.
+func (f *Fabric) deferStart(delay float64, fn func()) {
+	t := f.ps.Engine.Now() + delay
+	if lst, ok := f.pending[t]; ok {
+		*lst = append(*lst, fn)
+		return
+	}
+	lst := &[]func(){fn}
+	f.pending[t] = lst
+	f.ps.Engine.At(t, func() {
+		delete(f.pending, t)
+		f.ps.System.Batch(func() {
+			for _, g := range *lst {
+				g()
+			}
+		})
+	})
+}

@@ -1,0 +1,237 @@
+package mpisim
+
+import (
+	"math"
+	"testing"
+
+	"simcal/internal/core"
+	"simcal/internal/mpi"
+	"simcal/internal/stats"
+)
+
+// summitLike returns plausible parameter values for tests.
+func summitLike() Config {
+	return Config{
+		BackboneBW:  100e9,
+		BackboneLat: 2e-6,
+		LinkBW:      12.5e9,
+		LinkLat:     1e-6,
+		NICBW:       12.5e9,
+		XBusBW:      64e9,
+		PCIeBW:      16e9,
+		Protocol: mpi.Protocol{
+			Factors:      [3]float64{0.3, 0.7, 0.95},
+			ChangePoints: KnownChangePoints,
+		},
+		HostLatency: 1e-6,
+	}
+}
+
+func TestAllVersionsCount(t *testing.T) {
+	vs := AllVersions()
+	if len(vs) != 16 {
+		t.Fatalf("got %d versions, want 16", len(vs))
+	}
+	names := map[string]bool{}
+	for _, v := range vs {
+		if names[v.Name()] {
+			t.Fatalf("duplicate name %s", v.Name())
+		}
+		names[v.Name()] = true
+	}
+}
+
+func TestSpaceDimensions(t *testing.T) {
+	if got := len(LowestDetail.Space()); got != 6 {
+		t.Errorf("lowest detail dims = %d, want 6", got)
+	}
+	if got := len(HighestDetail.Space()); got != 11 {
+		t.Errorf("highest detail dims = %d, want 11", got)
+	}
+	for _, v := range AllVersions() {
+		if err := v.Space().Validate(); err != nil {
+			t.Errorf("%s: %v", v.Name(), err)
+		}
+	}
+}
+
+func TestAllVersionsSimulate(t *testing.T) {
+	sc := Scenario{Benchmark: mpi.PingPong, Nodes: 4, MsgBytes: 1 << 16, Rounds: 2}
+	for _, v := range AllVersions() {
+		rate, err := Simulate(v, summitLike(), sc)
+		if err != nil {
+			t.Fatalf("%s: %v", v.Name(), err)
+		}
+		if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+			t.Errorf("%s: bad rate %v", v.Name(), rate)
+		}
+	}
+}
+
+func TestDecodeConfigRoundTrip(t *testing.T) {
+	for _, v := range AllVersions() {
+		sp := v.Space()
+		u := make([]float64, sp.Dim())
+		for i := range u {
+			u[i] = 0.5
+		}
+		cfg := v.DecodeConfig(sp.Decode(u))
+		if err := cfg.Protocol.Validate(); err != nil {
+			t.Errorf("%s: decoded invalid protocol: %v", v.Name(), err)
+		}
+		if v.Protocol == FixedPoints && cfg.Protocol.ChangePoints != KnownChangePoints {
+			t.Errorf("%s: fixed points not applied", v.Name())
+		}
+	}
+}
+
+func TestFreePointsDecodeOrdersChangePoints(t *testing.T) {
+	v := Version{Network: Backbone, Node: SimpleNode, Protocol: FreePoints}
+	pt := core.Point{
+		ParamBackboneBW: 1e9, ParamBackboneLat: 0,
+		ParamNICBW:   1e9,
+		ParamFactor1: 0.5, ParamFactor2: 0.5, ParamFactor3: 0.5,
+		ParamChange1: 1 << 20, ParamChange2: 1 << 12, // reversed
+	}
+	cfg := v.DecodeConfig(pt)
+	if cfg.Protocol.ChangePoints[0] > cfg.Protocol.ChangePoints[1] {
+		t.Error("change points not reordered")
+	}
+}
+
+func TestRateIncreasesWithMessageSize(t *testing.T) {
+	v := Version{Network: FatTree, Node: ComplexNode, Protocol: FixedPoints}
+	cfg := summitLike()
+	var prev float64
+	for i, m := range MsgSizes() {
+		rate, err := Simulate(v, cfg, Scenario{Benchmark: mpi.PingPong, Nodes: 4, MsgBytes: m, Rounds: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && rate < prev*0.5 {
+			t.Errorf("rate dropped sharply at %v bytes: %v -> %v", m, prev, rate)
+		}
+		prev = rate
+	}
+}
+
+func TestProtocolFactorsVisibleInRates(t *testing.T) {
+	v := LowestDetail
+	lo := summitLike()
+	lo.Protocol.Factors = [3]float64{0.1, 0.1, 0.1}
+	hi := summitLike()
+	hi.Protocol.Factors = [3]float64{1, 1, 1}
+	sc := Scenario{Benchmark: mpi.PingPong, Nodes: 2, MsgBytes: 1 << 22, Rounds: 2}
+	rLo, err := Simulate(v, lo, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rHi, err := Simulate(v, hi, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rLo >= rHi {
+		t.Errorf("factor 0.1 rate (%v) not below factor 1 rate (%v)", rLo, rHi)
+	}
+}
+
+func TestBackboneContentionVsFatTree(t *testing.T) {
+	// A narrow backbone shared by all nodes must beat fewer aggregate
+	// bytes/s than a non-blocking fat tree with the same per-node links.
+	bb := summitLike()
+	bb.BackboneBW = 12.5e9 // same as one node link
+	sc := Scenario{Benchmark: mpi.Stencil, Nodes: 8, MsgBytes: 1 << 20, Rounds: 2}
+	rBB, err := Simulate(Version{Backbone, SimpleNode, FixedPoints}, bb, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFT, err := Simulate(Version{FatTree, SimpleNode, FixedPoints}, summitLike(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rBB >= rFT {
+		t.Errorf("shared backbone (%v) should be slower than fat tree (%v)", rBB, rFT)
+	}
+}
+
+func TestDeterministicWithoutNoise(t *testing.T) {
+	v := HighestDetail
+	sc := Scenario{Benchmark: mpi.BiRandom, Nodes: 4, MsgBytes: 1 << 14, Rounds: 2, Seed: 5}
+	a, err := Simulate(v, summitLike(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(v, summitLike(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestNoiseProducesVariance(t *testing.T) {
+	v := Version{FatTree, ComplexNode, FixedPoints}
+	sc := Scenario{Benchmark: mpi.PingPong, Nodes: 4, MsgBytes: 1 << 18, Rounds: 2}
+	var rates []float64
+	for seed := int64(0); seed < 10; seed++ {
+		cfg := summitLike()
+		cfg.Noise = &NoiseModel{Seed: seed, BandwidthSpread: 0.05, LatencySpread: 0.05, NodeSpread: 0.02}
+		r, err := Simulate(v, cfg, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates = append(rates, r)
+	}
+	if stats.StdDev(rates) == 0 {
+		t.Error("noise produced no variance")
+	}
+	noiseless, err := Simulate(v, summitLike(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stats.Mean(rates)-noiseless) > 0.2*noiseless {
+		t.Errorf("noisy mean %v far from noiseless %v", stats.Mean(rates), noiseless)
+	}
+}
+
+func TestSimulateRejectsBadInputs(t *testing.T) {
+	if _, err := Simulate(LowestDetail, summitLike(), Scenario{Benchmark: mpi.PingPong, Nodes: 1, MsgBytes: 1024}); err == nil {
+		t.Error("single node accepted")
+	}
+	bad := summitLike()
+	bad.BackboneBW = 0
+	if _, err := Simulate(LowestDetail, bad, Scenario{Benchmark: mpi.PingPong, Nodes: 2, MsgBytes: 1024}); err == nil {
+		t.Error("zero backbone bandwidth accepted")
+	}
+	bad = summitLike()
+	bad.LinkBW = 0
+	if _, err := Simulate(Version{Tree4, SimpleNode, FixedPoints}, bad, Scenario{Benchmark: mpi.PingPong, Nodes: 2, MsgBytes: 1024}); err == nil {
+		t.Error("zero tree link bandwidth accepted")
+	}
+}
+
+func TestMsgSizes(t *testing.T) {
+	sizes := MsgSizes()
+	if len(sizes) != 13 {
+		t.Fatalf("got %d sizes, want 13", len(sizes))
+	}
+	if sizes[0] != 1024 || sizes[12] != 4194304 {
+		t.Errorf("size endpoints wrong: %v ... %v", sizes[0], sizes[12])
+	}
+}
+
+func TestScale128Nodes(t *testing.T) {
+	// Smoke test at the paper's smallest scale: 128 nodes × 6 ranks.
+	if testing.Short() {
+		t.Skip("128-node simulation in -short mode")
+	}
+	v := Version{FatTree, SimpleNode, FixedPoints}
+	rate, err := Simulate(v, summitLike(), Scenario{Benchmark: mpi.PingPong, Nodes: 128, MsgBytes: 1 << 16, Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0 {
+		t.Errorf("rate = %v", rate)
+	}
+}

@@ -1,0 +1,26 @@
+package mpisim
+
+import (
+	"testing"
+
+	"simcal/internal/mpi"
+)
+
+// benchSim measures one full benchmark execution at a given scale.
+func benchSim(b *testing.B, bench mpi.Benchmark, nodes int) {
+	cfg := summitLike()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(Version{FatTree, ComplexNode, FixedPoints}, cfg, Scenario{Benchmark: bench, Nodes: nodes, MsgBytes: 1 << 16, Rounds: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPingPong16(b *testing.B)  { benchSim(b, mpi.PingPong, 16) }
+func BenchmarkPingPong128(b *testing.B) { benchSim(b, mpi.PingPong, 128) }
+func BenchmarkStencil16(b *testing.B)   { benchSim(b, mpi.Stencil, 16) }
+func BenchmarkStencil128(b *testing.B)  { benchSim(b, mpi.Stencil, 128) }
+
+func BenchmarkBiRandom128(b *testing.B) { benchSim(b, mpi.BiRandom, 128) }
+func BenchmarkBiRandom32(b *testing.B)  { benchSim(b, mpi.BiRandom, 32) }
+func BenchmarkStencil512(b *testing.B)  { benchSim(b, mpi.Stencil, 512) }

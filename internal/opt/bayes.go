@@ -1,0 +1,304 @@
+package opt
+
+import (
+	"context"
+	"math"
+	"sort"
+
+	"simcal/internal/core"
+	"simcal/internal/opt/surrogate"
+)
+
+// Acquisition selects how BayesOpt scores candidates.
+type Acquisition int
+
+const (
+	// EI is expected improvement (the default, as in scikit-optimize).
+	EI Acquisition = iota
+	// LCB is the lower confidence bound mean − κ·std; candidates with
+	// the lowest bound win. More exploratory for large Kappa.
+	LCB
+)
+
+// BayesOpt is the BO algorithm: an incrementally refit surrogate model
+// prunes the search space, balancing exploration (high predictive
+// uncertainty) and exploitation (low predicted loss) through the
+// expected-improvement acquisition function (or, optionally, a lower
+// confidence bound).
+type BayesOpt struct {
+	// NewRegressor builds a fresh surrogate for each refit. Required.
+	NewRegressor func(seed int64) surrogate.Regressor
+	// RegressorName labels the algorithm ("GP", "RF", ...). Required.
+	RegressorName string
+	// InitSamples is the number of random points evaluated before the
+	// first surrogate fit. Defaults to max(2·dim, 8).
+	InitSamples int
+	// Batch is the number of acquisition winners evaluated per iteration
+	// (in parallel). Defaults to 4.
+	Batch int
+	// Candidates is the size of the random candidate pool scored by the
+	// acquisition per iteration. Defaults to 512.
+	Candidates int
+	// Xi is the expected-improvement exploration margin. Defaults to 0.01.
+	Xi float64
+	// Acq selects the acquisition function (EI by default).
+	Acq Acquisition
+	// Kappa is the LCB exploration weight. Defaults to 1.96.
+	Kappa float64
+	// MaxFitPoints caps the history used to refit the surrogate (the
+	// best points are kept plus a random subsample). Defaults to 400.
+	MaxFitPoints int
+}
+
+// NewBOGP returns the BO-GP algorithm used throughout the paper's
+// experiments.
+func NewBOGP() *BayesOpt {
+	return &BayesOpt{
+		NewRegressor:  func(int64) surrogate.Regressor { return surrogate.NewGP() },
+		RegressorName: "GP",
+	}
+}
+
+// NewBORF returns BO with a random-forest surrogate.
+func NewBORF() *BayesOpt {
+	return &BayesOpt{
+		NewRegressor:  func(seed int64) surrogate.Regressor { return surrogate.NewRandomForest(seed) },
+		RegressorName: "RF",
+	}
+}
+
+// NewBOET returns BO with an extra-trees surrogate.
+func NewBOET() *BayesOpt {
+	return &BayesOpt{
+		NewRegressor:  func(seed int64) surrogate.Regressor { return surrogate.NewExtraTrees(seed) },
+		RegressorName: "ET",
+	}
+}
+
+// NewBOGBRT returns BO with a gradient-boosted quantile-trees surrogate.
+func NewBOGBRT() *BayesOpt {
+	return &BayesOpt{
+		NewRegressor:  func(seed int64) surrogate.Regressor { return surrogate.NewGBRT(seed) },
+		RegressorName: "GBRT",
+	}
+}
+
+// Name implements core.Algorithm.
+func (b *BayesOpt) Name() string { return "BO-" + b.RegressorName }
+
+// Optimize implements core.Algorithm.
+func (b *BayesOpt) Optimize(ctx context.Context, prob *core.Problem) error {
+	if b.NewRegressor == nil {
+		panic("opt: BayesOpt requires NewRegressor")
+	}
+	d := prob.Space.Dim()
+	init := b.InitSamples
+	if init <= 0 {
+		init = 2 * d
+		if init < 8 {
+			init = 8
+		}
+	}
+	batch := b.Batch
+	if batch <= 0 {
+		batch = 4
+	}
+	nCands := b.Candidates
+	if nCands <= 0 {
+		nCands = 512
+	}
+	xi := b.Xi
+	if xi <= 0 {
+		xi = 0.01
+	}
+	maxFit := b.MaxFitPoints
+	if maxFit <= 0 {
+		maxFit = 400
+	}
+
+	// Initial design: uniform random.
+	units := make([][]float64, init)
+	for i := range units {
+		units[i] = prob.Space.Sample(prob.RNG)
+	}
+	if _, err := prob.Evaluate(ctx, units); err != nil {
+		if done(err) {
+			return nil
+		}
+		return err
+	}
+
+	for iter := 0; ; iter++ {
+		X, y, ok := b.trainingSet(prob, maxFit)
+		var next [][]float64
+		if ok {
+			reg := b.NewRegressor(prob.RNG.Int63())
+			if err := reg.Fit(X, y); err == nil {
+				next = b.proposeByEI(prob, reg, nCands, batch, xi)
+			}
+		}
+		if next == nil {
+			// Surrogate unavailable: fall back to random exploration.
+			next = make([][]float64, batch)
+			for i := range next {
+				next[i] = prob.Space.Sample(prob.RNG)
+			}
+		}
+		if _, err := prob.Evaluate(ctx, next); err != nil {
+			if done(err) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// trainingSet extracts the surrogate's training data from the problem
+// history: infinite losses (failed simulations) are clamped to a large
+// penalty so the surrogate learns to avoid the region rather than choke.
+func (b *BayesOpt) trainingSet(prob *core.Problem, maxFit int) (X [][]float64, y []float64, ok bool) {
+	hist := prob.History()
+	if len(hist) < 3 {
+		return nil, nil, false
+	}
+	worst := math.Inf(-1)
+	for _, s := range hist {
+		if !math.IsInf(s.Loss, 1) && s.Loss > worst {
+			worst = s.Loss
+		}
+	}
+	if math.IsInf(worst, -1) {
+		return nil, nil, false // nothing finite yet
+	}
+	penalty := worst*2 + 1
+	if len(hist) > maxFit {
+		// Keep the best maxFit/2 and a deterministic stride sample of the
+		// rest, preserving coverage of the explored space.
+		sorted := append([]core.Sample(nil), hist...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Loss < sorted[j].Loss })
+		keep := sorted[:maxFit/2]
+		rest := sorted[maxFit/2:]
+		stride := len(rest)/(maxFit-len(keep)) + 1
+		for i := 0; i < len(rest); i += stride {
+			keep = append(keep, rest[i])
+		}
+		hist = keep
+	}
+	for _, s := range hist {
+		loss := s.Loss
+		if math.IsInf(loss, 1) {
+			loss = penalty
+		}
+		// Calibration losses span many orders of magnitude across the
+		// search space; fitting the surrogate to log1p(loss) keeps the
+		// regression well-conditioned. The transform is monotone, so
+		// optimizing expected improvement in log space still targets the
+		// minimum.
+		X = append(X, s.Unit)
+		y = append(y, math.Log1p(loss))
+	}
+	return X, y, true
+}
+
+// proposeByEI scores a random candidate pool (plus perturbations of the
+// incumbent) with expected improvement and returns the top batch.
+func (b *BayesOpt) proposeByEI(prob *core.Problem, reg surrogate.Regressor, nCands, batch int, xi float64) [][]float64 {
+	best := prob.Best()
+	if best == nil {
+		return nil
+	}
+	d := prob.Space.Dim()
+	cands := make([][]float64, 0, nCands)
+	for i := 0; i < nCands/2; i++ {
+		cands = append(cands, prob.Space.Sample(prob.RNG))
+	}
+	// Local perturbations of the incumbent sharpen exploitation. Vary
+	// both the step scale and the number of perturbed coordinates —
+	// in ~10-dimensional calibration spaces, full-dimensional Gaussian
+	// moves rarely improve, while axis-sparse moves refine one or two
+	// parameters at a time.
+	scales := [3]float64{0.02, 0.08, 0.25}
+	for i := len(cands); i < nCands; i++ {
+		c := append([]float64(nil), best.Unit...)
+		sigma := scales[prob.RNG.Intn(len(scales))]
+		k := 1 + prob.RNG.Intn(d)
+		for _, j := range prob.RNG.Perm(d)[:k] {
+			c[j] = clamp01(c[j] + prob.RNG.Normal(0, sigma))
+		}
+		cands = append(cands, c)
+	}
+	type scored struct {
+		u        []float64
+		ei, mean float64
+	}
+	ss := make([]scored, len(cands))
+	if math.IsInf(best.Loss, 1) {
+		return nil
+	}
+	fBest := math.Log1p(best.Loss) // surrogate space (see trainingSet)
+	kappa := b.Kappa
+	if kappa <= 0 {
+		kappa = 1.96
+	}
+	for i, c := range cands {
+		mean, std := reg.Predict(c)
+		var score float64
+		if b.Acq == LCB {
+			// Negated so that "higher is better" like EI.
+			score = -(mean - kappa*std)
+		} else {
+			score = expectedImprovement(fBest, mean, std, xi)
+		}
+		ss[i] = scored{u: c, ei: score, mean: mean}
+	}
+	// Slot 1: the lowest predicted mean (pure exploitation) — with a
+	// deterministic loss, an interpolating surrogate has near-zero EI
+	// around the incumbent and would never refine locally without it.
+	// Slot 2: a direct sparse perturbation of the incumbent, bypassing
+	// the surrogate — an embedded (1+1)-style local search that keeps
+	// polishing the narrow valleys calibration problems exhibit (a core
+	// speed only 20% off already doubles the loss). Remaining slots: top
+	// expected improvement.
+	out := make([][]float64, 0, batch)
+	bestMean := 0
+	for i := range ss {
+		if ss[i].mean < ss[bestMean].mean {
+			bestMean = i
+		}
+	}
+	out = append(out, ss[bestMean].u)
+	if batch >= 3 {
+		c := append([]float64(nil), best.Unit...)
+		sigma := [3]float64{0.01, 0.04, 0.15}[prob.RNG.Intn(3)]
+		k := 1 + prob.RNG.Intn(2)
+		if k > d {
+			k = d
+		}
+		for _, j := range prob.RNG.Perm(d)[:k] {
+			c[j] = clamp01(c[j] + prob.RNG.Normal(0, sigma))
+		}
+		out = append(out, c)
+	}
+	sort.Slice(ss, func(i, j int) bool { return ss[i].ei > ss[j].ei })
+	for i := 0; i < len(ss) && len(out) < batch; i++ {
+		out = append(out, ss[i].u)
+	}
+	return out
+}
+
+// expectedImprovement computes EI for minimization.
+func expectedImprovement(fBest, mean, std, xi float64) float64 {
+	imp := fBest - mean - xi
+	if std <= 0 {
+		if imp > 0 {
+			return imp
+		}
+		return 0
+	}
+	z := imp / std
+	return imp*stdNormCDF(z) + std*stdNormPDF(z)
+}
+
+func stdNormCDF(z float64) float64 { return 0.5 * (1 + math.Erf(z/math.Sqrt2)) }
+
+func stdNormPDF(z float64) float64 { return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi) }

@@ -1,0 +1,161 @@
+package surrogate
+
+import (
+	"math"
+
+	"simcal/internal/la"
+	"simcal/internal/stats"
+)
+
+// GP is a Gaussian-process regressor with a Matérn-5/2 kernel over the
+// unit cube (BO-GP). The length scale is selected from a small candidate
+// set by log marginal likelihood at Fit time; targets are standardized
+// internally. This mirrors scikit-optimize's default GP surrogate at the
+// fidelity the calibration experiments need.
+type GP struct {
+	// LengthScales are the candidate kernel length scales; the one with
+	// the highest log marginal likelihood wins. Defaults to a small
+	// logarithmic grid.
+	LengthScales []float64
+	// Noise is the observation-noise variance added to the kernel
+	// diagonal (relative to unit target variance). Default 1e-4.
+	Noise float64
+
+	x            [][]float64
+	alpha        []float64
+	chol         *la.Matrix
+	scale        float64 // chosen length scale
+	yMean, yStd  float64
+	signalStdDev float64
+}
+
+// NewGP returns a GP regressor with default hyperparameter candidates.
+func NewGP() *GP { return &GP{} }
+
+// Name implements Regressor.
+func (g *GP) Name() string { return "GP" }
+
+// matern52 evaluates the Matérn-5/2 kernel for distance r and length
+// scale l, with unit signal variance.
+func matern52(r, l float64) float64 {
+	if l <= 0 {
+		panic("surrogate: non-positive GP length scale")
+	}
+	s := math.Sqrt(5) * r / l
+	return (1 + s + s*s/3) * math.Exp(-s)
+}
+
+func dist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Fit implements Regressor.
+func (g *GP) Fit(X [][]float64, y []float64) error {
+	if err := validateXY(X, y); err != nil {
+		return err
+	}
+	n := len(X)
+	g.x = X
+	g.yMean = stats.Mean(y)
+	g.yStd = stats.StdDev(y)
+	if g.yStd <= 0 {
+		g.yStd = 1
+	}
+	yn := make([]float64, n)
+	for i, v := range y {
+		yn[i] = (v - g.yMean) / g.yStd
+	}
+	noise := g.Noise
+	if noise <= 0 {
+		noise = 1e-4
+	}
+	scales := g.LengthScales
+	if len(scales) == 0 {
+		scales = []float64{0.1, 0.2, 0.5, 1.0}
+	}
+	// Precompute the distance matrix once.
+	dists := la.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := dist(X[i], X[j])
+			dists.Set(i, j, d)
+			dists.Set(j, i, d)
+		}
+	}
+	bestLML := math.Inf(-1)
+	var bestChol *la.Matrix
+	var bestAlpha []float64
+	bestScale := scales[0]
+	for _, l := range scales {
+		k := la.NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			k.Set(i, i, 1+noise)
+			for j := i + 1; j < n; j++ {
+				v := matern52(dists.At(i, j), l)
+				k.Set(i, j, v)
+				k.Set(j, i, v)
+			}
+		}
+		chol, err := la.Cholesky(k)
+		if err != nil {
+			// Add jitter and retry once.
+			la.AddDiagonal(k, 1e-6)
+			chol, err = la.Cholesky(k)
+			if err != nil {
+				continue
+			}
+		}
+		alpha, err := la.CholSolve(chol, yn)
+		if err != nil {
+			continue
+		}
+		lml := -0.5 * la.Dot(yn, alpha)
+		for i := 0; i < n; i++ {
+			lml -= math.Log(chol.At(i, i))
+		}
+		lml -= float64(n) / 2 * math.Log(2*math.Pi)
+		if lml > bestLML {
+			bestLML, bestChol, bestAlpha, bestScale = lml, chol, alpha, l
+		}
+	}
+	if bestChol == nil {
+		return la.ErrNotPositiveDefinite
+	}
+	g.chol = bestChol
+	g.alpha = bestAlpha
+	g.scale = bestScale
+	g.signalStdDev = 1
+	return nil
+}
+
+// Predict implements Regressor.
+func (g *GP) Predict(x []float64) (mean, std float64) {
+	if g.chol == nil {
+		panic("surrogate: Predict before Fit")
+	}
+	n := len(g.x)
+	kstar := make([]float64, n)
+	for i := 0; i < n; i++ {
+		kstar[i] = matern52(dist(x, g.x[i]), g.scale)
+	}
+	mn := la.Dot(kstar, g.alpha)
+	v, err := la.SolveLower(g.chol, kstar)
+	variance := 1.0
+	if err == nil {
+		variance = 1 - la.Dot(v, v)
+	}
+	if variance < 0 {
+		variance = 0
+	}
+	mean = mn*g.yStd + g.yMean
+	std = math.Sqrt(variance) * g.yStd
+	return mean, std
+}
+
+// LengthScale returns the length scale selected during Fit.
+func (g *GP) LengthScale() float64 { return g.scale }

@@ -1,0 +1,239 @@
+// Package platform models simulated hardware: hosts with multicore CPUs,
+// network links with bandwidth and latency, disks with bandwidth and
+// concurrency limits, and routed topologies. It provides the building
+// blocks that the workflow simulator (case study #1) and the MPI
+// simulator (case study #2) assemble at their various levels of detail.
+package platform
+
+import (
+	"fmt"
+	"math"
+
+	"simcal/internal/des"
+	"simcal/internal/flow"
+)
+
+// Host is a compute node with a number of identical cores. Its CPU is a
+// fluid resource of capacity Cores×Speed; a single task is additionally
+// bounded by Speed (one core), so oversubscription degrades gracefully
+// into time-sharing.
+type Host struct {
+	Name  string
+	Cores int
+	Speed float64 // ops/s per core
+	CPU   *flow.Resource
+	Disk  *Disk // nil when the host has no storage
+}
+
+// NewHost creates a host with cores identical cores of the given speed.
+func NewHost(name string, cores int, speed float64) *Host {
+	if cores <= 0 || speed <= 0 {
+		panic(fmt.Sprintf("platform: invalid host %q (%d cores, speed %g)", name, cores, speed))
+	}
+	return &Host{
+		Name:  name,
+		Cores: cores,
+		Speed: speed,
+		CPU:   flow.NewResource(name+":cpu", float64(cores)*speed),
+	}
+}
+
+// Execute runs work ops of single-core computation on the host and calls
+// onDone at completion. The task shares the host CPU with other tasks
+// under max-min fairness, capped at one core's speed.
+func (h *Host) Execute(sys *flow.System, name string, work float64, onDone func()) *flow.Activity {
+	return sys.StartActivity(name, work, h.Speed, []flow.Usage{{Res: h.CPU, Weight: 1}}, onDone)
+}
+
+// Link is a network link with a shared-bandwidth fluid resource and a
+// fixed latency applied once per transfer traversing it.
+type Link struct {
+	Name      string
+	Bandwidth float64 // bytes/s
+	Latency   float64 // seconds
+	Res       *flow.Resource
+}
+
+// NewLink creates a link. Bandwidth must be positive; latency must be
+// non-negative.
+func NewLink(name string, bandwidth, latency float64) *Link {
+	if bandwidth <= 0 || latency < 0 || math.IsNaN(bandwidth) || math.IsNaN(latency) {
+		panic(fmt.Sprintf("platform: invalid link %q (bw %g, lat %g)", name, bandwidth, latency))
+	}
+	return &Link{Name: name, Bandwidth: bandwidth, Latency: latency, Res: flow.NewResource(name, bandwidth)}
+}
+
+// Route is an ordered sequence of links between two hosts.
+type Route []*Link
+
+// Latency returns the total latency along the route.
+func (r Route) Latency() float64 {
+	s := 0.0
+	for _, l := range r {
+		s += l.Latency
+	}
+	return s
+}
+
+// Platform is a set of hosts plus symmetric routes between host pairs.
+// Routes are either registered explicitly with AddRoute or computed on
+// demand by RouteFunc (set by topology builders for large topologies) and
+// cached.
+type Platform struct {
+	Hosts []*Host
+	Links []*Link
+	// RouteFunc, when non-nil, computes the route between two hosts that
+	// have no explicit route. The result is cached.
+	RouteFunc func(a, b *Host) Route
+	routes    map[[2]string]Route
+	byName    map[string]*Host
+}
+
+// New returns an empty platform.
+func New() *Platform {
+	return &Platform{routes: make(map[[2]string]Route), byName: make(map[string]*Host)}
+}
+
+// AddHost registers a host. Duplicate names panic.
+func (p *Platform) AddHost(h *Host) *Host {
+	if _, dup := p.byName[h.Name]; dup {
+		panic("platform: duplicate host " + h.Name)
+	}
+	p.Hosts = append(p.Hosts, h)
+	p.byName[h.Name] = h
+	return h
+}
+
+// AddLink registers a link so it appears in the platform inventory.
+func (p *Platform) AddLink(l *Link) *Link {
+	p.Links = append(p.Links, l)
+	return l
+}
+
+// HostByName returns the host with the given name, or nil.
+func (p *Platform) HostByName(name string) *Host { return p.byName[name] }
+
+// AddRoute installs a symmetric route between hosts a and b.
+func (p *Platform) AddRoute(a, b *Host, links ...*Link) {
+	p.routes[[2]string{a.Name, b.Name}] = links
+	p.routes[[2]string{b.Name, a.Name}] = links
+}
+
+// RouteBetween returns the route between two hosts. It panics when no
+// route exists — a missing route is a topology construction bug.
+func (p *Platform) RouteBetween(a, b *Host) Route {
+	if r, ok := p.routes[[2]string{a.Name, b.Name}]; ok {
+		return r
+	}
+	if p.RouteFunc != nil {
+		r := p.RouteFunc(a, b)
+		if r != nil {
+			p.AddRoute(a, b, r...)
+			return r
+		}
+	}
+	panic(fmt.Sprintf("platform: no route between %q and %q", a.Name, b.Name))
+}
+
+// Transfer simulates sending size bytes from one host to another: the
+// route's total latency elapses first, then a fluid transfer shares
+// bandwidth on every link of the route. Transfers between a host and
+// itself complete after an immediate event (local copies are modeled as
+// free; disk costs are charged separately by storage services). The
+// returned handle can be used to cancel a remote transfer before the
+// fluid phase starts only via the engine; local semantics are immediate.
+func (p *Platform) Transfer(sys *flow.System, name string, from, to *Host, size float64, onDone func()) {
+	if from == to {
+		sys.Engine().After(0, onDone)
+		return
+	}
+	route := p.RouteBetween(from, to)
+	usage := make([]flow.Usage, len(route))
+	for i, l := range route {
+		usage[i] = flow.Usage{Res: l.Res, Weight: 1}
+	}
+	lat := route.Latency()
+	start := func() {
+		sys.StartActivity(name, size, 0, usage, onDone)
+	}
+	if lat > 0 {
+		sys.Engine().After(lat, start)
+	} else {
+		start()
+	}
+}
+
+// Disk models node-attached storage: a shared-bandwidth fluid resource
+// plus a cap on the number of concurrent I/O operations. Operations
+// beyond the cap queue in FIFO order — this is the "maximum number of
+// concurrent I/O operations at a disk" parameter the paper calibrates.
+type Disk struct {
+	Name          string
+	Bandwidth     float64 // bytes/s, shared by reads and writes
+	MaxConcurrent int     // 0 = unlimited
+	Res           *flow.Resource
+
+	inFlight int
+	queue    []diskOp
+}
+
+type diskOp struct {
+	name   string
+	size   float64
+	onDone func()
+}
+
+// NewDisk creates a disk with the given bandwidth and concurrency cap.
+func NewDisk(name string, bandwidth float64, maxConcurrent int) *Disk {
+	if bandwidth <= 0 || maxConcurrent < 0 {
+		panic(fmt.Sprintf("platform: invalid disk %q (bw %g, cap %d)", name, bandwidth, maxConcurrent))
+	}
+	return &Disk{Name: name, Bandwidth: bandwidth, MaxConcurrent: maxConcurrent, Res: flow.NewResource(name, bandwidth)}
+}
+
+// InFlight returns the number of I/O operations currently progressing.
+func (d *Disk) InFlight() int { return d.inFlight }
+
+// Queued returns the number of I/O operations waiting for a slot.
+func (d *Disk) Queued() int { return len(d.queue) }
+
+// IO performs a size-byte read or write (both share the disk bandwidth)
+// and calls onDone when it completes. Zero-size operations still pass
+// through the concurrency gate, preserving ordering.
+func (d *Disk) IO(sys *flow.System, name string, size float64, onDone func()) {
+	op := diskOp{name: name, size: size, onDone: onDone}
+	if d.MaxConcurrent > 0 && d.inFlight >= d.MaxConcurrent {
+		d.queue = append(d.queue, op)
+		return
+	}
+	d.start(sys, op)
+}
+
+func (d *Disk) start(sys *flow.System, op diskOp) {
+	d.inFlight++
+	sys.StartActivity(op.name, op.size, 0, []flow.Usage{{Res: d.Res, Weight: 1}}, func() {
+		d.inFlight--
+		if len(d.queue) > 0 {
+			next := d.queue[0]
+			d.queue = d.queue[1:]
+			d.start(sys, next)
+		}
+		if op.onDone != nil {
+			op.onDone()
+		}
+	})
+}
+
+// Sim bundles an engine, a fluid system, and a platform — the common
+// harness every simulator in this repository builds on.
+type Sim struct {
+	Engine   *des.Engine
+	System   *flow.System
+	Platform *Platform
+}
+
+// NewSim returns a fresh engine/system pair wrapped around p.
+func NewSim(p *Platform) *Sim {
+	eng := des.NewEngine()
+	return &Sim{Engine: eng, System: flow.NewSystem(eng), Platform: p}
+}

@@ -1,0 +1,385 @@
+// Package wfgen generates the workflow benchmarks of the paper's Table 1:
+// WfCommons-style task graphs for five scientific applications
+// (Epigenomics, 1000Genome, SoyKB, Montage, Seismology) and two synthetic
+// patterns (Chain, Forkjoin), parameterized by workflow size (number of
+// tasks), per-task sequential CPU work, and total data footprint.
+//
+// The generated graphs reproduce the *structural* properties that drive
+// simulator behavior — level widths, fan-out/fan-in, split/merge
+// pipelines, and data flow along edges — standing in for the WfCommons
+// benchmark generator used to produce the paper's ground truth.
+package wfgen
+
+import (
+	"fmt"
+
+	"simcal/internal/workflow"
+)
+
+// App identifies a benchmark application from Table 1.
+type App string
+
+// The applications of Table 1.
+const (
+	Epigenomics App = "epigenomics"
+	Genome1000  App = "1000genome"
+	SoyKB       App = "soykb"
+	Montage     App = "montage"
+	Seismology  App = "seismology"
+	Chain       App = "chain"
+	Forkjoin    App = "forkjoin"
+)
+
+// RefCoreSpeed converts Table 1's "sequential work per task" seconds to
+// machine-independent ops: a task with w seconds of work carries
+// w×RefCoreSpeed ops and takes w seconds on a reference 1 Gop/s core.
+const RefCoreSpeed = 1e9
+
+// MB is one megabyte in bytes, the unit of Table 1's data footprints.
+const MB = 1e6
+
+// Spec describes one benchmark configuration.
+type Spec struct {
+	App App
+	// Tasks is the workflow size (Table 1 column "Workflow Size").
+	Tasks int
+	// WorkSeconds is the per-task sequential work in seconds on the
+	// reference core (Table 1 column "Sequential Work / task").
+	WorkSeconds float64
+	// FootprintBytes is the total size of all workflow files, including
+	// intermediates (Table 1 column "Data Footprint", converted to bytes).
+	FootprintBytes float64
+}
+
+// Name returns the canonical benchmark name for the spec.
+func (s Spec) Name() string {
+	return fmt.Sprintf("%s-n%d-w%g-d%gMB", s.App, s.Tasks, s.WorkSeconds, s.FootprintBytes/MB)
+}
+
+// AppSpec lists the parameter values Table 1 enumerates for one
+// application.
+type AppSpec struct {
+	Sizes        []int
+	WorkSeconds  []float64
+	FootprintsMB []float64
+}
+
+// Table1 reproduces the paper's Table 1: per-application workflow sizes,
+// per-task sequential work values, and data footprints.
+var Table1 = map[App]AppSpec{
+	Epigenomics: {
+		Sizes:        []int{43, 64, 86, 129, 215},
+		WorkSeconds:  []float64{0.6, 1.15, 1.73, 7.22, 73.25},
+		FootprintsMB: []float64{0, 150, 1500, 15000},
+	},
+	Genome1000: {
+		Sizes:        []int{54, 81, 108, 162, 270},
+		WorkSeconds:  []float64{0.9, 1.47, 2.11, 8.02, 80.94},
+		FootprintsMB: []float64{0, 150, 1500, 15000},
+	},
+	SoyKB: {
+		Sizes:        []int{98, 147, 196, 294, 490},
+		WorkSeconds:  []float64{0.53, 1.06, 1.6, 6.55, 74.21},
+		FootprintsMB: []float64{0, 150, 1500, 15000},
+	},
+	Montage: {
+		Sizes:        []int{60, 90, 120, 180, 300},
+		WorkSeconds:  []float64{0.59, 1.12, 1.75, 7.07, 73.13},
+		FootprintsMB: []float64{0, 150, 1500, 15000},
+	},
+	Seismology: {
+		Sizes:        []int{103, 154, 206, 309, 515},
+		WorkSeconds:  []float64{0.74, 1.28, 1.91, 8.34, 86.25},
+		FootprintsMB: []float64{0, 150, 1500, 15000},
+	},
+	Chain: {
+		Sizes:        []int{10, 25, 50},
+		WorkSeconds:  []float64{0.83, 1.36, 1.85, 5.74, 48.94},
+		FootprintsMB: []float64{0, 150, 1500},
+	},
+	Forkjoin: {
+		Sizes:        []int{10, 25, 50},
+		WorkSeconds:  []float64{0.84, 1.39, 2.05, 7.61, 70.76},
+		FootprintsMB: []float64{0, 150, 1500},
+	},
+}
+
+// RealApps lists the five real-application benchmarks.
+var RealApps = []App{Epigenomics, Genome1000, SoyKB, Montage, Seismology}
+
+// AllApps lists every benchmark application including synthetic patterns.
+var AllApps = []App{Epigenomics, Genome1000, SoyKB, Montage, Seismology, Chain, Forkjoin}
+
+// Generate builds the workflow for a spec. The structure is
+// deterministic; task work is uniform across tasks (the benchmarks are
+// designed that way) and the data footprint is spread evenly over all
+// files. It panics on unknown applications or non-positive sizes.
+func Generate(spec Spec) *workflow.Workflow {
+	if spec.Tasks < 1 {
+		panic("wfgen: workflow size must be >= 1")
+	}
+	var levels []level
+	switch spec.App {
+	case Epigenomics:
+		levels = epigenomicsLevels(spec.Tasks)
+	case Genome1000:
+		levels = genome1000Levels(spec.Tasks)
+	case SoyKB:
+		levels = soykbLevels(spec.Tasks)
+	case Montage:
+		levels = montageLevels(spec.Tasks)
+	case Seismology:
+		levels = seismologyLevels(spec.Tasks)
+	case Chain:
+		levels = chainLevels(spec.Tasks)
+	case Forkjoin:
+		levels = forkjoinLevels(spec.Tasks)
+	default:
+		panic(fmt.Sprintf("wfgen: unknown application %q", spec.App))
+	}
+	return build(spec, levels)
+}
+
+// wiring describes how a level connects to its predecessor.
+type wiring int
+
+const (
+	// wireBlock partitions the previous level into contiguous blocks,
+	// one per task of this level (fan-in), or fans a narrower previous
+	// level out over this one (fan-out).
+	wireBlock wiring = iota
+	// wireAll connects every task of the previous level to every task of
+	// this level.
+	wireAll
+)
+
+// level is one stage of a workflow: a name, a width, and how it wires to
+// the stage before it.
+type level struct {
+	name  string
+	width int
+	wire  wiring
+}
+
+// distribute splits total into k parts differing by at most one.
+func distribute(total, k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = total / k
+	}
+	for i := 0; i < total%k; i++ {
+		out[i]++
+	}
+	return out
+}
+
+func epigenomicsLevels(n int) []level {
+	// split(1) → filter(m) → sol2sanger(m) → fast2bfq(m) → map(m) →
+	// merge(1) → index(1) → pileup(1): n = 4m + 4.
+	if n < 9 {
+		return []level{{"split", 1, wireBlock}, {"map", max(1, n-2), wireBlock}, {"merge", 1, wireBlock}}
+	}
+	wide := distribute(n-4, 4)
+	return []level{
+		{"split", 1, wireBlock},
+		{"filter", wide[0], wireBlock},
+		{"sol2sanger", wide[1], wireBlock},
+		{"fast2bfq", wide[2], wireBlock},
+		{"map", wide[3], wireBlock},
+		{"merge", 1, wireBlock},
+		{"index", 1, wireBlock},
+		{"pileup", 1, wireBlock},
+	}
+}
+
+func genome1000Levels(n int) []level {
+	// individuals (wide, roots) → individuals_merge (≈10%) →
+	// analysis: mutation_overlap + frequency (≈40%, all-to-all on merges).
+	a := n / 2
+	b := max(1, n/10)
+	c := n - a - b
+	if c < 1 {
+		c = 1
+		a = n - b - c
+	}
+	return []level{
+		{"individuals", a, wireBlock},
+		{"merge", b, wireBlock},
+		{"analysis", c, wireAll},
+	}
+}
+
+func soykbLevels(n int) []level {
+	// s per-sample chains of 4 stages, then combine(1) → genotype(1):
+	// n = 4s + 2.
+	if n < 6 {
+		return chainLevels(n)
+	}
+	wide := distribute(n-2, 4)
+	return []level{
+		{"align", wide[0], wireBlock},
+		{"sort", wide[1], wireBlock},
+		{"dedup", wide[2], wireBlock},
+		{"haplotype", wide[3], wireBlock},
+		{"combine", 1, wireBlock},
+		{"genotype", 1, wireBlock},
+	}
+}
+
+func montageLevels(n int) []level {
+	// mProject(w) → mDiffFit(d≈1.5w) → mConcatFit(1) → mBgModel(1) →
+	// mBackground(w) → 4 serial tail tasks. n = 2w + d + 6.
+	if n < 13 {
+		return forkjoinLevels(n)
+	}
+	w := (n - 6) * 2 / 7
+	if w < 1 {
+		w = 1
+	}
+	d := n - 2*w - 6
+	if d < 1 {
+		d = 1
+		w = (n - 7) / 2
+	}
+	return []level{
+		{"mProject", w, wireBlock},
+		{"mDiffFit", d, wireBlock},
+		{"mConcatFit", 1, wireBlock},
+		{"mBgModel", 1, wireBlock},
+		{"mBackground", w, wireBlock},
+		{"mImgtbl", 1, wireBlock},
+		{"mAdd", 1, wireBlock},
+		{"mShrink", 1, wireBlock},
+		{"mJPEG", 1, wireBlock},
+	}
+}
+
+func seismologyLevels(n int) []level {
+	// Wide deconvolution fan-in to a single wrapper task.
+	return []level{
+		{"sG1IterDecon", max(1, n-1), wireBlock},
+		{"wrapper", 1, wireBlock},
+	}
+}
+
+func chainLevels(n int) []level {
+	levels := make([]level, n)
+	for i := range levels {
+		levels[i] = level{fmt.Sprintf("stage%03d", i), 1, wireBlock}
+	}
+	return levels
+}
+
+func forkjoinLevels(n int) []level {
+	if n <= 2 {
+		return chainLevels(n)
+	}
+	return []level{
+		{"fork", 1, wireBlock},
+		{"work", n - 2, wireBlock},
+		{"join", 1, wireBlock},
+	}
+}
+
+// build assembles the workflow from levels: tasks, dependencies, files,
+// and the evenly spread data footprint.
+func build(spec Spec, levels []level) *workflow.Workflow {
+	w := workflow.New(spec.Name())
+	workOps := spec.WorkSeconds * RefCoreSpeed
+	var prev []*workflow.Task
+	total := 0
+	for li, lv := range levels {
+		cur := make([]*workflow.Task, lv.width)
+		for i := range cur {
+			t := &workflow.Task{
+				Name: fmt.Sprintf("%s_%02d_%04d", lv.name, li, i),
+				Work: workOps,
+			}
+			w.AddTask(t)
+			cur[i] = t
+			total++
+		}
+		if li > 0 {
+			wire(w, prev, cur, lv.wire)
+		}
+		prev = cur
+	}
+	if total != spec.Tasks {
+		// Level arithmetic distributes remainders; sizes always match by
+		// construction. A mismatch is a generator bug.
+		panic(fmt.Sprintf("wfgen: generated %d tasks for spec of %d", total, spec.Tasks))
+	}
+	attachFiles(w, spec.FootprintBytes)
+	if err := w.Validate(); err != nil {
+		panic("wfgen: generated invalid workflow: " + err.Error())
+	}
+	return w
+}
+
+// wire connects two consecutive levels.
+func wire(w *workflow.Workflow, parents, children []*workflow.Task, mode wiring) {
+	switch mode {
+	case wireAll:
+		for _, p := range parents {
+			for _, c := range children {
+				w.AddDependency(p, c)
+			}
+		}
+	default: // wireBlock
+		if len(parents) >= len(children) {
+			// Fan-in: contiguous blocks of parents per child.
+			blocks := distribute(len(parents), len(children))
+			idx := 0
+			for ci, c := range children {
+				for k := 0; k < blocks[ci]; k++ {
+					w.AddDependency(parents[idx], c)
+					idx++
+				}
+			}
+		} else {
+			// Fan-out: contiguous blocks of children per parent.
+			blocks := distribute(len(children), len(parents))
+			idx := 0
+			for pi, p := range parents {
+				for k := 0; k < blocks[pi]; k++ {
+					w.AddDependency(p, children[idx])
+					idx++
+				}
+			}
+		}
+	}
+}
+
+// attachFiles gives every task one output file, every root one workflow
+// input file, and wires child inputs to parent outputs. The footprint is
+// spread evenly over all files.
+func attachFiles(w *workflow.Workflow, footprint float64) {
+	nFiles := len(w.Tasks) + len(w.Roots())
+	size := 0.0
+	if nFiles > 0 {
+		size = footprint / float64(nFiles)
+	}
+	for _, t := range w.Tasks {
+		out := t.Name + "_out"
+		w.AddFile(out, size)
+		t.Outputs = []string{out}
+	}
+	for _, t := range w.Tasks {
+		if len(t.Parents) == 0 {
+			in := t.Name + "_in"
+			w.AddFile(in, size)
+			t.Inputs = []string{in}
+			continue
+		}
+		for _, p := range t.Parents {
+			t.Inputs = append(t.Inputs, p+"_out")
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

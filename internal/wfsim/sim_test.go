@@ -1,0 +1,460 @@
+package wfsim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"simcal/internal/core"
+	"simcal/internal/stats"
+	"simcal/internal/workflow"
+)
+
+// plainCfg is a convenient noiseless configuration.
+func plainCfg() Config {
+	return Config{
+		CoreSpeed: 100,  // ops/s
+		DiskBW:    1000, // B/s
+		DiskConc:  0,
+		LinkBW:    500, // B/s
+		LinkLat:   0,
+		SharedBW:  500,
+		SharedLat: 0,
+		SubmitOvh: 0, PreOvh: 0, PostOvh: 0,
+		WorkerCores: 4,
+	}
+}
+
+// singleTask builds a workflow with one task and optional input/output
+// file sizes.
+func singleTask(work, inSize, outSize float64) *workflow.Workflow {
+	w := workflow.New("single")
+	t := w.AddTask(&workflow.Task{Name: "t", Work: work})
+	if inSize >= 0 {
+		w.AddFile("in", inSize)
+		t.Inputs = []string{"in"}
+	}
+	if outSize >= 0 {
+		w.AddFile("out", outSize)
+		t.Outputs = []string{"out"}
+	}
+	return w
+}
+
+func TestSingleTaskComputeOnly(t *testing.T) {
+	wf := singleTask(1000, -1, -1)
+	res, err := Simulate(LowestDetail, plainCfg(), Scenario{Workflow: wf, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-10) > 1e-9 {
+		t.Errorf("makespan = %v, want 10 (1000 ops / 100 ops/s)", res.Makespan)
+	}
+	if math.Abs(res.TaskTimes["t"]-10) > 1e-9 {
+		t.Errorf("task time = %v, want 10", res.TaskTimes["t"])
+	}
+}
+
+func TestSingleTaskWithFilesSubmitOnly(t *testing.T) {
+	wf := singleTask(1000, 2000, 1000)
+	res, err := Simulate(LowestDetail, plainCfg(), Scenario{Workflow: wf, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage-in: disk read 2000/1000=2s, transfer 2000/500=4s.
+	// Compute: 10s. Stage-out: transfer 1000/500=2s, disk write 1s.
+	want := 2.0 + 4 + 10 + 2 + 1
+	if math.Abs(res.Makespan-want) > 1e-9 {
+		t.Errorf("makespan = %v, want %v", res.Makespan, want)
+	}
+}
+
+func TestAllNodesStorageAddsLocalIO(t *testing.T) {
+	wf := singleTask(1000, 2000, 1000)
+	v := Version{Network: OneLink, Storage: AllNodes, Compute: Direct}
+	res, err := Simulate(v, plainCfg(), Scenario{Workflow: wf, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adds local write 2s on stage-in and local read 1s on stage-out.
+	want := 2.0 + 4 + 2 + 10 + 1 + 2 + 1
+	if math.Abs(res.Makespan-want) > 1e-9 {
+		t.Errorf("makespan = %v, want %v", res.Makespan, want)
+	}
+}
+
+func TestHTCondorOverheads(t *testing.T) {
+	wf := singleTask(1000, -1, -1)
+	cfg := plainCfg()
+	cfg.SubmitOvh, cfg.PreOvh, cfg.PostOvh = 3, 2, 1
+	v := Version{Network: OneLink, Storage: SubmitOnly, Compute: HTCondor}
+	res, err := Simulate(v, cfg, Scenario{Workflow: wf, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3.0 + 2 + 10 + 1
+	if math.Abs(res.Makespan-want) > 1e-9 {
+		t.Errorf("makespan = %v, want %v", res.Makespan, want)
+	}
+	// Direct mode must ignore overheads even if set in the config.
+	res2, err := Simulate(LowestDetail, cfg, Scenario{Workflow: wf, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res2.Makespan-10) > 1e-9 {
+		t.Errorf("direct makespan = %v, want 10", res2.Makespan)
+	}
+}
+
+func TestLinkLatencyApplied(t *testing.T) {
+	wf := singleTask(0, 1000, -1)
+	cfg := plainCfg()
+	cfg.LinkLat = 0.5
+	res, err := Simulate(LowestDetail, cfg, Scenario{Workflow: wf, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// disk read 1s + latency 0.5 + transfer 2s.
+	if math.Abs(res.Makespan-3.5) > 1e-9 {
+		t.Errorf("makespan = %v, want 3.5", res.Makespan)
+	}
+}
+
+// chainWF builds a no-file chain of n tasks with the given work.
+func chainWF(n int, work float64) *workflow.Workflow {
+	w := workflow.New("chain")
+	var prev *workflow.Task
+	for i := 0; i < n; i++ {
+		t := w.AddTask(&workflow.Task{Name: fmt.Sprintf("t%03d", i), Work: work})
+		if prev != nil {
+			w.AddDependency(prev, t)
+		}
+		prev = t
+	}
+	return w
+}
+
+func TestChainSerializes(t *testing.T) {
+	wf := chainWF(5, 100)
+	res, err := Simulate(LowestDetail, plainCfg(), Scenario{Workflow: wf, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-5) > 1e-9 {
+		t.Errorf("chain makespan = %v, want 5", res.Makespan)
+	}
+}
+
+// forkjoinWF builds fork → n parallel → join, no files.
+func forkjoinWF(n int, work float64) *workflow.Workflow {
+	w := workflow.New("fj")
+	fork := w.AddTask(&workflow.Task{Name: "a_fork", Work: work})
+	join := w.AddTask(&workflow.Task{Name: "z_join", Work: work})
+	for i := 0; i < n; i++ {
+		t := w.AddTask(&workflow.Task{Name: fmt.Sprintf("m%03d", i), Work: work})
+		w.AddDependency(fork, t)
+		w.AddDependency(t, join)
+	}
+	return w
+}
+
+func TestForkjoinParallelism(t *testing.T) {
+	// 8 middle tasks, 2 workers × 4 cores → one wave.
+	wf := forkjoinWF(8, 100)
+	res, err := Simulate(LowestDetail, plainCfg(), Scenario{Workflow: wf, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-3) > 1e-9 {
+		t.Errorf("forkjoin makespan = %v, want 3 (three waves of 1s)", res.Makespan)
+	}
+}
+
+func TestMoreWorkersFasterWithManyTasks(t *testing.T) {
+	wf := forkjoinWF(32, 100)
+	cfg := plainCfg()
+	m1, err := Simulate(LowestDetail, cfg, Scenario{Workflow: wf, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4, err := Simulate(LowestDetail, cfg, Scenario{Workflow: wf, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m4.Makespan >= m1.Makespan {
+		t.Errorf("4 workers (%v) not faster than 1 (%v)", m4.Makespan, m1.Makespan)
+	}
+}
+
+func TestStarFasterThanOneLinkUnderContention(t *testing.T) {
+	// Many concurrent transfers: star's dedicated links win.
+	wf := workflow.New("wide")
+	for i := 0; i < 8; i++ {
+		task := w2task(wf, i)
+		_ = task
+	}
+	cfg := plainCfg()
+	one, err := Simulate(Version{OneLink, SubmitOnly, Direct}, cfg, Scenario{Workflow: wf, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, err := Simulate(Version{Star, SubmitOnly, Direct}, cfg, Scenario{Workflow: wf, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if star.Makespan >= one.Makespan {
+		t.Errorf("star (%v) not faster than one-link (%v) under contention", star.Makespan, one.Makespan)
+	}
+}
+
+// w2task adds an independent task with a large input file.
+func w2task(wf *workflow.Workflow, i int) *workflow.Task {
+	name := fmt.Sprintf("w%03d", i)
+	t := wf.AddTask(&workflow.Task{Name: name, Work: 10})
+	wf.AddFile(name+"_in", 5000)
+	t.Inputs = []string{name + "_in"}
+	return t
+}
+
+func TestSeriesSharedSegmentBottleneck(t *testing.T) {
+	wf := workflow.New("wide")
+	for i := 0; i < 8; i++ {
+		w2task(wf, i)
+	}
+	cfg := plainCfg()
+	cfg.LinkBW = 1e9 // dedicated links effectively infinite
+	cfg.SharedBW = 500
+	series, err := Simulate(Version{Series, SubmitOnly, Direct}, cfg, Scenario{Workflow: wf, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 8 transfers share the 500 B/s segment: 8×5000/500 = 80s of
+	// serialized bandwidth (disk is 1000 B/s: reads add pipeline offset).
+	if series.Makespan < 80 {
+		t.Errorf("series makespan = %v, want >= 80 (shared bottleneck)", series.Makespan)
+	}
+}
+
+func TestDiskConcurrencyLimitSlowsStageIn(t *testing.T) {
+	wf := workflow.New("wide")
+	for i := 0; i < 8; i++ {
+		w2task(wf, i)
+	}
+	cfg := plainCfg()
+	cfg.DiskConc = 1
+	limited, err := Simulate(LowestDetail, cfg, Scenario{Workflow: wf, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DiskConc = 0
+	unlimited, err := Simulate(LowestDetail, cfg, Scenario{Workflow: wf, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The concurrency cap changes I/O pipelining: staggered reads start
+	// transfers earlier, unlimited reads batch them. Either way the
+	// parameter must be observable in the makespan — that is what makes
+	// it calibratable.
+	if limited.Makespan == unlimited.Makespan {
+		t.Errorf("disk concurrency cap has no observable effect (both %v)", limited.Makespan)
+	}
+}
+
+func TestDeterministicWithoutNoise(t *testing.T) {
+	wf := forkjoinWF(16, 250)
+	a, err := Simulate(HighestDetail, validHighCfg(), Scenario{Workflow: wf, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(HighestDetail, validHighCfg(), Scenario{Workflow: wf, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Errorf("nondeterministic: %v vs %v", a.Makespan, b.Makespan)
+	}
+	for k := range a.TaskTimes {
+		if a.TaskTimes[k] != b.TaskTimes[k] {
+			t.Fatalf("task %s time differs", k)
+		}
+	}
+}
+
+func validHighCfg() Config {
+	cfg := plainCfg()
+	cfg.SubmitOvh, cfg.PreOvh, cfg.PostOvh = 1, 0.5, 0.25
+	return cfg
+}
+
+func TestNoiseProducesVarianceWithStableMean(t *testing.T) {
+	wf := forkjoinWF(8, 1000)
+	base, err := Simulate(LowestDetail, plainCfg(), Scenario{Workflow: wf, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms []float64
+	for seed := int64(0); seed < 30; seed++ {
+		cfg := plainCfg()
+		cfg.Noise = &NoiseModel{Seed: seed, WorkSpread: 0.05, OverheadSpread: 0.05, MachineSpread: 0.02}
+		r, err := Simulate(LowestDetail, cfg, Scenario{Workflow: wf, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, r.Makespan)
+	}
+	if stats.StdDev(ms) == 0 {
+		t.Error("noise produced no variance")
+	}
+	if math.Abs(stats.Mean(ms)-base.Makespan) > 0.15*base.Makespan {
+		t.Errorf("noisy mean %v far from deterministic %v", stats.Mean(ms), base.Makespan)
+	}
+}
+
+func TestSimulateRejectsBadInputs(t *testing.T) {
+	wf := singleTask(10, -1, -1)
+	if _, err := Simulate(LowestDetail, plainCfg(), Scenario{Workflow: wf, Workers: 0}); err == nil {
+		t.Error("0 workers accepted")
+	}
+	if _, err := Simulate(LowestDetail, plainCfg(), Scenario{Workflow: nil, Workers: 1}); err == nil {
+		t.Error("nil workflow accepted")
+	}
+	bad := plainCfg()
+	bad.CoreSpeed = 0
+	if _, err := Simulate(LowestDetail, bad, Scenario{Workflow: wf, Workers: 1}); err == nil {
+		t.Error("zero core speed accepted")
+	}
+	bad = plainCfg()
+	bad.SharedBW = 0
+	if _, err := Simulate(Version{Series, SubmitOnly, Direct}, bad, Scenario{Workflow: wf, Workers: 1}); err == nil {
+		t.Error("series with zero shared bandwidth accepted")
+	}
+}
+
+func TestAllVersionsRunAllTasks(t *testing.T) {
+	wf := forkjoinWF(12, 100)
+	wfWithFiles := workflow.New("files")
+	prev := wfWithFiles.AddTask(&workflow.Task{Name: "a", Work: 50})
+	wfWithFiles.AddFile("a_out", 300)
+	prev.Outputs = []string{"a_out"}
+	next := wfWithFiles.AddTask(&workflow.Task{Name: "b", Work: 50, Inputs: []string{"a_out"}})
+	wfWithFiles.AddDependency(prev, next)
+	for _, v := range AllVersions() {
+		for _, w := range []*workflow.Workflow{wf, wfWithFiles} {
+			res, err := Simulate(v, validHighCfg(), Scenario{Workflow: w, Workers: 2})
+			if err != nil {
+				t.Fatalf("%s: %v", v.Name(), err)
+			}
+			if len(res.TaskTimes) != w.Size() {
+				t.Fatalf("%s: %d task times for %d tasks", v.Name(), len(res.TaskTimes), w.Size())
+			}
+			if res.Makespan <= 0 {
+				t.Fatalf("%s: non-positive makespan", v.Name())
+			}
+		}
+	}
+}
+
+func TestVersionSpaces(t *testing.T) {
+	if len(AllVersions()) != 12 {
+		t.Fatalf("got %d versions, want 12", len(AllVersions()))
+	}
+	if got := len(HighestDetail.Space()); got != 10 {
+		t.Errorf("highest detail has %d params, want 10", got)
+	}
+	if got := len(LowestDetail.Space()); got != 5 {
+		t.Errorf("lowest detail has %d params, want 5", got)
+	}
+	for _, v := range AllVersions() {
+		sp := v.Space()
+		if err := sp.Validate(); err != nil {
+			t.Errorf("%s: invalid space: %v", v.Name(), err)
+		}
+		// Decode a mid-cube point and check plausibility.
+		u := make([]float64, sp.Dim())
+		for i := range u {
+			u[i] = 0.5
+		}
+		cfg := v.DecodeConfig(sp.Decode(u))
+		if cfg.CoreSpeed <= 0 || cfg.LinkBW <= 0 || cfg.DiskBW <= 0 {
+			t.Errorf("%s: decoded non-positive resources", v.Name())
+		}
+		if v.Network == Series && cfg.SharedBW <= 0 {
+			t.Errorf("%s: decoded non-positive shared bandwidth", v.Name())
+		}
+		if v.Compute == HTCondor && (cfg.SubmitOvh < 0 || cfg.SubmitOvh > 20) {
+			t.Errorf("%s: decoded overhead out of range", v.Name())
+		}
+	}
+}
+
+func TestVersionNames(t *testing.T) {
+	v := Version{Series, AllNodes, HTCondor}
+	if v.Name() != "series/all-nodes/htcondor" {
+		t.Errorf("Name = %q", v.Name())
+	}
+	names := map[string]bool{}
+	for _, v := range AllVersions() {
+		if names[v.Name()] {
+			t.Fatalf("duplicate version name %s", v.Name())
+		}
+		names[v.Name()] = true
+	}
+}
+
+func TestTable1WorkflowSimulatesEndToEnd(t *testing.T) {
+	// Smoke: a real generated benchmark at realistic parameter scales.
+	cfg := Config{
+		CoreSpeed: 1e9, DiskBW: 250e6, DiskConc: 16,
+		LinkBW: 1.25e9, LinkLat: 1e-4,
+		SubmitOvh: 1, PreOvh: 0.5, PostOvh: 0.3,
+	}
+	v := Version{Star, AllNodes, HTCondor}
+	wf := genBench(t)
+	res, err := Simulate(v, cfg, Scenario{Workflow: wf, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 || len(res.TaskTimes) != wf.Size() {
+		t.Fatalf("bad result: makespan=%v tasks=%d", res.Makespan, len(res.TaskTimes))
+	}
+}
+
+func genBench(t *testing.T) *workflow.Workflow {
+	t.Helper()
+	// Inline import loop avoidance: construct an epigenomics-like
+	// pipeline by hand at Table 1 scale.
+	wf := workflow.New("bench")
+	split := wf.AddTask(&workflow.Task{Name: "a_split", Work: 1.15e9})
+	wf.AddFile("input", 10e6)
+	split.Inputs = []string{"input"}
+	merge := wf.AddTask(&workflow.Task{Name: "z_merge", Work: 1.15e9})
+	for i := 0; i < 60; i++ {
+		name := fmt.Sprintf("map%03d", i)
+		task := wf.AddTask(&workflow.Task{Name: name, Work: 1.15e9})
+		wf.AddDependency(split, task)
+		wf.AddDependency(task, merge)
+		wf.AddFile(name+"_out", 2e6)
+		task.Outputs = []string{name + "_out"}
+		merge.Inputs = append(merge.Inputs, name+"_out")
+	}
+	if err := wf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return wf
+}
+
+func TestDecodeConfigFromSpace(t *testing.T) {
+	v := HighestDetail
+	sp := v.Space()
+	pt := core.Point{}
+	for _, s := range sp {
+		pt[s.Name] = s.Value(0.5)
+	}
+	cfg := v.DecodeConfig(pt)
+	if cfg.CoreSpeed != math.Pow(2, 30) {
+		t.Errorf("CoreSpeed = %v, want 2^30", cfg.CoreSpeed)
+	}
+	if cfg.DiskConc < 1 || cfg.DiskConc > 100 {
+		t.Errorf("DiskConc = %v out of range", cfg.DiskConc)
+	}
+}

@@ -1,0 +1,91 @@
+package wfsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// TaskTrace records the phases of one task's simulated execution — the
+// repository's analogue of a Pegasus/HTCondor job log entry.
+type TaskTrace struct {
+	Task   string
+	Worker int
+	// Dispatch is when the WMS assigned the task to a worker core.
+	Dispatch float64
+	// StageInStart/StageInEnd bracket input staging (after any HTCondor
+	// submit overhead).
+	StageInStart, StageInEnd float64
+	// ComputeStart/ComputeEnd bracket the computation phase.
+	ComputeStart, ComputeEnd float64
+	// StageOutEnd is when output staging completed.
+	StageOutEnd float64
+	// End is task completion (after any HTCondor post overhead).
+	End float64
+}
+
+// Walltime returns the job walltime (dispatch to completion).
+func (t TaskTrace) Walltime() float64 { return t.End - t.Dispatch }
+
+// RenderGantt renders traces as a fixed-width text Gantt chart with one
+// row per task ('.' queued/overhead, '<' stage-in, '#' compute,
+// '>' stage-out), for quick schedule inspection. width is the number of
+// character columns for the time axis (default 80).
+func RenderGantt(traces []TaskTrace, width int) string {
+	if len(traces) == 0 {
+		return "(empty trace)\n"
+	}
+	if width <= 0 {
+		width = 80
+	}
+	end := 0.0
+	nameW := 0
+	rows := append([]TaskTrace(nil), traces...)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Dispatch != rows[j].Dispatch {
+			return rows[i].Dispatch < rows[j].Dispatch
+		}
+		return rows[i].Task < rows[j].Task
+	})
+	for _, t := range rows {
+		if t.End > end {
+			end = t.End
+		}
+		if len(t.Task) > nameW {
+			nameW = len(t.Task)
+		}
+	}
+	if end <= 0 {
+		end = 1
+	}
+	col := func(x float64) int {
+		c := int(math.Floor(x / end * float64(width)))
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s  w   |%s| t=[0, %.2fs]\n", nameW, "task", strings.Repeat("-", width), end)
+	for _, t := range rows {
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		fill := func(from, to float64, ch byte) {
+			for i := col(from); i <= col(to) && i < width; i++ {
+				line[i] = ch
+			}
+		}
+		fill(t.Dispatch, t.End, '.')
+		fill(t.StageInStart, t.StageInEnd, '<')
+		fill(t.ComputeStart, t.ComputeEnd, '#')
+		fill(t.ComputeEnd, t.StageOutEnd, '>')
+		fmt.Fprintf(&b, "%-*s  %-3d |%s|\n", nameW, t.Task, t.Worker, string(line))
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package wfsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceRecordsPhases(t *testing.T) {
+	wf := singleTask(1000, 2000, 1000)
+	cfg := plainCfg()
+	cfg.SubmitOvh, cfg.PreOvh, cfg.PostOvh = 3, 2, 1
+	v := Version{Network: OneLink, Storage: SubmitOnly, Compute: HTCondor}
+	res, err := Simulate(v, cfg, Scenario{Workflow: wf, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 1 {
+		t.Fatalf("trace entries = %d, want 1", len(res.Trace))
+	}
+	tr := res.Trace[0]
+	if tr.Task != "t" || tr.Worker != 0 {
+		t.Errorf("identity wrong: %+v", tr)
+	}
+	// Phases: dispatch 0, stage-in at 3 (submit overhead), stage-in ends
+	// 3+2+4=9, compute starts 9+2=11, ends 21, stage-out ends 21+2+1=24,
+	// end 24+1=25.
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"Dispatch", tr.Dispatch, 0},
+		{"StageInStart", tr.StageInStart, 3},
+		{"StageInEnd", tr.StageInEnd, 9},
+		{"ComputeStart", tr.ComputeStart, 11},
+		{"ComputeEnd", tr.ComputeEnd, 21},
+		{"StageOutEnd", tr.StageOutEnd, 24},
+		{"End", tr.End, 25},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	if tr.Walltime() != 25 {
+		t.Errorf("Walltime = %v, want 25", tr.Walltime())
+	}
+	if res.TaskTimes["t"] != tr.Walltime() {
+		t.Error("TaskTimes and Trace disagree")
+	}
+}
+
+func TestTracePhaseOrderingInvariant(t *testing.T) {
+	wf := forkjoinWF(12, 300)
+	for _, v := range AllVersions() {
+		res, err := Simulate(v, validHighCfg(), Scenario{Workflow: wf, Workers: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", v.Name(), err)
+		}
+		if len(res.Trace) != wf.Size() {
+			t.Fatalf("%s: trace entries = %d, want %d", v.Name(), len(res.Trace), wf.Size())
+		}
+		for _, tr := range res.Trace {
+			ok := tr.Dispatch <= tr.StageInStart &&
+				tr.StageInStart <= tr.StageInEnd &&
+				tr.StageInEnd <= tr.ComputeStart &&
+				tr.ComputeStart <= tr.ComputeEnd &&
+				tr.ComputeEnd <= tr.StageOutEnd &&
+				tr.StageOutEnd <= tr.End
+			if !ok {
+				t.Fatalf("%s: phases out of order: %+v", v.Name(), tr)
+			}
+			if tr.Worker < 0 || tr.Worker >= 3 {
+				t.Fatalf("%s: bad worker %d", v.Name(), tr.Worker)
+			}
+		}
+	}
+}
+
+func TestRenderGantt(t *testing.T) {
+	wf := forkjoinWF(4, 300)
+	res, err := Simulate(LowestDetail, plainCfg(), Scenario{Workflow: wf, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderGantt(res.Trace, 60)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != len(res.Trace)+1 {
+		t.Fatalf("gantt lines = %d, want %d", len(lines), len(res.Trace)+1)
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("gantt missing compute marks")
+	}
+	if !strings.Contains(lines[0], "t=[0,") {
+		t.Errorf("gantt header wrong: %q", lines[0])
+	}
+	if RenderGantt(nil, 40) != "(empty trace)\n" {
+		t.Error("empty trace rendering wrong")
+	}
+}

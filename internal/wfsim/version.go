@@ -1,0 +1,202 @@
+// Package wfsim implements the workflow simulator of case study #1: a
+// WRENCH-style simulator of Pegasus/HTCondor workflow executions on a
+// submit node plus n workers, implemented at 12 selectable levels of
+// detail (Table 2): 3 network options × 2 storage options × 2 compute
+// options. Each version exposes exactly the calibratable parameters its
+// level of detail introduces, from 5 (lowest) to 10 (highest).
+package wfsim
+
+import (
+	"fmt"
+
+	"simcal/internal/core"
+)
+
+// NetworkOption selects the network level of detail (Table 2, rows).
+type NetworkOption int
+
+const (
+	// OneLink abstracts the whole network as one shared link.
+	OneLink NetworkOption = iota
+	// Star gives each worker a dedicated link to the submit node.
+	Star
+	// Series routes through a shared link out of the submit node in
+	// series with a dedicated link per worker.
+	Series
+)
+
+func (n NetworkOption) String() string {
+	switch n {
+	case OneLink:
+		return "one-link"
+	case Star:
+		return "star"
+	case Series:
+		return "series"
+	default:
+		return fmt.Sprintf("NetworkOption(%d)", int(n))
+	}
+}
+
+// StorageOption selects the storage level of detail.
+type StorageOption int
+
+const (
+	// SubmitOnly simulates storage only at the submit node.
+	SubmitOnly StorageOption = iota
+	// AllNodes simulates storage at the submit node and every worker.
+	AllNodes
+)
+
+func (s StorageOption) String() string {
+	switch s {
+	case SubmitOnly:
+		return "submit-only"
+	case AllNodes:
+		return "all-nodes"
+	default:
+		return fmt.Sprintf("StorageOption(%d)", int(s))
+	}
+}
+
+// ComputeOption selects the compute level of detail.
+type ComputeOption int
+
+const (
+	// Direct submits tasks straight to workers, with no middleware
+	// overheads.
+	Direct ComputeOption = iota
+	// HTCondor routes tasks through a simulated HTCondor pool, adding
+	// per-phase overheads (dispatch, pre-compute, post-compute).
+	HTCondor
+)
+
+func (c ComputeOption) String() string {
+	switch c {
+	case Direct:
+		return "direct"
+	case HTCondor:
+		return "htcondor"
+	default:
+		return fmt.Sprintf("ComputeOption(%d)", int(c))
+	}
+}
+
+// Version is one of the 12 simulator versions of Table 2.
+type Version struct {
+	Network NetworkOption
+	Storage StorageOption
+	Compute ComputeOption
+}
+
+// Name returns a stable identifier like "series/all-nodes/htcondor".
+func (v Version) Name() string {
+	return fmt.Sprintf("%s/%s/%s", v.Network, v.Storage, v.Compute)
+}
+
+// AllVersions enumerates the 12 versions in a deterministic order.
+func AllVersions() []Version {
+	var out []Version
+	for _, c := range []ComputeOption{Direct, HTCondor} {
+		for _, n := range []NetworkOption{OneLink, Star, Series} {
+			for _, s := range []StorageOption{SubmitOnly, AllNodes} {
+				out = append(out, Version{Network: n, Storage: s, Compute: c})
+			}
+		}
+	}
+	return out
+}
+
+// HighestDetail is the version with the most parameters (10): series
+// network, storage everywhere, HTCondor.
+var HighestDetail = Version{Network: Series, Storage: AllNodes, Compute: HTCondor}
+
+// LowestDetail is the version with the fewest parameters (5).
+var LowestDetail = Version{Network: OneLink, Storage: SubmitOnly, Compute: Direct}
+
+// Parameter names used across versions.
+const (
+	ParamCoreSpeed = "core_speed_exp"         // 2^x ops/s
+	ParamDiskBW    = "disk_bw_exp"            // 2^x bytes/s
+	ParamDiskConc  = "disk_concurrency"       // max concurrent I/O ops
+	ParamLinkBW    = "link_bw_exp"            // 2^x bytes/s (one-link, star, series dedicated)
+	ParamLinkLat   = "link_latency"           // seconds
+	ParamSharedBW  = "shared_bw_exp"          // 2^x bytes/s (series shared segment)
+	ParamSharedLat = "shared_latency"         // seconds
+	ParamSubmitOvh = "condor_submit_overhead" // seconds before stage-in
+	ParamPreOvh    = "condor_pre_overhead"    // seconds before compute
+	ParamPostOvh   = "condor_post_overhead"   // seconds after stage-out
+)
+
+// Space returns the calibration search space for the version, using the
+// paper's broad ranges: bandwidths and speeds 2^x for 20 ≤ x ≤ 40
+// (searched in exponent space), latencies in [0, 10ms], overheads in
+// [0, 20s], and disk concurrency in [1, 100].
+func (v Version) Space() core.Space {
+	sp := core.Space{
+		{Name: ParamCoreSpeed, Kind: core.Exponential, Min: 20, Max: 40},
+		{Name: ParamDiskBW, Kind: core.Exponential, Min: 20, Max: 40},
+		{Name: ParamDiskConc, Kind: core.Integer, Min: 1, Max: 100},
+		{Name: ParamLinkBW, Kind: core.Exponential, Min: 20, Max: 40},
+		{Name: ParamLinkLat, Kind: core.Continuous, Min: 0, Max: 0.010},
+	}
+	if v.Network == Series {
+		sp = append(sp,
+			core.ParamSpec{Name: ParamSharedBW, Kind: core.Exponential, Min: 20, Max: 40},
+			core.ParamSpec{Name: ParamSharedLat, Kind: core.Continuous, Min: 0, Max: 0.010},
+		)
+	}
+	if v.Compute == HTCondor {
+		sp = append(sp,
+			core.ParamSpec{Name: ParamSubmitOvh, Kind: core.Continuous, Min: 0, Max: 20},
+			core.ParamSpec{Name: ParamPreOvh, Kind: core.Continuous, Min: 0, Max: 20},
+			core.ParamSpec{Name: ParamPostOvh, Kind: core.Continuous, Min: 0, Max: 20},
+		)
+	}
+	return sp
+}
+
+// Config holds decoded parameter values for one simulation.
+type Config struct {
+	CoreSpeed float64 // ops/s per core
+	DiskBW    float64 // bytes/s
+	DiskConc  int     // max concurrent I/O operations per disk
+	LinkBW    float64 // bytes/s, dedicated/macro link
+	LinkLat   float64 // seconds
+	SharedBW  float64 // bytes/s, series shared segment
+	SharedLat float64 // seconds
+	SubmitOvh float64 // seconds (HTCondor dispatch)
+	PreOvh    float64 // seconds (HTCondor pre-compute)
+	PostOvh   float64 // seconds (HTCondor post-compute)
+
+	// WorkerCores is the number of cores per worker node (48 on the
+	// ground-truth platform). Zero defaults to 48.
+	WorkerCores int
+
+	// Noise, when non-nil, makes the simulation stochastic — used only
+	// by the ground-truth generator, never by calibrated simulators.
+	Noise *NoiseModel
+}
+
+// DecodeConfig maps a calibration point into a Config for this version.
+// Parameters not present in the version's space keep zero values (and
+// are not used by the simulation at that level of detail).
+func (v Version) DecodeConfig(p core.Point) Config {
+	cfg := Config{
+		CoreSpeed: p[ParamCoreSpeed],
+		DiskBW:    p[ParamDiskBW],
+		DiskConc:  int(p[ParamDiskConc]),
+		LinkBW:    p[ParamLinkBW],
+		LinkLat:   p[ParamLinkLat],
+	}
+	if v.Network == Series {
+		cfg.SharedBW = p[ParamSharedBW]
+		cfg.SharedLat = p[ParamSharedLat]
+	}
+	if v.Compute == HTCondor {
+		cfg.SubmitOvh = p[ParamSubmitOvh]
+		cfg.PreOvh = p[ParamPreOvh]
+		cfg.PostOvh = p[ParamPostOvh]
+	}
+	return cfg
+}

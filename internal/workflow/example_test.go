@@ -1,0 +1,34 @@
+package workflow_test
+
+import (
+	"fmt"
+
+	"simcal/internal/workflow"
+)
+
+// Example builds a small fork-join workflow, validates it, and inspects
+// its structure.
+func Example() {
+	w := workflow.New("demo")
+	fork := w.AddTask(&workflow.Task{Name: "fork", Work: 1e9})
+	join := w.AddTask(&workflow.Task{Name: "join", Work: 1e9})
+	for i := 0; i < 3; i++ {
+		t := w.AddTask(&workflow.Task{Name: fmt.Sprintf("work%d", i), Work: 2e9})
+		w.AddDependency(fork, t)
+		w.AddDependency(t, join)
+	}
+	w.AddFile("input.dat", 1e6)
+	fork.Inputs = []string{"input.dat"}
+
+	if err := w.Validate(); err != nil {
+		panic(err)
+	}
+	order, _ := w.TopoOrder()
+	fmt.Printf("tasks: %d, roots: %d\n", w.Size(), len(w.Roots()))
+	fmt.Printf("first: %s, last: %s\n", order[0].Name, order[len(order)-1].Name)
+	fmt.Printf("critical path: %.0f ops\n", w.CriticalPathWork())
+	// Output:
+	// tasks: 5, roots: 1
+	// first: fork, last: join
+	// critical path: 4000000000 ops
+}

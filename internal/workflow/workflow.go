@@ -1,0 +1,284 @@
+// Package workflow models scientific workflows as DAGs of tasks that
+// read and write files — the WfCommons-style representation consumed by
+// the workflow simulator of case study #1. It includes a JSON
+// serialization closely following the WfCommons WfFormat subset the
+// paper's simulator takes as input.
+package workflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// File is a workflow data file.
+type File struct {
+	// Name identifies the file within the workflow.
+	Name string `json:"id"`
+	// Size is the file size in bytes.
+	Size float64 `json:"sizeInBytes"`
+}
+
+// Task is a unit of computation.
+type Task struct {
+	// Name identifies the task within the workflow.
+	Name string `json:"name"`
+	// Work is the task's sequential computation in machine-independent
+	// operations (ops). A task running alone on a core of speed s ops/s
+	// takes Work/s seconds.
+	Work float64 `json:"work"`
+	// Inputs and Outputs name the files the task reads and writes.
+	Inputs  []string `json:"inputFiles,omitempty"`
+	Outputs []string `json:"outputFiles,omitempty"`
+	// Parents and Children name control dependencies. Data dependencies
+	// implied by files must be consistent with them.
+	Parents  []string `json:"parents,omitempty"`
+	Children []string `json:"children,omitempty"`
+}
+
+// Workflow is a DAG of tasks plus its file inventory.
+type Workflow struct {
+	// Name identifies the workflow (application + configuration).
+	Name  string
+	Tasks []*Task
+	Files map[string]*File
+
+	byName map[string]*Task
+}
+
+// New returns an empty workflow.
+func New(name string) *Workflow {
+	return &Workflow{Name: name, Files: make(map[string]*File), byName: make(map[string]*Task)}
+}
+
+// AddFile registers a file. Re-adding an existing name panics.
+func (w *Workflow) AddFile(name string, size float64) *File {
+	if _, dup := w.Files[name]; dup {
+		panic("workflow: duplicate file " + name)
+	}
+	f := &File{Name: name, Size: size}
+	w.Files[name] = f
+	return f
+}
+
+// AddTask registers a task. Duplicate names panic.
+func (w *Workflow) AddTask(t *Task) *Task {
+	if _, dup := w.byName[t.Name]; dup {
+		panic("workflow: duplicate task " + t.Name)
+	}
+	w.Tasks = append(w.Tasks, t)
+	w.byName[t.Name] = t
+	return t
+}
+
+// AddDependency records that child depends on parent.
+func (w *Workflow) AddDependency(parent, child *Task) {
+	parent.Children = append(parent.Children, child.Name)
+	child.Parents = append(child.Parents, parent.Name)
+}
+
+// TaskByName returns the named task, or nil.
+func (w *Workflow) TaskByName(name string) *Task { return w.byName[name] }
+
+// Size returns the number of tasks.
+func (w *Workflow) Size() int { return len(w.Tasks) }
+
+// TotalWork returns the sum of task work (ops).
+func (w *Workflow) TotalWork() float64 {
+	s := 0.0
+	for _, t := range w.Tasks {
+		s += t.Work
+	}
+	return s
+}
+
+// DataFootprint returns the sum of all file sizes in bytes — the metric
+// Table 1 of the paper reports per benchmark configuration.
+func (w *Workflow) DataFootprint() float64 {
+	s := 0.0
+	for _, f := range w.Files {
+		s += f.Size
+	}
+	return s
+}
+
+// Validate checks structural invariants: dependency references resolve,
+// file references resolve, parent/child lists are symmetric, and the
+// graph is acyclic.
+func (w *Workflow) Validate() error {
+	for _, t := range w.Tasks {
+		for _, p := range t.Parents {
+			pt := w.byName[p]
+			if pt == nil {
+				return fmt.Errorf("workflow %s: task %s references missing parent %s", w.Name, t.Name, p)
+			}
+			if !contains(pt.Children, t.Name) {
+				return fmt.Errorf("workflow %s: asymmetric dependency %s -> %s", w.Name, p, t.Name)
+			}
+		}
+		for _, c := range t.Children {
+			ct := w.byName[c]
+			if ct == nil {
+				return fmt.Errorf("workflow %s: task %s references missing child %s", w.Name, t.Name, c)
+			}
+			if !contains(ct.Parents, t.Name) {
+				return fmt.Errorf("workflow %s: asymmetric dependency %s -> %s", w.Name, t.Name, c)
+			}
+		}
+		for _, f := range append(append([]string(nil), t.Inputs...), t.Outputs...) {
+			if _, ok := w.Files[f]; !ok {
+				return fmt.Errorf("workflow %s: task %s references missing file %s", w.Name, t.Name, f)
+			}
+		}
+		if t.Work < 0 {
+			return fmt.Errorf("workflow %s: task %s has negative work", w.Name, t.Name)
+		}
+	}
+	if _, err := w.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Roots returns tasks with no parents, in insertion order.
+func (w *Workflow) Roots() []*Task {
+	var out []*Task
+	for _, t := range w.Tasks {
+		if len(t.Parents) == 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// TopoOrder returns the tasks in a deterministic topological order, or
+// an error if the graph has a cycle.
+func (w *Workflow) TopoOrder() ([]*Task, error) {
+	indeg := make(map[string]int, len(w.Tasks))
+	for _, t := range w.Tasks {
+		indeg[t.Name] = len(t.Parents)
+	}
+	// Ready queue kept sorted by name for determinism.
+	var ready []string
+	for _, t := range w.Tasks {
+		if indeg[t.Name] == 0 {
+			ready = append(ready, t.Name)
+		}
+	}
+	sort.Strings(ready)
+	var out []*Task
+	for len(ready) > 0 {
+		name := ready[0]
+		ready = ready[1:]
+		t := w.byName[name]
+		out = append(out, t)
+		var unlocked []string
+		for _, c := range t.Children {
+			indeg[c]--
+			if indeg[c] == 0 {
+				unlocked = append(unlocked, c)
+			}
+		}
+		sort.Strings(unlocked)
+		ready = mergeSorted(ready, unlocked)
+	}
+	if len(out) != len(w.Tasks) {
+		return nil, fmt.Errorf("workflow %s: dependency cycle detected", w.Name)
+	}
+	return out, nil
+}
+
+// CriticalPathWork returns the maximum total work (ops) along any
+// root-to-leaf path — a lower bound on makespan×speed for any schedule.
+func (w *Workflow) CriticalPathWork() float64 {
+	order, err := w.TopoOrder()
+	if err != nil {
+		return 0
+	}
+	finish := make(map[string]float64, len(order))
+	best := 0.0
+	for _, t := range order {
+		start := 0.0
+		for _, p := range t.Parents {
+			if finish[p] > start {
+				start = finish[p]
+			}
+		}
+		finish[t.Name] = start + t.Work
+		if finish[t.Name] > best {
+			best = finish[t.Name]
+		}
+	}
+	return best
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func mergeSorted(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// jsonDoc is the on-disk WfCommons-style document shape.
+type jsonDoc struct {
+	Name     string   `json:"name"`
+	Workflow jsonSpec `json:"workflow"`
+}
+
+type jsonSpec struct {
+	Tasks []*Task `json:"tasks"`
+	Files []*File `json:"files"`
+}
+
+// WriteJSON serializes the workflow in the WfCommons-style format.
+func (w *Workflow) WriteJSON(out io.Writer) error {
+	files := make([]*File, 0, len(w.Files))
+	for _, f := range w.Files {
+		files = append(files, f)
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].Name < files[j].Name })
+	doc := jsonDoc{Name: w.Name, Workflow: jsonSpec{Tasks: w.Tasks, Files: files}}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadJSON parses a workflow from the WfCommons-style format and
+// validates it.
+func ReadJSON(in io.Reader) (*Workflow, error) {
+	var doc jsonDoc
+	if err := json.NewDecoder(in).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("workflow: decoding JSON: %w", err)
+	}
+	w := New(doc.Name)
+	for _, f := range doc.Workflow.Files {
+		w.AddFile(f.Name, f.Size)
+	}
+	for _, t := range doc.Workflow.Tasks {
+		w.AddTask(t)
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
