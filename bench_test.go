@@ -10,6 +10,7 @@ package simcal
 
 import (
 	"context"
+	"io"
 	"testing"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"simcal/internal/loss"
 	"simcal/internal/mpi"
 	"simcal/internal/mpisim"
+	"simcal/internal/obs"
 	"simcal/internal/opt"
 	"simcal/internal/wfgen"
 	"simcal/internal/wfsim"
@@ -228,6 +230,30 @@ var benchSpace = core.Space{
 	{Name: "x", Kind: core.Continuous, Min: -5, Max: 5},
 	{Name: "y", Kind: core.Continuous, Min: -5, Max: 5},
 	{Name: "z", Kind: core.Continuous, Min: -5, Max: 5},
+}
+
+// BenchmarkProblemEvaluate measures the per-evaluation cost of the
+// framework's parallel evaluation path with instrumentation disabled
+// (nil observer — must be indistinguishable from the pre-observability
+// code path) and enabled (metrics registry + discarded JSONL trace).
+func BenchmarkProblemEvaluate(b *testing.B) {
+	run := func(b *testing.B, observer core.Observer) {
+		cal := &core.Calibrator{
+			Space: benchSpace, Simulator: core.Evaluator(sphereEval),
+			Algorithm: opt.Random{Batch: 16}, MaxEvaluations: 512, Workers: 2,
+			Seed: 1, Observer: observer,
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cal.Run(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("observer-disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("observer-enabled", func(b *testing.B) {
+		run(b, core.NewObsObserver(obs.NewRegistry(), obs.NewTracer(io.Discard)))
+	})
 }
 
 // BenchmarkAblationOptimizers compares every calibration algorithm at an

@@ -16,13 +16,17 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"time"
 
+	"simcal/internal/core"
 	"simcal/internal/experiments"
+	"simcal/internal/obs"
 	"simcal/internal/wfgen"
 )
 
@@ -35,8 +39,24 @@ func main() {
 		workers = flag.Int("workers", 0, "override parallel evaluation workers")
 		budget  = flag.Duration("budget", 0, "optional wall-clock budget per calibration")
 		jsonDir = flag.String("json", "", "also write each artifact's result as JSON into this directory")
+
+		tracePath = flag.String("trace", "", "write a structured JSONL trace of every calibration to this file")
+		metrics   = flag.Bool("metrics", false, "print the final metrics snapshot after all artifacts")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr)
+
+	if *pprofAddr != "" {
+		obs.Default().PublishExpvar("experiments")
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Printf("pprof server: %v", err)
+			}
+		}()
+		logger.Printf("pprof/expvar server on http://%s/debug/pprof", *pprofAddr)
+	}
 
 	o := experiments.Default()
 	if *full {
@@ -55,6 +75,21 @@ func main() {
 		o.Budget = *budget
 	}
 
+	var tracer *obs.Tracer
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			logger.Printf("error: %v", err)
+			os.Exit(1)
+		}
+		traceFile = f
+		tracer = obs.NewTracer(f)
+	}
+	if tracer != nil || *metrics || *pprofAddr != "" {
+		o.Observer = core.NewObsObserver(obs.Default(), tracer)
+	}
+
 	ids := strings.Split(*run, ",")
 	if *run == "all" {
 		ids = []string{"table1", "table2", "table3", "figure1", "figure2", "baseline1",
@@ -62,14 +97,37 @@ func main() {
 			"ablation-alg", "ablation-budget", "ablation-storage", "casestudy3"}
 	}
 	ctx := context.Background()
+	var failed []string
 	for _, id := range ids {
 		start := time.Now()
-		fmt.Printf("==> %s\n", id)
+		logger.Printf("==> %s", id)
 		if err := runOne(ctx, id, o, *jsonDir); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
-			os.Exit(1)
+			// Keep going: one broken artifact should not hide the rest,
+			// but the process must still exit non-zero at the end.
+			logger.Printf("FAILED %s: %v", id, err)
+			failed = append(failed, id)
+			continue
 		}
-		fmt.Printf("    (%s)\n\n", time.Since(start).Round(time.Millisecond))
+		logger.Printf("    %s done (%s)", id, time.Since(start).Round(time.Millisecond))
+	}
+	if traceFile != nil {
+		if err := tracer.Flush(); err != nil {
+			logger.Printf("trace: %v", err)
+			failed = append(failed, "trace")
+		} else {
+			logger.Printf("trace written to %s", *tracePath)
+		}
+		traceFile.Close()
+	}
+	if *metrics {
+		fmt.Println("metrics:")
+		if err := obs.Default().Snapshot().WriteText(os.Stdout); err != nil {
+			logger.Printf("metrics: %v", err)
+		}
+	}
+	if len(failed) > 0 {
+		logger.Printf("%d artifact(s) failed: %s", len(failed), strings.Join(failed, ", "))
+		os.Exit(1)
 	}
 }
 

@@ -8,12 +8,17 @@
 //	simcal -case wf  -alg BO-GP -loss L1 -evals 200
 //	simcal -case mpi -alg RAND  -loss L2 -budget 30s
 //	simcal -case wf  -network series -storage all -compute htcondor
+//	simcal -case wf  -trace out.jsonl -metrics      # instrumented run
+//	simcal -replay out.jsonl                        # convergence from a trace
+//	simcal -case mpi -pprof localhost:6060          # live profiling
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sort"
 	"time"
@@ -24,6 +29,7 @@ import (
 	"simcal/internal/loss"
 	"simcal/internal/mpi"
 	"simcal/internal/mpisim"
+	"simcal/internal/obs"
 	"simcal/internal/opt"
 	"simcal/internal/wfgen"
 	"simcal/internal/wfsim"
@@ -45,8 +51,41 @@ func main() {
 		compute = flag.String("compute", "htcondor", "wf: direct|htcondor")
 		node    = flag.String("node", "complex", "mpi: simple|complex")
 		proto   = flag.String("protocol", "fixed", "mpi: fixed|free")
+
+		tracePath  = flag.String("trace", "", "write a structured JSONL trace of the calibration to this file")
+		metrics    = flag.Bool("metrics", false, "print the final metrics snapshot after the calibration")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address (e.g. localhost:6060)")
+		replayPath = flag.String("replay", "", "replay a JSONL trace: print its convergence curve and exit")
 	)
 	flag.Parse()
+
+	if *replayPath != "" {
+		if err := runReplay(*replayPath); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *pprofAddr != "" {
+		obs.Default().PublishExpvar("simcal")
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "simcal: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof/expvar server on http://%s/debug/pprof\n", *pprofAddr)
+	}
+
+	var tracer *obs.Tracer
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		traceFile = f
+		tracer = obs.NewTracer(f)
+	}
 
 	alg, err := parseAlg(*algName)
 	if err != nil {
@@ -59,19 +98,69 @@ func main() {
 	if *workers > 0 {
 		o.Workers = *workers
 	}
+	if tracer != nil || *metrics || *pprofAddr != "" {
+		o.Observer = core.NewObsObserver(obs.Default(), tracer)
+	}
 
 	switch *study {
 	case "wf":
-		if err := runWF(o, alg, *lossName, *network, *storage, *compute, *outPath); err != nil {
-			fatal(err)
-		}
+		err = runWF(o, alg, *lossName, *network, *storage, *compute, *outPath)
 	case "mpi":
-		if err := runMPI(o, alg, *lossName, *network, *node, *proto, *outPath); err != nil {
+		err = runMPI(o, alg, *lossName, *network, *node, *proto, *outPath)
+	default:
+		err = fmt.Errorf("unknown case study %q", *study)
+	}
+	if traceFile != nil {
+		if ferr := tracer.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+		if cerr := traceFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err == nil {
+			fmt.Printf("trace written to %s\n", *tracePath)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *metrics {
+		fmt.Println("metrics:")
+		if err := obs.Default().Snapshot().WriteText(os.Stdout); err != nil {
 			fatal(err)
 		}
-	default:
-		fatal(fmt.Errorf("unknown case study %q", *study))
 	}
+}
+
+// runReplay reconstructs the best-loss-vs-time convergence curve (the
+// paper's Figure 1/4 data) from a JSONL trace alone.
+func runReplay(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := obs.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	if m, ok := obs.TraceManifest(recs); ok {
+		fmt.Printf("trace: %s seed=%d workers=%d version=%s params=%d\n",
+			m.Algorithm, m.Seed, m.Workers, m.Version, len(m.Space))
+	}
+	pts, err := obs.ReplayConvergenceRecords(recs)
+	if err != nil {
+		return err
+	}
+	if len(pts) == 0 {
+		return fmt.Errorf("trace %s contains no eval_completed events", path)
+	}
+	conv := make([]experiments.ConvergencePoint, len(pts))
+	for i, p := range pts {
+		conv[i] = experiments.ConvergencePoint{Elapsed: p.Elapsed, Evaluations: p.Evaluations, Loss: p.Loss}
+	}
+	fmt.Print(experiments.FormatConvergence(conv, 20))
+	return nil
 }
 
 // saveResult writes the result JSON when a path was given.
@@ -117,7 +206,7 @@ func runWF(o experiments.Options, alg core.Algorithm, lossName, network, storage
 	cal := &core.Calibrator{
 		Space: v.Space(), Simulator: loss.WFEvaluator(v, kind, ds),
 		Algorithm: alg, MaxEvaluations: o.MaxEvals, Budget: o.Budget,
-		Workers: o.Workers, Seed: o.Seed,
+		Workers: o.Workers, Seed: o.Seed, Observer: o.Observer,
 	}
 	start := time.Now()
 	res, err := cal.Run(context.Background())
@@ -156,7 +245,7 @@ func runMPI(o experiments.Options, alg core.Algorithm, lossName, network, node, 
 	cal := &core.Calibrator{
 		Space: v.Space(), Simulator: loss.MPIEvaluator(v, kind, ds, 2),
 		Algorithm: alg, MaxEvaluations: o.MaxEvals, Budget: o.Budget,
-		Workers: o.Workers, Seed: o.Seed,
+		Workers: o.Workers, Seed: o.Seed, Observer: o.Observer,
 	}
 	start := time.Now()
 	res, err := cal.Run(context.Background())

@@ -51,12 +51,18 @@ type Problem struct {
 	workers  int
 	maxEvals int
 	start    time.Time
+	obs      Observer
 
 	mu      sync.Mutex
 	history []Sample
 	best    *Sample
 	evals   int
 }
+
+// Observer returns the observer attached to the calibration, or nil
+// when instrumentation is disabled. Algorithms use it to report their
+// internal stages (surrogate fits, acquisition solves).
+func (p *Problem) Observer() Observer { return p.obs }
 
 // ErrBudgetExhausted is returned by Evaluate when the evaluation budget
 // (count or context deadline) has been consumed. Algorithms should treat
@@ -66,9 +72,12 @@ var ErrBudgetExhausted = errors.New("core: calibration budget exhausted")
 // Evaluate runs the loss at every unit-cube position in units, in
 // parallel over the configured workers, and returns the samples in input
 // order. It returns ErrBudgetExhausted when no budget remains before any
-// evaluation starts; partial batches are truncated to the remaining
-// budget. Failed evaluations yield +Inf loss, so brittle simulator
-// configurations are simply avoided rather than aborting calibration.
+// evaluation starts; batches are truncated to the remaining evaluation
+// budget, and when the context expires mid-batch, dispatch stops and the
+// evaluations that did complete are recorded in history and returned
+// alongside ErrBudgetExhausted. Failed evaluations yield +Inf loss, so
+// brittle simulator configurations are simply avoided rather than
+// aborting calibration.
 func (p *Problem) Evaluate(ctx context.Context, units [][]float64) ([]Sample, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, ErrBudgetExhausted
@@ -87,7 +96,18 @@ func (p *Problem) Evaluate(ctx context.Context, units [][]float64) ([]Sample, er
 	if len(units) == 0 {
 		return nil, ErrBudgetExhausted
 	}
+	observing := p.obs != nil
+	if observing {
+		p.obs.BatchProposed(len(units))
+	}
+	batchStart := time.Now()
 	out := make([]Sample, len(units))
+	completed := make([]bool, len(units))
+	var waits, durs []time.Duration
+	if observing {
+		waits = make([]time.Duration, len(units))
+		durs = make([]time.Duration, len(units))
+	}
 	workers := p.workers
 	if workers > len(units) {
 		workers = len(units)
@@ -99,27 +119,95 @@ func (p *Problem) Evaluate(ctx context.Context, units [][]float64) ([]Sample, er
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				var pickup time.Time
+				if observing {
+					pickup = time.Now()
+					waits[i] = pickup.Sub(batchStart)
+				}
 				u := units[i]
 				pt := p.Space.Decode(u)
 				loss, err := p.sim.Run(ctx, pt)
+				if err != nil && ctx.Err() != nil {
+					// Aborted by budget expiry mid-run, not a simulator
+					// failure: do not record a phantom +Inf sample.
+					continue
+				}
 				if err != nil || math.IsNaN(loss) {
 					loss = math.Inf(1)
 				}
+				if observing {
+					durs[i] = time.Since(pickup)
+				}
 				out[i] = Sample{Unit: append([]float64(nil), u...), Point: pt, Loss: loss, Elapsed: time.Since(p.start)}
+				completed[i] = true
 			}
 		}()
 	}
+	// Feed workers, but stop dispatching the moment the budget context
+	// expires so a large batch cannot overrun an expired deadline by a
+	// full batch of stale evaluations.
+	expired := false
+dispatch:
 	for i := range units {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			expired = true
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
-	p.record(out)
-	return out, nil
+	// Compact to the evaluations that actually completed, preserving
+	// input order (the partially-completed batch is still recorded).
+	kept := out
+	allDone := true
+	for _, done := range completed {
+		if !done {
+			allDone = false
+			break
+		}
+	}
+	if !allDone {
+		kept = make([]Sample, 0, len(units))
+		if observing {
+			w2 := make([]time.Duration, 0, len(units))
+			d2 := make([]time.Duration, 0, len(units))
+			for i := range out {
+				if completed[i] {
+					kept = append(kept, out[i])
+					w2 = append(w2, waits[i])
+					d2 = append(d2, durs[i])
+				}
+			}
+			waits, durs = w2, d2
+		} else {
+			for i := range out {
+				if completed[i] {
+					kept = append(kept, out[i])
+				}
+			}
+		}
+	}
+	improved := p.record(kept)
+	if observing {
+		for i := range kept {
+			p.obs.EvalCompleted(kept[i], waits[i], durs[i])
+			if improved[i] {
+				p.obs.IncumbentImproved(kept[i])
+			}
+		}
+	}
+	if expired || ctx.Err() != nil {
+		return kept, ErrBudgetExhausted
+	}
+	return kept, nil
 }
 
-// record appends samples to history and updates the incumbent.
-func (p *Problem) record(samples []Sample) {
+// record appends samples to history and updates the incumbent. It
+// reports, per sample, whether it improved the incumbent.
+func (p *Problem) record(samples []Sample) []bool {
+	improved := make([]bool, len(samples))
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for i := range samples {
@@ -129,15 +217,28 @@ func (p *Problem) record(samples []Sample) {
 		if p.best == nil || s.Loss < p.best.Loss {
 			c := s
 			p.best = &c
+			improved[i] = true
 		}
 	}
+	return improved
 }
 
-// Best returns the incumbent sample, or nil before any evaluation.
+// Best returns a copy of the incumbent sample, or nil before any
+// evaluation. The copy is deep (unit vector and point included) so
+// callers cannot mutate calibration state through it.
 func (p *Problem) Best() *Sample {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.best
+	if p.best == nil {
+		return nil
+	}
+	c := *p.best
+	c.Unit = append([]float64(nil), p.best.Unit...)
+	c.Point = make(Point, len(p.best.Point))
+	for k, v := range p.best.Point {
+		c.Point[k] = v
+	}
+	return &c
 }
 
 // Evaluations returns the number of completed loss evaluations.
@@ -211,6 +312,10 @@ type Calibrator struct {
 	Workers int
 	// Seed makes the calibration reproducible.
 	Seed int64
+	// Observer, when non-nil, receives calibration lifecycle callbacks
+	// (see Observer and NewObsObserver). Nil disables instrumentation at
+	// zero cost.
+	Observer Observer
 }
 
 // Run executes the calibration and returns the result. The configured
@@ -244,6 +349,21 @@ func (c *Calibrator) Run(ctx context.Context) (*Result, error) {
 		workers:  workers,
 		maxEvals: c.MaxEvaluations,
 		start:    time.Now(),
+		obs:      c.Observer,
+	}
+	if c.Observer != nil {
+		names := make([]string, len(c.Space))
+		for i, spec := range c.Space {
+			names[i] = spec.Name
+		}
+		c.Observer.CalibrationStarted(RunInfo{
+			Algorithm:      c.Algorithm.Name(),
+			Space:          names,
+			Seed:           c.Seed,
+			Budget:         c.Budget,
+			MaxEvaluations: c.MaxEvaluations,
+			Workers:        workers,
+		})
 	}
 	err := c.Algorithm.Optimize(ctx, prob)
 	if err != nil && !errors.Is(err, ErrBudgetExhausted) && !errors.Is(err, context.DeadlineExceeded) {
@@ -253,11 +373,15 @@ func (c *Calibrator) Run(ctx context.Context) (*Result, error) {
 	if best == nil {
 		return nil, errors.New("core: no evaluation completed within budget")
 	}
-	return &Result{
+	res := &Result{
 		Best:        *best,
 		History:     prob.History(),
 		Evaluations: prob.Evaluations(),
 		Elapsed:     time.Since(prob.start),
 		Algorithm:   c.Algorithm.Name(),
-	}, nil
+	}
+	if c.Observer != nil {
+		c.Observer.CalibrationFinished(res)
+	}
+	return res, nil
 }

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"time"
+
+	"simcal/internal/obs"
+)
+
+// RunInfo describes a calibration run for observers (and trace
+// manifests).
+type RunInfo struct {
+	// Algorithm is the search algorithm's name.
+	Algorithm string
+	// Space lists the calibrated parameter names in declaration order.
+	Space []string
+	// Seed is the calibration's random seed.
+	Seed int64
+	// Budget is the wall-clock budget (zero when unbounded).
+	Budget time.Duration
+	// MaxEvaluations is the evaluation-count budget (zero when
+	// unbounded).
+	MaxEvaluations int
+	// Workers is the loss-evaluation parallelism.
+	Workers int
+}
+
+// Observer receives calibration lifecycle callbacks. Implementations
+// must be safe for concurrent use: EvalCompleted and IncumbentImproved
+// are invoked from Problem.Evaluate, which algorithms may call from any
+// goroutine. All callbacks are invoked synchronously on the calibration
+// path, so they should be cheap; a nil Observer disables instrumentation
+// with no overhead beyond a nil check.
+//
+// obs.NewObserver-style bridges exist in this package (NewObsObserver)
+// to route these callbacks into the obs metrics registry and JSONL
+// tracer.
+type Observer interface {
+	// CalibrationStarted fires once before the algorithm runs.
+	CalibrationStarted(info RunInfo)
+	// BatchProposed fires when Evaluate accepts a batch of candidates
+	// (after budget truncation).
+	BatchProposed(size int)
+	// EvalCompleted fires once per completed loss evaluation, in history
+	// order. wait is the time the evaluation spent queued behind the
+	// batch's other members before a worker picked it up; dur is the
+	// simulator's own run time.
+	EvalCompleted(s Sample, wait, dur time.Duration)
+	// IncumbentImproved fires when an evaluation lowers the best loss,
+	// immediately after the corresponding EvalCompleted.
+	IncumbentImproved(s Sample)
+	// SurrogateFitted fires when a model-based algorithm refits its
+	// surrogate on points training samples.
+	SurrogateFitted(points int, dur time.Duration)
+	// AcquisitionSolved fires when a model-based algorithm finishes
+	// scoring candidates acquisition candidates; predict is the portion
+	// of dur spent inside surrogate predictions.
+	AcquisitionSolved(candidates int, predict, dur time.Duration)
+	// CalibrationFinished fires once after the algorithm returns.
+	CalibrationFinished(r *Result)
+}
+
+// obsObserver bridges Observer callbacks into an obs.Registry and an
+// obs.Tracer. Either may be nil: a nil registry skips metrics, a nil
+// tracer skips trace records.
+type obsObserver struct {
+	tracer *obs.Tracer
+	start  time.Time
+
+	evals     *obs.Counter
+	batches   *obs.Counter
+	improves  *obs.Counter
+	fits      *obs.Counter
+	acqs      *obs.Counter
+	busyNS    *obs.Counter
+	waitNS    *obs.Counter
+	fitNS     *obs.Counter
+	predictNS *obs.Counter
+	bestLoss  *obs.Gauge
+	evalRate  *obs.Gauge
+	evalHist  *obs.Histogram
+	fitHist   *obs.Histogram
+	acqHist   *obs.Histogram
+	batchSize *obs.Histogram
+}
+
+// NewObsObserver returns an Observer that updates calibration metrics in
+// reg (under the "cal." and "opt." prefixes) and emits the structured
+// trace events documented in the obs package (and README.md) to tracer.
+// Either argument may be nil to enable only the other half.
+func NewObsObserver(reg *obs.Registry, tracer *obs.Tracer) Observer {
+	o := &obsObserver{tracer: tracer, start: time.Now()}
+	if reg != nil {
+		o.evals = reg.Counter("cal.evaluations")
+		o.batches = reg.Counter("cal.batches")
+		o.improves = reg.Counter("cal.incumbent_improvements")
+		o.fits = reg.Counter("opt.surrogate_fits")
+		o.acqs = reg.Counter("opt.acquisition_solves")
+		o.busyNS = reg.Counter("cal.worker_busy_ns")
+		o.waitNS = reg.Counter("cal.batch_queue_wait_ns")
+		o.fitNS = reg.Counter("opt.surrogate_fit_ns")
+		o.predictNS = reg.Counter("opt.surrogate_predict_ns")
+		o.bestLoss = reg.Gauge("cal.best_loss")
+		o.evalRate = reg.Gauge("cal.evals_per_sec")
+		o.evalHist = reg.Histogram("cal.eval_ns")
+		o.fitHist = reg.Histogram("opt.fit_ns")
+		o.acqHist = reg.Histogram("opt.acquisition_ns")
+		o.batchSize = reg.Histogram("cal.batch_size")
+	}
+	return o
+}
+
+// CalibrationStarted implements Observer.
+func (o *obsObserver) CalibrationStarted(info RunInfo) {
+	o.start = time.Now()
+	o.tracer.EmitManifest(obs.Manifest{
+		Algorithm: info.Algorithm,
+		Space:     info.Space,
+		Seed:      info.Seed,
+		BudgetS:   info.Budget.Seconds(),
+		MaxEvals:  info.MaxEvaluations,
+		Workers:   info.Workers,
+		Version:   obs.BuildVersion(),
+	})
+	o.tracer.Emit(obs.EventCalibrationStarted, obs.Fields{
+		"algorithm": info.Algorithm,
+		"workers":   info.Workers,
+	})
+}
+
+// BatchProposed implements Observer.
+func (o *obsObserver) BatchProposed(size int) {
+	if o.batches != nil {
+		o.batches.Inc()
+		o.batchSize.Observe(int64(size))
+	}
+	o.tracer.Emit(obs.EventBatchProposed, obs.Fields{"size": size})
+}
+
+// EvalCompleted implements Observer.
+func (o *obsObserver) EvalCompleted(s Sample, wait, dur time.Duration) {
+	if o.evals != nil {
+		o.evals.Inc()
+		o.busyNS.Add(int64(dur))
+		o.waitNS.Add(int64(wait))
+		o.evalHist.ObserveDuration(dur)
+		if elapsed := time.Since(o.start).Seconds(); elapsed > 0 {
+			o.evalRate.Set(float64(o.evals.Value()) / elapsed)
+		}
+	}
+	o.tracer.Emit(obs.EventEvalCompleted, obs.Fields{
+		"loss":       s.Loss,
+		"elapsed_s":  s.Elapsed.Seconds(),
+		"elapsed_ns": int64(s.Elapsed),
+		"wait_ns":    int64(wait),
+		"dur_ns":     int64(dur),
+	})
+}
+
+// IncumbentImproved implements Observer.
+func (o *obsObserver) IncumbentImproved(s Sample) {
+	if o.improves != nil {
+		o.improves.Inc()
+		o.bestLoss.SetMin(s.Loss)
+	}
+	o.tracer.Emit(obs.EventIncumbentImproved, obs.Fields{
+		"loss":      s.Loss,
+		"elapsed_s": s.Elapsed.Seconds(),
+		"point":     s.Point,
+	})
+}
+
+// SurrogateFitted implements Observer.
+func (o *obsObserver) SurrogateFitted(points int, dur time.Duration) {
+	if o.fits != nil {
+		o.fits.Inc()
+		o.fitNS.Add(int64(dur))
+		o.fitHist.ObserveDuration(dur)
+	}
+	o.tracer.Emit(obs.EventSurrogateFitted, obs.Fields{
+		"points": points,
+		"dur_ns": int64(dur),
+	})
+}
+
+// AcquisitionSolved implements Observer.
+func (o *obsObserver) AcquisitionSolved(candidates int, predict, dur time.Duration) {
+	if o.acqs != nil {
+		o.acqs.Inc()
+		o.predictNS.Add(int64(predict))
+		o.acqHist.ObserveDuration(dur)
+	}
+	o.tracer.Emit(obs.EventAcquisitionSolved, obs.Fields{
+		"candidates": candidates,
+		"predict_ns": int64(predict),
+		"dur_ns":     int64(dur),
+	})
+}
+
+// CalibrationFinished implements Observer.
+func (o *obsObserver) CalibrationFinished(r *Result) {
+	o.tracer.Emit(obs.EventCalibrationFinished, obs.Fields{
+		"best_loss":   r.Best.Loss,
+		"evaluations": r.Evaluations,
+		"elapsed_s":   r.Elapsed.Seconds(),
+		"algorithm":   r.Algorithm,
+	})
+	o.tracer.Flush()
+}

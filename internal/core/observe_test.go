@@ -1,0 +1,326 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"simcal/internal/obs"
+)
+
+// recordingObserver captures callback names in order.
+type recordingObserver struct {
+	mu       sync.Mutex
+	events   []string
+	evals    int
+	improves int
+	batches  int
+	fits     int
+	acqs     int
+	started  *RunInfo
+	finished *Result
+}
+
+func (r *recordingObserver) add(e string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+}
+
+func (r *recordingObserver) CalibrationStarted(info RunInfo) {
+	r.add("started")
+	r.started = &info
+}
+func (r *recordingObserver) BatchProposed(size int) { r.add("batch"); r.batches++ }
+func (r *recordingObserver) EvalCompleted(s Sample, wait, dur time.Duration) {
+	r.add("eval")
+	r.mu.Lock()
+	r.evals++
+	r.mu.Unlock()
+}
+func (r *recordingObserver) IncumbentImproved(s Sample) {
+	r.add("improved")
+	r.mu.Lock()
+	r.improves++
+	r.mu.Unlock()
+}
+func (r *recordingObserver) SurrogateFitted(points int, dur time.Duration) { r.add("fit"); r.fits++ }
+func (r *recordingObserver) AcquisitionSolved(candidates int, predict, dur time.Duration) {
+	r.add("acq")
+	r.acqs++
+}
+func (r *recordingObserver) CalibrationFinished(res *Result) { r.add("finished"); r.finished = res }
+
+func TestObserverLifecycle(t *testing.T) {
+	rec := &recordingObserver{}
+	c := &Calibrator{
+		Space:          testSpace,
+		Simulator:      sphereLoss(Point{"x": 3, "y": 7}),
+		Algorithm:      randomSearch{batch: 4},
+		MaxEvaluations: 20,
+		Workers:        2,
+		Seed:           1,
+		Observer:       rec,
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.started == nil {
+		t.Fatal("CalibrationStarted not fired")
+	}
+	if rec.started.Algorithm != "test-random" || rec.started.Workers != 2 || rec.started.MaxEvaluations != 20 {
+		t.Fatalf("RunInfo = %+v", *rec.started)
+	}
+	if len(rec.started.Space) != 2 || rec.started.Space[0] != "x" {
+		t.Fatalf("RunInfo.Space = %v", rec.started.Space)
+	}
+	if rec.evals != 20 {
+		t.Fatalf("EvalCompleted fired %d times, want 20", rec.evals)
+	}
+	if rec.batches != 5 {
+		t.Fatalf("BatchProposed fired %d times, want 5 (20 evals / batch 4)", rec.batches)
+	}
+	if rec.improves < 1 {
+		t.Fatal("IncumbentImproved never fired")
+	}
+	if rec.finished == nil || rec.finished.Best.Loss != res.Best.Loss {
+		t.Fatalf("CalibrationFinished result mismatch")
+	}
+	if rec.events[0] != "started" || rec.events[len(rec.events)-1] != "finished" {
+		t.Fatalf("callback order: first=%q last=%q", rec.events[0], rec.events[len(rec.events)-1])
+	}
+	// The first evaluation of the run always improves the incumbent,
+	// and its callback must directly follow that eval's EvalCompleted.
+	for i, e := range rec.events {
+		if e == "eval" {
+			if rec.events[i+1] != "improved" {
+				t.Fatalf("first eval not followed by improvement: %v", rec.events[:i+2])
+			}
+			break
+		}
+	}
+}
+
+// TestBestReturnsCopy is the regression test for Best() leaking a
+// pointer into calibration state: mutating the returned sample must not
+// corrupt the incumbent.
+func TestBestReturnsCopy(t *testing.T) {
+	prob := &Problem{Space: testSpace, sim: sphereLoss(Point{"x": 0, "y": 0}), workers: 1, start: time.Now()}
+	if _, err := prob.Evaluate(context.Background(), [][]float64{{0.5, 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	b1 := prob.Best()
+	origLoss, origX, origU := b1.Loss, b1.Point["x"], b1.Unit[0]
+	b1.Loss = -1e9
+	b1.Point["x"] = 12345
+	b1.Unit[0] = -7
+	b2 := prob.Best()
+	if b2.Loss != origLoss || b2.Point["x"] != origX || b2.Unit[0] != origU {
+		t.Fatalf("mutating Best() result corrupted the incumbent: %+v", *b2)
+	}
+}
+
+// TestEvaluateStopsDispatchOnExpiredContext is the regression test for
+// a large batch overrunning an expired deadline: once the context is
+// done, no further evaluations may start, and the partial batch must be
+// recorded in history.
+func TestEvaluateStopsDispatchOnExpiredContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls int
+	sim := Evaluator(func(c context.Context, p Point) (float64, error) {
+		if c.Err() != nil {
+			return 0, c.Err()
+		}
+		calls++
+		if calls == 3 {
+			cancel() // budget expires while the batch is mid-flight
+		}
+		return p["x"], nil
+	})
+	prob := &Problem{Space: testSpace, sim: sim, workers: 1, start: time.Now()}
+	units := make([][]float64, 10)
+	for i := range units {
+		units[i] = []float64{float64(i) / 10, 0.5}
+	}
+	samples, err := prob.Evaluate(ctx, units)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if calls >= 10 {
+		t.Fatalf("all %d evaluations ran despite the context expiring at the 3rd", calls)
+	}
+	if len(samples) == 0 || len(samples) > calls {
+		t.Fatalf("returned %d samples with %d sim calls", len(samples), calls)
+	}
+	hist := prob.History()
+	if len(hist) != len(samples) {
+		t.Fatalf("partial batch not recorded: history %d, samples %d", len(hist), len(samples))
+	}
+	if got := prob.Evaluations(); got != len(samples) {
+		t.Fatalf("Evaluations() = %d, want %d", got, len(samples))
+	}
+}
+
+// TestConcurrentHistoryAndEvaluate exercises History/Best/Evaluations
+// readers racing parallel Evaluate writers; run under -race it verifies
+// the locking discipline.
+func TestConcurrentHistoryAndEvaluate(t *testing.T) {
+	prob := &Problem{Space: testSpace, sim: sphereLoss(Point{"x": 5, "y": 5}), workers: 4, start: time.Now()}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h := prob.History()
+				for i := 1; i < len(h); i++ {
+					if h[i].Elapsed < 0 {
+						t.Error("negative elapsed in history")
+						return
+					}
+				}
+				if b := prob.Best(); b != nil {
+					_ = b.Point["x"]
+				}
+				_ = prob.Evaluations()
+			}
+		}()
+	}
+	for batch := 0; batch < 8; batch++ {
+		units := make([][]float64, 16)
+		for i := range units {
+			units[i] = []float64{float64(i) / 16, float64(batch) / 8}
+		}
+		if _, err := prob.Evaluate(ctx, units); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := len(prob.History()); got != 8*16 {
+		t.Fatalf("history length = %d, want %d", got, 8*16)
+	}
+}
+
+// TestLossOverTimeMonotoneParallel verifies the convergence curve stays
+// non-increasing when evaluations complete out of order across parallel
+// workers.
+func TestLossOverTimeMonotoneParallel(t *testing.T) {
+	c := &Calibrator{
+		Space:          testSpace,
+		Simulator:      sphereLoss(Point{"x": 2, "y": 8}),
+		Algorithm:      randomSearch{batch: 8},
+		MaxEvaluations: 120,
+		Workers:        4,
+		Seed:           3,
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, losses := res.LossOverTime()
+	if len(times) != res.Evaluations || len(losses) != res.Evaluations {
+		t.Fatalf("curve length %d/%d, want %d", len(times), len(losses), res.Evaluations)
+	}
+	for i := 1; i < len(losses); i++ {
+		if losses[i] > losses[i-1] {
+			t.Fatalf("best loss increased at %d: %g -> %g", i, losses[i-1], losses[i])
+		}
+	}
+	for i := 0; i < len(times); i++ {
+		if times[i] < 0 {
+			t.Fatalf("negative elapsed at %d", i)
+		}
+	}
+}
+
+// TestTraceReplayMatchesLossOverTime is the end-to-end guarantee behind
+// the trace-replay helper: the JSONL trace alone reconstructs exactly
+// the best-loss-vs-time curve the in-memory Result reports.
+func TestTraceReplayMatchesLossOverTime(t *testing.T) {
+	var buf bytes.Buffer
+	tracer := obs.NewTracer(&buf)
+	c := &Calibrator{
+		Space:          testSpace,
+		Simulator:      sphereLoss(Point{"x": 4, "y": 6}),
+		Algorithm:      randomSearch{batch: 4},
+		MaxEvaluations: 48,
+		Workers:        3,
+		Seed:           7,
+		Observer:       NewObsObserver(obs.NewRegistry(), tracer),
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := obs.TraceManifest(recs)
+	if !ok || m.Algorithm != "test-random" || m.Seed != 7 {
+		t.Fatalf("manifest = %+v ok=%v", m, ok)
+	}
+	pts, err := obs.ReplayConvergenceRecords(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, losses := res.LossOverTime()
+	if len(pts) != len(times) {
+		t.Fatalf("replay has %d points, result has %d", len(pts), len(times))
+	}
+	for i := range pts {
+		if pts[i].Loss != losses[i] {
+			t.Fatalf("replayed loss[%d] = %g, want %g", i, pts[i].Loss, losses[i])
+		}
+		if pts[i].Elapsed != times[i] {
+			t.Fatalf("replayed elapsed[%d] = %v, want %v", i, pts[i].Elapsed, times[i])
+		}
+	}
+}
+
+// TestObsObserverMetrics checks the bridge populates the registry.
+func TestObsObserverMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := &Calibrator{
+		Space:          testSpace,
+		Simulator:      sphereLoss(Point{"x": 1, "y": 9}),
+		Algorithm:      randomSearch{batch: 4},
+		MaxEvaluations: 16,
+		Workers:        2,
+		Seed:           5,
+		Observer:       NewObsObserver(reg, nil),
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if s.Counters["cal.evaluations"] != 16 {
+		t.Fatalf("cal.evaluations = %d", s.Counters["cal.evaluations"])
+	}
+	if s.Counters["cal.batches"] != 4 {
+		t.Fatalf("cal.batches = %d", s.Counters["cal.batches"])
+	}
+	if got := s.Gauges["cal.best_loss"]; got != res.Best.Loss {
+		t.Fatalf("cal.best_loss = %g, want %g", got, res.Best.Loss)
+	}
+	if s.Histograms["cal.eval_ns"].Count != 16 {
+		t.Fatalf("cal.eval_ns count = %d", s.Histograms["cal.eval_ns"].Count)
+	}
+}

@@ -8,6 +8,17 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"simcal/internal/obs"
+)
+
+// Engine-level metrics, flushed into the default obs registry once per
+// Run call (a handful of atomic operations per simulation, nothing per
+// event).
+var (
+	metricRuns    = obs.Default().Counter("des.engine_runs")
+	metricEvents  = obs.Default().Counter("des.events_fired")
+	metricHeapMax = obs.Default().Gauge("des.heap_depth_max")
 )
 
 // Event is a scheduled callback. Events returned by At/After can be
@@ -61,10 +72,13 @@ func (h *eventHeap) Pop() any {
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; create engines with NewEngine.
 type Engine struct {
-	now    float64
-	seq    uint64
-	fired  int
-	events eventHeap
+	now        float64
+	seq        uint64
+	fired      int
+	maxPending int
+	flushed    int // fired count already flushed to metrics
+	events     eventHeap
+	runEnd     []func()
 }
 
 // NewEngine returns an engine with the clock at time 0.
@@ -94,7 +108,33 @@ func (e *Engine) At(t float64, fn func()) *Event {
 	ev := &Event{time: t, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.events, ev)
+	if len(e.events) > e.maxPending {
+		e.maxPending = len(e.events)
+	}
 	return ev
+}
+
+// MaxPending returns the deepest the event heap has been over the
+// engine's lifetime.
+func (e *Engine) MaxPending() int { return e.maxPending }
+
+// OnRunEnd registers a hook invoked when Run finishes (normally or at
+// the event bound). The flow kernel uses it to flush its solver
+// statistics once per simulation.
+func (e *Engine) OnRunEnd(fn func()) {
+	e.runEnd = append(e.runEnd, fn)
+}
+
+// flushStats publishes the engine's counters to the obs registry and
+// invokes the run-end hooks. Multiple Run calls flush incrementally.
+func (e *Engine) flushStats() {
+	metricRuns.Inc()
+	metricEvents.Add(int64(e.fired - e.flushed))
+	e.flushed = e.fired
+	metricHeapMax.SetMax(float64(e.maxPending))
+	for _, fn := range e.runEnd {
+		fn()
+	}
 }
 
 // After schedules fn to run d seconds from now. Negative delays panic.
@@ -123,6 +163,7 @@ func (e *Engine) Step() bool {
 // runaway simulations; pass 0 for no bound. It returns an error if the
 // bound is reached.
 func (e *Engine) Run(maxEvents int) (float64, error) {
+	defer e.flushStats()
 	start := e.fired
 	for e.Step() {
 		if maxEvents > 0 && e.fired-start >= maxEvents {

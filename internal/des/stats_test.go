@@ -1,0 +1,36 @@
+package des
+
+import "testing"
+
+func TestEngineMaxPendingAndRunEndHook(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.After(float64(i+1), func() {})
+	}
+	if got := e.MaxPending(); got != 5 {
+		t.Fatalf("MaxPending = %d, want 5", got)
+	}
+	hooked := 0
+	e.OnRunEnd(func() { hooked++ })
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if hooked != 1 {
+		t.Fatalf("run-end hook fired %d times, want 1", hooked)
+	}
+	// The high-water mark survives the run; firing drains the heap.
+	if got := e.MaxPending(); got != 5 {
+		t.Fatalf("MaxPending after run = %d, want 5", got)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after run = %d", e.Pending())
+	}
+	// A second run flushes incrementally and fires the hook again.
+	e.After(1, func() {})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if hooked != 2 {
+		t.Fatalf("run-end hook fired %d times after second run, want 2", hooked)
+	}
+}

@@ -51,6 +51,11 @@ type Options struct {
 	MPINodes    []int     // node counts standing in for 128/256/512
 	MPIMsgSizes []float64 // message sizes (default 2^10…2^22)
 	MPIRounds   int       // benchmark rounds per execution
+
+	// Observer, when non-nil, receives lifecycle callbacks from every
+	// calibration an experiment runs (see core.Observer and
+	// core.NewObsObserver). Nil disables instrumentation.
+	Observer core.Observer
 }
 
 // Default returns the fast configuration used by the benchmark harness:
@@ -106,6 +111,7 @@ func (o Options) calibrator(space core.Space, sim core.Simulator, alg core.Algor
 		MaxEvaluations: o.MaxEvals,
 		Workers:        o.Workers,
 		Seed:           seed,
+		Observer:       o.Observer,
 	}
 }
 

@@ -16,6 +16,16 @@ import (
 	"math"
 
 	"simcal/internal/des"
+	"simcal/internal/obs"
+)
+
+// Solver metrics, accumulated locally per System and flushed into the
+// default obs registry once per engine run (see des.Engine.OnRunEnd) so
+// the hot solve loop performs no atomic operations.
+var (
+	metricSolves    = obs.Default().Counter("flow.solves")
+	metricSolveIter = obs.Default().Counter("flow.solve_iterations")
+	metricActMax    = obs.Default().Gauge("flow.activities_max")
 )
 
 const workEps = 1e-9
@@ -95,15 +105,41 @@ type System struct {
 	resetGen  []int
 	users     [][]*Activity
 	solveGen  int
+
+	// Solver statistics (lifetime totals; see Stats and flushStats).
+	statSolves    int
+	statIters     int
+	statMaxActive int
+	flushedSolves int
+	flushedIters  int
 }
 
 // NewSystem returns an empty fluid system bound to eng.
 func NewSystem(eng *des.Engine) *System {
-	return &System{
+	s := &System{
 		eng:    eng,
 		active: make(map[*Activity]struct{}),
 		resIdx: make(map[*Resource]int),
 	}
+	eng.OnRunEnd(s.flushStats)
+	return s
+}
+
+// Stats returns the system's lifetime solver statistics: the number of
+// max-min solves, the total progressive-filling iterations across them,
+// and the largest set of simultaneously active activities ever solved.
+func (s *System) Stats() (solves, iterations, maxActive int) {
+	return s.statSolves, s.statIters, s.statMaxActive
+}
+
+// flushStats publishes solver statistics to the obs registry; invoked
+// once per engine run.
+func (s *System) flushStats() {
+	metricSolves.Add(int64(s.statSolves - s.flushedSolves))
+	metricSolveIter.Add(int64(s.statIters - s.flushedIters))
+	s.flushedSolves = s.statSolves
+	s.flushedIters = s.statIters
+	metricActMax.SetMax(float64(s.statMaxActive))
 }
 
 // register assigns (or returns) the index of a resource.
@@ -328,6 +364,10 @@ func (s *System) solve() {
 	if len(s.active) == 0 {
 		return
 	}
+	s.statSolves++
+	if len(s.active) > s.statMaxActive {
+		s.statMaxActive = len(s.active)
+	}
 	s.solveGen++
 	gen := s.solveGen
 	touched := make([]int, 0, 16)
@@ -381,6 +421,7 @@ func (s *System) solve() {
 	}
 
 	for unfixed > 0 {
+		s.statIters++
 		best := math.Inf(1)
 		bottleneck := -1
 		for _, ri := range touched {

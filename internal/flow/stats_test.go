@@ -1,0 +1,35 @@
+package flow
+
+import (
+	"testing"
+
+	"simcal/internal/des"
+)
+
+func TestSystemSolverStats(t *testing.T) {
+	eng := des.NewEngine()
+	sys := NewSystem(eng)
+	link := NewResource("link", 100)
+	done := 0
+	sys.Batch(func() {
+		for i := 0; i < 3; i++ {
+			sys.StartActivity("xfer", 50, 0, []Usage{{Res: link, Weight: 1}}, func() { done++ })
+		}
+	})
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if done != 3 {
+		t.Fatalf("completed %d activities, want 3", done)
+	}
+	solves, iters, maxActive := sys.Stats()
+	if solves < 1 {
+		t.Fatal("no solves counted")
+	}
+	if iters < solves {
+		t.Fatalf("iterations %d < solves %d: every solve runs at least one filling iteration", iters, solves)
+	}
+	if maxActive != 3 {
+		t.Fatalf("maxActive = %d, want 3", maxActive)
+	}
+}

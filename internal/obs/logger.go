@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Logger is a minimal timestamped progress logger for the CLIs: each
+// line is prefixed with the elapsed time since the logger was created.
+// A nil *Logger discards everything, so callers never branch.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	clock Clock
+	start time.Time
+}
+
+// NewLogger returns a logger writing to w.
+func NewLogger(w io.Writer) *Logger {
+	l := &Logger{w: w, clock: time.Now}
+	l.start = l.clock()
+	return l
+}
+
+// SetClock replaces the logger's time source (for deterministic tests)
+// and re-anchors its start time.
+func (l *Logger) SetClock(c Clock) {
+	if l == nil || c == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.clock = c
+	l.start = c()
+}
+
+// Printf writes one formatted line, prefixed with the elapsed time.
+func (l *Logger) Printf(format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	elapsed := l.clock().Sub(l.start).Round(time.Millisecond)
+	fmt.Fprintf(l.w, "[%8s] %s\n", elapsed, fmt.Sprintf(format, args...))
+}

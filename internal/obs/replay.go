@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Event names the calibration bridge emits (see core.NewObsObserver).
+// They are part of the trace schema documented in README.md.
+const (
+	EventCalibrationStarted  = "calibration_started"
+	EventBatchProposed       = "batch_proposed"
+	EventEvalCompleted       = "eval_completed"
+	EventIncumbentImproved   = "incumbent_improved"
+	EventSurrogateFitted     = "surrogate_fitted"
+	EventAcquisitionSolved   = "acquisition_solved"
+	EventCalibrationFinished = "calibration_finished"
+)
+
+// ConvergencePoint is one point of a replayed best-loss-vs-time curve.
+type ConvergencePoint struct {
+	// Elapsed is the calibration wall-clock at which the evaluation
+	// completed.
+	Elapsed time.Duration
+	// Evaluations is the number of evaluations completed so far.
+	Evaluations int
+	// Loss is the best loss seen up to and including this evaluation.
+	Loss float64
+}
+
+// ReplayConvergence reconstructs the best-loss-vs-time curve (the
+// paper's Figures 1 and 4) from a JSONL trace alone, without re-running
+// the calibration. It consumes the eval_completed events in emission
+// order and returns one point per evaluation, exactly mirroring
+// core.Result.LossOverTime.
+func ReplayConvergence(r io.Reader) ([]ConvergencePoint, error) {
+	recs, err := ReadTrace(r)
+	if err != nil {
+		return nil, err
+	}
+	return ReplayConvergenceRecords(recs)
+}
+
+// ReplayConvergenceRecords is ReplayConvergence over pre-decoded
+// records.
+func ReplayConvergenceRecords(recs []Record) ([]ConvergencePoint, error) {
+	var points []ConvergencePoint
+	best := 0.0
+	haveBest := false
+	for _, rec := range recs {
+		if rec.Name != EventEvalCompleted {
+			continue
+		}
+		loss, ok := fieldFloat(rec.Fields, "loss")
+		if !ok {
+			return nil, fmt.Errorf("obs: eval_completed record %d lacks a loss field", rec.Seq)
+		}
+		// elapsed_ns is emitted alongside elapsed_s for an exact
+		// round-trip (float seconds lose nanosecond precision).
+		var elapsed time.Duration
+		if ns, ok := fieldFloat(rec.Fields, "elapsed_ns"); ok {
+			elapsed = time.Duration(ns)
+		} else if s, ok := fieldFloat(rec.Fields, "elapsed_s"); ok {
+			elapsed = time.Duration(s * float64(time.Second))
+		} else {
+			return nil, fmt.Errorf("obs: eval_completed record %d lacks an elapsed_s field", rec.Seq)
+		}
+		if !haveBest || loss < best {
+			best = loss
+			haveBest = true
+		}
+		points = append(points, ConvergencePoint{
+			Elapsed:     elapsed,
+			Evaluations: len(points) + 1,
+			Loss:        best,
+		})
+	}
+	return points, nil
+}
+
+// fieldFloat extracts a numeric field from a decoded JSON payload.
+func fieldFloat(f Fields, key string) (float64, bool) {
+	v, ok := f[key]
+	if !ok {
+		return 0, false
+	}
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int64:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	default:
+		return 0, false
+	}
+}

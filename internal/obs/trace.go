@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Fields carries a record's structured payload. Values must be
+// JSON-encodable (numbers, strings, bools, slices, maps).
+type Fields map[string]any
+
+// Record is one line of a JSONL trace.
+type Record struct {
+	// T is the wall-clock timestamp (RFC 3339, from the tracer's clock).
+	T time.Time `json:"ts"`
+	// ElapsedS is seconds since the tracer was created — the trace's
+	// monotone time axis.
+	ElapsedS float64 `json:"t_s"`
+	// Seq is the record's position in emission order, starting at 0.
+	Seq int64 `json:"seq"`
+	// Name identifies the event (e.g. "eval_completed", "manifest").
+	Name string `json:"name"`
+	// Fields is the event payload.
+	Fields Fields `json:"fields,omitempty"`
+}
+
+// Manifest describes one calibration run, emitted as the trace's first
+// record so a trace file is self-describing.
+type Manifest struct {
+	Algorithm string   `json:"algorithm"`
+	Space     []string `json:"space"`
+	Seed      int64    `json:"seed"`
+	BudgetS   float64  `json:"budget_s,omitempty"`
+	MaxEvals  int      `json:"max_evals,omitempty"`
+	Workers   int      `json:"workers,omitempty"`
+	Version   string   `json:"version"`
+	Case      string   `json:"case,omitempty"`
+	Loss      string   `json:"loss,omitempty"`
+}
+
+// ManifestName is the record name under which a run manifest is emitted.
+const ManifestName = "manifest"
+
+// Tracer emits structured JSONL records. All methods are safe for
+// concurrent use and safe on a nil receiver (a nil *Tracer is the
+// disabled tracer and costs one branch per call).
+type Tracer struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	clock Clock
+	start time.Time
+	seq   int64
+	err   error
+}
+
+// NewTracer returns a tracer writing JSONL records to w. Call Flush (or
+// Close the underlying file after Flush) when done.
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{w: bufio.NewWriter(w), clock: time.Now}
+	t.start = t.clock()
+	return t
+}
+
+// SetClock replaces the tracer's time source (for deterministic tests)
+// and re-anchors the trace's start time. Must be called before the
+// first record is emitted.
+func (t *Tracer) SetClock(c Clock) {
+	if t == nil || c == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.clock = c
+	t.start = c()
+}
+
+// Emit writes one record. Events with the same name share a schema
+// defined by the caller; fields may be nil.
+func (t *Tracer) Emit(name string, fields Fields) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.emitLocked(name, fields)
+}
+
+func (t *Tracer) emitLocked(name string, fields Fields) {
+	if t.err != nil {
+		return
+	}
+	now := t.clock()
+	rec := Record{
+		T:        now,
+		ElapsedS: now.Sub(t.start).Seconds(),
+		Seq:      t.seq,
+		Name:     name,
+		Fields:   fields,
+	}
+	t.seq++
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+	}
+}
+
+// EmitManifest writes the run manifest record.
+func (t *Tracer) EmitManifest(m Manifest) {
+	if t == nil {
+		return
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		return
+	}
+	var f Fields
+	if err := json.Unmarshal(b, &f); err != nil {
+		return
+	}
+	t.Emit(ManifestName, f)
+}
+
+// Flush writes buffered records through to the underlying writer and
+// reports the first error encountered while tracing.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// ReadTrace decodes every record of a JSONL trace. Blank lines are
+// skipped; a malformed line is an error identifying its line number.
+func ReadTrace(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var recs []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(text, &rec); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return recs, nil
+}
+
+// TraceManifest returns the first manifest record of a decoded trace,
+// or false when the trace has none.
+func TraceManifest(recs []Record) (Manifest, bool) {
+	for _, rec := range recs {
+		if rec.Name != ManifestName {
+			continue
+		}
+		b, err := json.Marshal(rec.Fields)
+		if err != nil {
+			return Manifest{}, false
+		}
+		var m Manifest
+		if err := json.Unmarshal(b, &m); err != nil {
+			return Manifest{}, false
+		}
+		return m, true
+	}
+	return Manifest{}, false
+}

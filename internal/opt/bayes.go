@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"sort"
+	"time"
 
 	"simcal/internal/core"
 	"simcal/internal/opt/surrogate"
@@ -128,13 +129,23 @@ func (b *BayesOpt) Optimize(ctx context.Context, prob *core.Problem) error {
 		return err
 	}
 
+	observer := prob.Observer()
 	for iter := 0; ; iter++ {
 		X, y, ok := b.trainingSet(prob, maxFit)
 		var next [][]float64
 		if ok {
 			reg := b.NewRegressor(prob.RNG.Int63())
+			fitStart := time.Now()
 			if err := reg.Fit(X, y); err == nil {
-				next = b.proposeByEI(prob, reg, nCands, batch, xi)
+				if observer != nil {
+					observer.SurrogateFitted(len(X), time.Since(fitStart))
+					timed := &timedRegressor{Regressor: reg}
+					acqStart := time.Now()
+					next = b.proposeByEI(prob, timed, nCands, batch, xi)
+					observer.AcquisitionSolved(nCands, timed.predict, time.Since(acqStart))
+				} else {
+					next = b.proposeByEI(prob, reg, nCands, batch, xi)
+				}
 			}
 		}
 		if next == nil {

@@ -1,0 +1,25 @@
+package opt
+
+import (
+	"time"
+
+	"simcal/internal/opt/surrogate"
+)
+
+// timedRegressor wraps a surrogate.Regressor and accumulates the time
+// spent inside Predict, so BayesOpt can report how much of each
+// acquisition solve went to surrogate predictions versus scoring logic.
+// It is used from a single goroutine per BO iteration, so a plain
+// accumulator suffices.
+type timedRegressor struct {
+	surrogate.Regressor
+	predict time.Duration
+}
+
+// Predict implements surrogate.Regressor, timing the delegate.
+func (t *timedRegressor) Predict(x []float64) (mean, std float64) {
+	start := time.Now()
+	mean, std = t.Regressor.Predict(x)
+	t.predict += time.Since(start)
+	return mean, std
+}
