@@ -10,10 +10,12 @@ package simcal
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"testing"
 	"time"
 
+	"simcal/internal/cache"
 	"simcal/internal/core"
 	"simcal/internal/experiments"
 	"simcal/internal/groundtruth"
@@ -254,6 +256,59 @@ func BenchmarkProblemEvaluate(b *testing.B) {
 	b.Run("observer-enabled", func(b *testing.B) {
 		run(b, core.NewObsObserver(obs.NewRegistry(), obs.NewTracer(io.Discard)))
 	})
+}
+
+// BenchmarkCachedEvaluate measures what the memoization cache buys on a
+// real simulator-backed loss: identical repeated-seed calibrations run
+// uncached (every evaluation pays for a full simulation sweep) vs
+// sharing one cache (from the second iteration on, every evaluation is a
+// hit).
+func BenchmarkCachedEvaluate(b *testing.B) {
+	ds, err := groundtruth.GenerateWorkflowData(groundtruth.WFOptions{
+		Apps:    []wfgen.App{wfgen.Epigenomics},
+		SizeIdx: []int{0}, WorkIdx: []int{1}, FootIdx: []int{1},
+		Workers: []int{2}, Reps: 2, Seed: 9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := wfsim.HighestDetail
+	ev := loss.WFEvaluator(v, loss.WFL1, ds)
+	run := func(b *testing.B, cc *cache.Cache) {
+		for i := 0; i < b.N; i++ {
+			cal := &core.Calibrator{
+				Space: v.Space(), Simulator: ev,
+				Algorithm: opt.Random{}, MaxEvaluations: 40, Workers: 2, Seed: 5,
+			}
+			if cc != nil {
+				cal.Cache = cc
+				cal.CacheKey = "bench/wf/L1"
+			}
+			if _, err := cal.Run(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("uncached", func(b *testing.B) { run(b, nil) })
+	b.Run("cached", func(b *testing.B) { run(b, cache.New(nil)) })
+}
+
+// BenchmarkFigure2Jobs measures the concurrent scheduler's speedup on
+// the per-version cells of the level-of-detail study (the -jobs flag of
+// cmd/experiments).
+func BenchmarkFigure2Jobs(b *testing.B) {
+	for _, jobs := range []int{1, 4} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			o := benchOptions()
+			o.MaxEvals = 24
+			o.Jobs = jobs
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Figure2(context.Background(), o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkAblationOptimizers compares every calibration algorithm at an

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"simcal/internal/cache"
 	"simcal/internal/core"
 	"simcal/internal/experiments"
 	"simcal/internal/obs"
@@ -32,13 +33,15 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "artifact id to regenerate (or 'all')")
-		full    = flag.Bool("full", false, "paper-scale configuration (hours) instead of the fast default")
-		evals   = flag.Int("evals", 0, "override loss evaluations per calibration")
-		seed    = flag.Int64("seed", 0, "override random seed")
-		workers = flag.Int("workers", 0, "override parallel evaluation workers")
-		budget  = flag.Duration("budget", 0, "optional wall-clock budget per calibration")
-		jsonDir = flag.String("json", "", "also write each artifact's result as JSON into this directory")
+		run      = flag.String("run", "all", "artifact id to regenerate (or 'all')")
+		full     = flag.Bool("full", false, "paper-scale configuration (hours) instead of the fast default")
+		evals    = flag.Int("evals", 0, "override loss evaluations per calibration")
+		seed     = flag.Int64("seed", 0, "override random seed")
+		workers  = flag.Int("workers", 0, "override parallel evaluation workers")
+		budget   = flag.Duration("budget", 0, "optional wall-clock budget per calibration")
+		jobs     = flag.Int("jobs", 1, "independent calibrations run concurrently per driver (1 = sequential; results are identical either way)")
+		useCache = flag.Bool("cache", false, "memoize loss evaluations across calibrations (identical results, fewer simulations)")
+		jsonDir  = flag.String("json", "", "also write each artifact's result as JSON into this directory")
 
 		tracePath = flag.String("trace", "", "write a structured JSONL trace of every calibration to this file")
 		metrics   = flag.Bool("metrics", false, "print the final metrics snapshot after all artifacts")
@@ -73,6 +76,14 @@ func main() {
 	}
 	if *budget > 0 {
 		o.Budget = *budget
+	}
+	if *jobs > 1 {
+		o.Jobs = *jobs
+	}
+	var evalCache *cache.Cache
+	if *useCache {
+		evalCache = cache.New(obs.Default())
+		o.Cache = evalCache
 	}
 
 	var tracer *obs.Tracer
@@ -118,6 +129,11 @@ func main() {
 			logger.Printf("trace written to %s", *tracePath)
 		}
 		traceFile.Close()
+	}
+	if evalCache != nil {
+		st := evalCache.Stats()
+		logger.Printf("cache: %d hits, %d misses, %d in-flight waits, %d entries",
+			st.Hits, st.Misses, st.InflightWaits, st.Entries)
 	}
 	if *metrics {
 		fmt.Println("metrics:")

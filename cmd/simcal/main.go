@@ -23,6 +23,7 @@ import (
 	"sort"
 	"time"
 
+	"simcal/internal/cache"
 	"simcal/internal/core"
 	"simcal/internal/experiments"
 	"simcal/internal/groundtruth"
@@ -44,6 +45,8 @@ func main() {
 		budget   = flag.Duration("budget", 0, "optional wall-clock budget")
 		seed     = flag.Int64("seed", 1, "random seed")
 		workers  = flag.Int("workers", 0, "parallel evaluation workers (default GOMAXPROCS)")
+		jobs     = flag.Int("jobs", 1, "run this many calibration restarts in parallel (seeds seed, seed+1000, ...) and keep the best")
+		useCache = flag.Bool("cache", false, "memoize loss evaluations (shared across -jobs restarts)")
 		outPath  = flag.String("out", "", "write the calibration result as JSON (with history)")
 
 		network = flag.String("network", "", "wf: one-link|star|series; mpi: backbone|backbone-links|tree4|fat-tree")
@@ -102,13 +105,23 @@ func main() {
 		o.Observer = core.NewObsObserver(obs.Default(), tracer)
 	}
 
+	var evalCache *cache.Cache
+	if *useCache {
+		evalCache = cache.New(obs.Default())
+	}
+
 	switch *study {
 	case "wf":
-		err = runWF(o, alg, *lossName, *network, *storage, *compute, *outPath)
+		err = runWF(o, alg, *lossName, *network, *storage, *compute, *outPath, *jobs, evalCache)
 	case "mpi":
-		err = runMPI(o, alg, *lossName, *network, *node, *proto, *outPath)
+		err = runMPI(o, alg, *lossName, *network, *node, *proto, *outPath, *jobs, evalCache)
 	default:
 		err = fmt.Errorf("unknown case study %q", *study)
+	}
+	if evalCache != nil {
+		st := evalCache.Stats()
+		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d in-flight waits, %d entries\n",
+			st.Hits, st.Misses, st.InflightWaits, st.Entries)
 	}
 	if traceFile != nil {
 		if ferr := tracer.Flush(); ferr != nil && err == nil {
@@ -180,7 +193,34 @@ func saveResult(path string, res *core.Result) error {
 	return nil
 }
 
-func runWF(o experiments.Options, alg core.Algorithm, lossName, network, storage, compute, outPath string) error {
+// calibrateBest runs the calibration. With jobs > 1 it runs jobs
+// restarts concurrently with seeds base.Seed, base.Seed+1000, … and
+// returns the lowest-loss result (ties break toward the lowest restart
+// index, so the winner does not depend on scheduling order). All
+// restarts share base's cache, if any.
+func calibrateBest(ctx context.Context, base core.Calibrator, jobs int) (*core.Result, error) {
+	if jobs <= 1 {
+		return base.Run(ctx)
+	}
+	results, err := experiments.RunJobs(ctx, experiments.NewScheduler(jobs), jobs,
+		func(ctx context.Context, i int) (*core.Result, error) {
+			cal := base
+			cal.Seed = base.Seed + int64(1000*i)
+			return cal.Run(ctx)
+		})
+	if err != nil {
+		return nil, err
+	}
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.Best.Loss < best.Best.Loss {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+func runWF(o experiments.Options, alg core.Algorithm, lossName, network, storage, compute, outPath string, jobs int, evalCache *cache.Cache) error {
 	v := wfsim.HighestDetail
 	if network != "" {
 		var err error
@@ -203,13 +243,17 @@ func runWF(o experiments.Options, alg core.Algorithm, lossName, network, storage
 	}
 	fmt.Printf("calibrating %s with %s/%s over %d ground-truth groups...\n",
 		v.Name(), alg.Name(), kind, len(ds.Groups))
-	cal := &core.Calibrator{
+	cal := core.Calibrator{
 		Space: v.Space(), Simulator: loss.WFEvaluator(v, kind, ds),
 		Algorithm: alg, MaxEvaluations: o.MaxEvals, Budget: o.Budget,
 		Workers: o.Workers, Seed: o.Seed, Observer: o.Observer,
 	}
+	if evalCache != nil {
+		cal.Cache = evalCache
+		cal.CacheKey = fmt.Sprintf("simcal/wf/%s/%s#seed=%d", v.Name(), kind, o.Seed)
+	}
 	start := time.Now()
-	res, err := cal.Run(context.Background())
+	res, err := calibrateBest(context.Background(), cal, jobs)
 	if err != nil {
 		return err
 	}
@@ -220,7 +264,7 @@ func runWF(o experiments.Options, alg core.Algorithm, lossName, network, storage
 	return saveResult(outPath, res)
 }
 
-func runMPI(o experiments.Options, alg core.Algorithm, lossName, network, node, proto, outPath string) error {
+func runMPI(o experiments.Options, alg core.Algorithm, lossName, network, node, proto, outPath string, jobs int, evalCache *cache.Cache) error {
 	v := mpisim.HighestDetail
 	if network != "" {
 		var err error
@@ -242,13 +286,17 @@ func runMPI(o experiments.Options, alg core.Algorithm, lossName, network, node, 
 	}
 	fmt.Printf("calibrating %s with %s/%s over %d measurements...\n",
 		v.Name(), alg.Name(), kind, len(ds.Measurements))
-	cal := &core.Calibrator{
+	cal := core.Calibrator{
 		Space: v.Space(), Simulator: loss.MPIEvaluator(v, kind, ds, 2),
 		Algorithm: alg, MaxEvaluations: o.MaxEvals, Budget: o.Budget,
 		Workers: o.Workers, Seed: o.Seed, Observer: o.Observer,
 	}
+	if evalCache != nil {
+		cal.Cache = evalCache
+		cal.CacheKey = fmt.Sprintf("simcal/mpi/%s/%s#seed=%d", v.Name(), kind, o.Seed)
+	}
 	start := time.Now()
-	res, err := cal.Run(context.Background())
+	res, err := calibrateBest(context.Background(), cal, jobs)
 	if err != nil {
 		return err
 	}

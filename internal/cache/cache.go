@@ -1,0 +1,175 @@
+// Package cache implements a content-addressed, single-flight
+// memoization layer for loss evaluations. Calibration searches revisit
+// points constantly — GRID re-enumerates nested lattices, GRAD re-probes
+// around the incumbent, BO proposes near-duplicates from its acquisition,
+// and restarted or repeated-seed runs replay whole trajectories — and
+// every revisit of a deterministic simulator is a full simulation wasted.
+// A Cache shared across calibrations keys each evaluation by a simulator
+// identity string plus the quantized unit-cube position and runs the
+// simulator at most once per key: concurrent workers asking for the same
+// in-flight point share the one running simulation (duplicate
+// suppression, à la golang.org/x/sync/singleflight), and later callers
+// get the memoized loss back immediately.
+//
+// The cache stores only the loss value. Budget accounting, history
+// recording, and elapsed-time stamping stay with the caller
+// (core.Problem.Evaluate), so a cache hit yields the original loss but
+// its own completion time — exactly what loss-vs-time curves need.
+package cache
+
+import (
+	"context"
+	"math"
+	"sync"
+
+	"simcal/internal/obs"
+)
+
+// quantumBits is the number of fractional bits kept when quantizing a
+// unit coordinate into a key: positions closer than 2^-26 ≈ 1.5e-8 in
+// every dimension share an entry. Identical float64 positions always map
+// to the same key; distinct search proposals virtually never collide at
+// this resolution (the optimizers' own dedup works at 2^-21).
+const quantumBits = 26
+
+// Key identifies one loss evaluation: a simulator identity string plus a
+// quantized unit-cube position.
+type Key string
+
+// NewKey builds the cache key for the simulator identified by sim
+// evaluated at unit-cube position u. The sim string must uniquely
+// identify the (simulator version, loss function, dataset) configuration
+// among every calibration sharing the cache — two configurations sharing
+// an identity would silently exchange loss values.
+func NewKey(sim string, u []float64) Key {
+	b := make([]byte, 0, len(sim)+1+8*len(u))
+	b = append(b, sim...)
+	b = append(b, 0)
+	for _, v := range u {
+		q := int64(math.Round(v * (1 << quantumBits)))
+		for s := 0; s < 8; s++ {
+			b = append(b, byte(q>>(8*s)))
+		}
+	}
+	return Key(b)
+}
+
+// entry is one memoized (or in-flight) evaluation. ready is closed when
+// the computation finishes; ok is false when it failed and the entry was
+// dropped for retry.
+type entry struct {
+	ready chan struct{}
+	loss  float64
+	ok    bool
+}
+
+// Cache is a content-addressed, single-flight loss-evaluation cache,
+// safe for concurrent use by any number of calibrations.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+
+	hits         *obs.Counter
+	misses       *obs.Counter
+	shared       *obs.Counter
+	entriesGauge *obs.Gauge
+}
+
+// New returns an empty cache. When reg is non-nil the cache exports its
+// counters there as cache.hits, cache.misses, cache.inflight_waits, and
+// the cache.entries gauge; a nil registry keeps the counters private
+// (still readable through Stats).
+func New(reg *obs.Registry) *Cache {
+	c := &Cache{entries: make(map[Key]*entry)}
+	if reg != nil {
+		c.hits = reg.Counter("cache.hits")
+		c.misses = reg.Counter("cache.misses")
+		c.shared = reg.Counter("cache.inflight_waits")
+		c.entriesGauge = reg.Gauge("cache.entries")
+	} else {
+		c.hits, c.misses, c.shared = &obs.Counter{}, &obs.Counter{}, &obs.Counter{}
+		c.entriesGauge = &obs.Gauge{}
+	}
+	return c
+}
+
+// Stats is a point-in-time summary of the cache.
+type Stats struct {
+	// Hits counts calls answered from a finished entry (including calls
+	// that waited on another caller's in-flight computation).
+	Hits int64
+	// Misses counts calls that ran the computation themselves.
+	Misses int64
+	// InflightWaits counts the subset of hits that blocked on an
+	// in-flight computation rather than finding a finished entry.
+	InflightWaits int64
+	// Entries is the number of memoized losses currently stored.
+	Entries int
+}
+
+// Stats returns the current counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits.Value(),
+		Misses:        c.misses.Value(),
+		InflightWaits: c.shared.Value(),
+		Entries:       n,
+	}
+}
+
+// Do returns the memoized loss for key, computing it with fn on first
+// use. Concurrent calls for the same key share a single fn invocation;
+// the extra callers block until it finishes (or their ctx expires) and
+// report hit=true, as do all later calls. When fn returns an error the
+// entry is dropped — every waiter receives the error and the next Do
+// retries — so context-canceled evaluations never poison the cache.
+// Deterministic simulator failures should be encoded by fn as a loss
+// value (+Inf) with a nil error so they are memoized like any other
+// outcome.
+func (c *Cache) Do(ctx context.Context, key Key, fn func() (float64, error)) (loss float64, hit bool, err error) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-e.ready:
+			default:
+				c.shared.Inc()
+				select {
+				case <-e.ready:
+				case <-ctx.Done():
+					return 0, false, ctx.Err()
+				}
+			}
+			if e.ok {
+				c.hits.Inc()
+				return e.loss, true, nil
+			}
+			// The in-flight computation failed and dropped its entry;
+			// take over as a fresh miss.
+			continue
+		}
+		e := &entry{ready: make(chan struct{})}
+		c.entries[key] = e
+		c.mu.Unlock()
+		c.misses.Inc()
+
+		loss, err = fn()
+		c.mu.Lock()
+		if err != nil {
+			delete(c.entries, key)
+		} else {
+			e.loss, e.ok = loss, true
+		}
+		c.entriesGauge.Set(float64(len(c.entries)))
+		c.mu.Unlock()
+		close(e.ready)
+		if err != nil {
+			return 0, false, err
+		}
+		return loss, false, nil
+	}
+}

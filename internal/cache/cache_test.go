@@ -1,0 +1,187 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"simcal/internal/obs"
+)
+
+func TestKeyQuantization(t *testing.T) {
+	u := []float64{0.123456789, 0.987654321}
+	if NewKey("sim", u) != NewKey("sim", []float64{0.123456789, 0.987654321}) {
+		t.Error("identical positions produced different keys")
+	}
+	if NewKey("sim", u) == NewKey("sim2", u) {
+		t.Error("different simulators share a key")
+	}
+	if NewKey("sim", []float64{0.25, 0.75}) == NewKey("sim", []float64{0.75, 0.25}) {
+		t.Error("permuted coordinates share a key")
+	}
+	// The optimizers dedup at 2^-21, so any two distinct proposals differ
+	// by at least that; the key must still tell them apart.
+	a, b := 0.5, 0.5+1.0/(1<<21)
+	if NewKey("sim", []float64{a}) == NewKey("sim", []float64{b}) {
+		t.Error("points 2^-21 apart collide")
+	}
+	// Sub-quantum jitter collapses onto one entry.
+	if NewKey("sim", []float64{a}) != NewKey("sim", []float64{a + 1e-12}) {
+		t.Error("sub-quantum jitter produced a distinct key")
+	}
+}
+
+func TestDoMemoizes(t *testing.T) {
+	c := New(nil)
+	var calls int
+	k := NewKey("sim", []float64{0.5})
+	for i := 0; i < 3; i++ {
+		loss, hit, err := c.Do(context.Background(), k, func() (float64, error) {
+			calls++
+			return 42, nil
+		})
+		if err != nil || loss != 42 {
+			t.Fatalf("Do #%d = (%v, %v, %v)", i, loss, hit, err)
+		}
+		if hit != (i > 0) {
+			t.Errorf("Do #%d hit = %v", i, hit)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("fn ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 2 hits / 1 miss / 1 entry", st)
+	}
+}
+
+func TestDoSingleFlight(t *testing.T) {
+	c := New(nil)
+	var calls atomic.Int64
+	started := make(chan struct{})
+	k := NewKey("sim", []float64{0.5})
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]float64, waiters)
+	errs := make([]error, waiters)
+	go func() {
+		// The first caller owns the computation and holds it open until
+		// every waiter is blocked on the in-flight entry.
+		c.Do(context.Background(), k, func() (float64, error) {
+			close(started)
+			for c.Stats().InflightWaits < waiters {
+				runtime.Gosched()
+			}
+			calls.Add(1)
+			return 7, nil
+		})
+	}()
+	<-started
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _, errs[i] = c.Do(context.Background(), k, func() (float64, error) {
+				calls.Add(1)
+				return 7, nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Errorf("fn ran %d times, want 1", got)
+	}
+	for i := range results {
+		if errs[i] != nil || results[i] != 7 {
+			t.Errorf("waiter %d got (%v, %v)", i, results[i], errs[i])
+		}
+	}
+	if st := c.Stats(); st.InflightWaits == 0 {
+		t.Errorf("no in-flight waits recorded: %+v", st)
+	}
+}
+
+func TestDoErrorIsNotCached(t *testing.T) {
+	c := New(nil)
+	k := NewKey("sim", []float64{0.5})
+	boom := errors.New("ctx canceled mid-run")
+	if _, _, err := c.Do(context.Background(), k, func() (float64, error) {
+		return 0, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("failed computation left %d entries", st.Entries)
+	}
+	// The next caller retries as a fresh miss.
+	loss, hit, err := c.Do(context.Background(), k, func() (float64, error) {
+		return 3, nil
+	})
+	if err != nil || hit || loss != 3 {
+		t.Fatalf("retry = (%v, %v, %v), want fresh (3, false, nil)", loss, hit, err)
+	}
+}
+
+func TestDoWaiterContextExpiry(t *testing.T) {
+	c := New(nil)
+	k := NewKey("sim", []float64{0.5})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go c.Do(context.Background(), k, func() (float64, error) {
+		close(started)
+		<-release
+		return 1, nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.Do(ctx, k, func() (float64, error) { return 1, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired waiter got %v, want context.Canceled", err)
+	}
+}
+
+func TestRegistryExport(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(reg)
+	k := NewKey("sim", []float64{0.25})
+	c.Do(context.Background(), k, func() (float64, error) { return 1, nil })
+	c.Do(context.Background(), k, func() (float64, error) { return 1, nil })
+	s := reg.Snapshot()
+	if s.Counters["cache.hits"] != 1 || s.Counters["cache.misses"] != 1 {
+		t.Errorf("registry counters = %v", s.Counters)
+	}
+	if s.Gauges["cache.entries"] != 1 {
+		t.Errorf("cache.entries gauge = %v", s.Gauges["cache.entries"])
+	}
+}
+
+func TestConcurrentDistinctKeys(t *testing.T) {
+	c := New(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := NewKey(fmt.Sprintf("sim%d", i%4), []float64{float64(i) / 32})
+			for j := 0; j < 50; j++ {
+				if _, _, err := c.Do(context.Background(), k, func() (float64, error) {
+					return float64(i), nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Entries != 32 {
+		t.Errorf("entries = %d, want 32", st.Entries)
+	}
+}

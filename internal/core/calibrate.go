@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"simcal/internal/cache"
 	"simcal/internal/stats"
 )
 
@@ -52,6 +53,8 @@ type Problem struct {
 	maxEvals int
 	start    time.Time
 	obs      Observer
+	cache    *cache.Cache
+	cacheKey string
 
 	mu      sync.Mutex
 	history []Sample
@@ -103,6 +106,7 @@ func (p *Problem) Evaluate(ctx context.Context, units [][]float64) ([]Sample, er
 	batchStart := time.Now()
 	out := make([]Sample, len(units))
 	completed := make([]bool, len(units))
+	hits := make([]bool, len(units))
 	var waits, durs []time.Duration
 	if observing {
 		waits = make([]time.Duration, len(units))
@@ -126,7 +130,7 @@ func (p *Problem) Evaluate(ctx context.Context, units [][]float64) ([]Sample, er
 				}
 				u := units[i]
 				pt := p.Space.Decode(u)
-				loss, err := p.sim.Run(ctx, pt)
+				loss, hit, err := p.runSim(ctx, u, pt)
 				if err != nil && ctx.Err() != nil {
 					// Aborted by budget expiry mid-run, not a simulator
 					// failure: do not record a phantom +Inf sample.
@@ -140,6 +144,7 @@ func (p *Problem) Evaluate(ctx context.Context, units [][]float64) ([]Sample, er
 				}
 				out[i] = Sample{Unit: append([]float64(nil), u...), Point: pt, Loss: loss, Elapsed: time.Since(p.start)}
 				completed[i] = true
+				hits[i] = hit
 			}
 		}()
 	}
@@ -170,12 +175,14 @@ dispatch:
 	}
 	if !allDone {
 		kept = make([]Sample, 0, len(units))
+		h2 := make([]bool, 0, len(units))
 		if observing {
 			w2 := make([]time.Duration, 0, len(units))
 			d2 := make([]time.Duration, 0, len(units))
 			for i := range out {
 				if completed[i] {
 					kept = append(kept, out[i])
+					h2 = append(h2, hits[i])
 					w2 = append(w2, waits[i])
 					d2 = append(d2, durs[i])
 				}
@@ -185,14 +192,20 @@ dispatch:
 			for i := range out {
 				if completed[i] {
 					kept = append(kept, out[i])
+					h2 = append(h2, hits[i])
 				}
 			}
 		}
+		hits = h2
 	}
 	improved := p.record(kept)
 	if observing {
+		co, _ := p.obs.(CacheObserver)
 		for i := range kept {
 			p.obs.EvalCompleted(kept[i], waits[i], durs[i])
+			if hits[i] && co != nil {
+				co.CacheHit(kept[i])
+			}
 			if improved[i] {
 				p.obs.IncumbentImproved(kept[i])
 			}
@@ -202,6 +215,33 @@ dispatch:
 		return kept, ErrBudgetExhausted
 	}
 	return kept, nil
+}
+
+// runSim evaluates the loss at one decoded point, through the
+// calibration's evaluation cache when one is attached. A cache hit
+// returns the memoized loss of the first evaluation of that point
+// (hit=true) without invoking the simulator; concurrent requests for an
+// in-flight point share its single simulation. Deterministic simulator
+// failures are memoized as +Inf so they are avoided without re-running;
+// budget-expiry aborts propagate their error uncached.
+func (p *Problem) runSim(ctx context.Context, u []float64, pt Point) (loss float64, hit bool, err error) {
+	if p.cache == nil {
+		loss, err = p.sim.Run(ctx, pt)
+		return loss, false, err
+	}
+	return p.cache.Do(ctx, cache.NewKey(p.cacheKey, u), func() (float64, error) {
+		l, e := p.sim.Run(ctx, pt)
+		if e != nil {
+			if ctx.Err() != nil {
+				return 0, e // aborted mid-run: not a memoizable outcome
+			}
+			return math.Inf(1), nil
+		}
+		if math.IsNaN(l) {
+			return math.Inf(1), nil
+		}
+		return l, nil
+	})
 }
 
 // record appends samples to history and updates the incumbent. It
@@ -316,10 +356,28 @@ type Calibrator struct {
 	// (see Observer and NewObsObserver). Nil disables instrumentation at
 	// zero cost.
 	Observer Observer
+	// Cache, when non-nil, memoizes loss evaluations: re-visited points
+	// return the original loss without re-simulating, and concurrent
+	// evaluations of the same point share one simulation. Cache hits
+	// still count against the evaluation budget and are recorded in
+	// history with their own elapsed time, so a cached run produces the
+	// same Best and loss sequence as an uncached one. The cache may be
+	// shared across calibrations of the same simulator (restarts,
+	// repeated seeds); CacheKey keeps different simulators apart.
+	Cache *cache.Cache
+	// CacheKey uniquely identifies the (simulator, loss function,
+	// dataset) configuration among all calibrations sharing Cache.
+	// Required when Cache is set: an empty key would let unrelated
+	// simulators exchange loss values.
+	CacheKey string
 }
 
 // Run executes the calibration and returns the result. The configured
-// budget is enforced through the context passed to evaluations.
+// budget is enforced through the context passed to evaluations. Budget
+// expiry is normal completion (the partial result is returned);
+// cancellation of the caller's own context is not — Run then returns
+// ctx.Err() so a Ctrl-C'd calibration is distinguishable from one that
+// ran out its budget.
 func (c *Calibrator) Run(ctx context.Context) (*Result, error) {
 	if err := c.Space.Validate(); err != nil {
 		return nil, err
@@ -333,10 +391,14 @@ func (c *Calibrator) Run(ctx context.Context) (*Result, error) {
 	if c.Budget <= 0 && c.MaxEvaluations <= 0 {
 		return nil, errors.New("core: Calibrator requires a Budget or MaxEvaluations")
 	}
+	if c.Cache != nil && c.CacheKey == "" {
+		return nil, errors.New("core: Calibrator with a Cache requires a CacheKey")
+	}
 	workers := c.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	parent := ctx
 	if c.Budget > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.Budget)
@@ -350,6 +412,8 @@ func (c *Calibrator) Run(ctx context.Context) (*Result, error) {
 		maxEvals: c.MaxEvaluations,
 		start:    time.Now(),
 		obs:      c.Observer,
+		cache:    c.Cache,
+		cacheKey: c.CacheKey,
 	}
 	if c.Observer != nil {
 		names := make([]string, len(c.Space))
@@ -366,6 +430,13 @@ func (c *Calibrator) Run(ctx context.Context) (*Result, error) {
 		})
 	}
 	err := c.Algorithm.Optimize(ctx, prob)
+	if perr := parent.Err(); perr != nil {
+		// The caller's own context was canceled (not the budget timeout,
+		// which only cancels the derived ctx): this run was aborted, not
+		// completed, and must not masquerade as a successful partial
+		// result.
+		return nil, perr
+	}
 	if err != nil && !errors.Is(err, ErrBudgetExhausted) && !errors.Is(err, context.DeadlineExceeded) {
 		return nil, fmt.Errorf("core: algorithm %s: %w", c.Algorithm.Name(), err)
 	}

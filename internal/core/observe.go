@@ -59,6 +59,18 @@ type Observer interface {
 	CalibrationFinished(r *Result)
 }
 
+// CacheObserver is an optional extension of Observer. When a
+// Calibrator runs with a cache and its Observer also implements
+// CacheObserver, CacheHit fires for every evaluation answered from the
+// cache, immediately after the sample's EvalCompleted callback (and
+// before IncumbentImproved, if any). Observers that don't care about
+// cache traffic need not implement it.
+type CacheObserver interface {
+	// CacheHit fires once per cache-served evaluation; s is the same
+	// sample EvalCompleted just received.
+	CacheHit(s Sample)
+}
+
 // obsObserver bridges Observer callbacks into an obs.Registry and an
 // obs.Tracer. Either may be nil: a nil registry skips metrics, a nil
 // tracer skips trace records.
@@ -153,6 +165,14 @@ func (o *obsObserver) EvalCompleted(s Sample, wait, dur time.Duration) {
 		"elapsed_ns": int64(s.Elapsed),
 		"wait_ns":    int64(wait),
 		"dur_ns":     int64(dur),
+	})
+}
+
+// CacheHit implements CacheObserver.
+func (o *obsObserver) CacheHit(s Sample) {
+	o.tracer.Emit(obs.EventCacheHit, obs.Fields{
+		"loss":      s.Loss,
+		"elapsed_s": s.Elapsed.Seconds(),
 	})
 }
 

@@ -39,22 +39,34 @@ func AblationAlgorithms(ctx context.Context, o Options) (*AblationAlgResult, err
 		opt.Grid{}, opt.Random{}, opt.GradientDescent{},
 		opt.NewBOGP(), opt.NewBORF(), opt.NewBOET(), opt.NewBOGBRT(),
 	}
-	out := &AblationAlgResult{Losses: make(map[string]float64)}
-	boMin, boMax := -1.0, -1.0
-	for _, alg := range algs {
-		cal := o.calibrator(v.Space(), ev, alg, o.Seed)
+	// Every algorithm calibrates the same (simulator, loss, dataset)
+	// configuration, so all cells share one cache key: with a cache
+	// attached, an evaluation any algorithm has already paid for is free
+	// to every other.
+	losses, err := RunJobs(ctx, o.sched(), len(algs), func(ctx context.Context, i int) (float64, error) {
+		alg := algs[i] // one instance per cell: algorithms may keep state
+		cal := o.calibrator(v.Space(), ev, alg, o.Seed, o.cacheKey("ablation/wf/L1"))
 		r, err := cal.Run(ctx)
 		if err != nil {
-			return nil, fmt.Errorf("ablation %s: %w", alg.Name(), err)
+			return 0, fmt.Errorf("ablation %s: %w", alg.Name(), err)
 		}
+		return r.Best.Loss, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationAlgResult{Losses: make(map[string]float64)}
+	boMin, boMax := -1.0, -1.0
+	for i, alg := range algs {
+		l := losses[i]
 		out.Order = append(out.Order, alg.Name())
-		out.Losses[alg.Name()] = r.Best.Loss
+		out.Losses[alg.Name()] = l
 		if len(alg.Name()) > 3 && alg.Name()[:3] == "BO-" {
-			if boMin < 0 || r.Best.Loss < boMin {
-				boMin = r.Best.Loss
+			if boMin < 0 || l < boMin {
+				boMin = l
 			}
-			if r.Best.Loss > boMax {
-				boMax = r.Best.Loss
+			if l > boMax {
+				boMax = l
 			}
 		}
 	}
@@ -91,7 +103,7 @@ func AblationBudget(ctx context.Context, o Options) (*AblationBudgetResult, erro
 		}
 		oo := o
 		oo.MaxEvals = b
-		cal := oo.calibrator(v.Space(), ev, opt.NewBOGP(), o.Seed)
+		cal := oo.calibrator(v.Space(), ev, opt.NewBOGP(), o.Seed, o.cacheKey("ablation/wf/L1"))
 		r, err := cal.Run(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("ablation budget %d: %w", b, err)
@@ -134,26 +146,33 @@ func AblationStorageValue(ctx context.Context, o Options) (*AblationStorageValue
 	if err != nil {
 		return nil, err
 	}
-	out := &AblationStorageValueResult{}
-	run := func(storage wfsim.StorageOption, ds *groundtruth.WFDataset) (float64, error) {
-		v := wfsim.Version{Network: wfsim.OneLink, Storage: storage, Compute: wfsim.HTCondor}
-		va, err := calibrateAndTestWF(ctx, o, v, ds, ds)
+	combos := []struct {
+		storage wfsim.StorageOption
+		ds      *groundtruth.WFDataset
+		dsKey   string
+	}{
+		{wfsim.SubmitOnly, heavy, "storage-heavy"},
+		{wfsim.AllNodes, heavy, "storage-heavy"},
+		{wfsim.SubmitOnly, free, "storage-free"},
+		{wfsim.AllNodes, free, "storage-free"},
+	}
+	errsOut, err := RunJobs(ctx, o.sched(), len(combos), func(ctx context.Context, i int) (float64, error) {
+		c := combos[i]
+		v := wfsim.Version{Network: wfsim.OneLink, Storage: c.storage, Compute: wfsim.HTCondor}
+		va, err := calibrateAndTestWF(ctx, o, v, c.ds, c.ds, c.dsKey)
 		if err != nil {
 			return 0, err
 		}
 		return va.AvgError, nil
-	}
-	if out.DataHeavySubmitOnly, err = run(wfsim.SubmitOnly, heavy); err != nil {
+	})
+	if err != nil {
 		return nil, err
 	}
-	if out.DataHeavyAllNodes, err = run(wfsim.AllNodes, heavy); err != nil {
-		return nil, err
-	}
-	if out.DataFreeSubmitOnly, err = run(wfsim.SubmitOnly, free); err != nil {
-		return nil, err
-	}
-	if out.DataFreeAllNodes, err = run(wfsim.AllNodes, free); err != nil {
-		return nil, err
+	out := &AblationStorageValueResult{
+		DataHeavySubmitOnly: errsOut[0],
+		DataHeavyAllNodes:   errsOut[1],
+		DataFreeSubmitOnly:  errsOut[2],
+		DataFreeAllNodes:    errsOut[3],
 	}
 	return out, nil
 }

@@ -45,25 +45,39 @@ func Table3(ctx context.Context, o Options) (*Table3Result, error) {
 	for _, kind := range loss.AllWFKinds {
 		res.Losses = append(res.Losses, kind.String())
 	}
-	best := -1.0
-	for ai, alg := range algorithms() {
+	algs := algorithms()
+	for _, alg := range algs {
 		res.Algorithms = append(res.Algorithms, alg.Name())
 		res.Errors[alg.Name()] = make(map[string]float64)
-		for ki, kind := range loss.AllWFKinds {
-			// Distinct seed per cell: with a shared seed, RAND would
-			// evaluate the identical point sequence for every loss and
-			// the whole row would collapse to one value.
-			cal := o.calibrator(v.Space(), loss.WFEvaluator(v, kind, syn), alg, o.Seed+int64(100*ai+ki+1))
-			r, err := cal.Run(ctx)
-			if err != nil {
-				return nil, fmt.Errorf("table3 %s/%s: %w", alg.Name(), kind, err)
-			}
-			ce := core.CalibrationError(v.Space(), r.Best.Point, planted)
-			res.Errors[alg.Name()][kind.String()] = ce
-			if best < 0 || ce < best {
-				best = ce
-				res.WinnerAlg, res.WinnerLoss = alg.Name(), kind.String()
-			}
+	}
+	nk := len(loss.AllWFKinds)
+	ces, err := RunJobs(ctx, o.sched(), len(algs)*nk, func(ctx context.Context, i int) (float64, error) {
+		ai, ki := i/nk, i%nk
+		// Fresh algorithm instance per cell: algorithms may keep
+		// internal state and cells run concurrently.
+		alg := algorithms()[ai]
+		kind := loss.AllWFKinds[ki]
+		// Distinct seed per cell: with a shared seed, RAND would
+		// evaluate the identical point sequence for every loss and
+		// the whole row would collapse to one value.
+		cal := o.calibrator(v.Space(), loss.WFEvaluator(v, kind, syn), alg,
+			o.Seed+int64(100*ai+ki+1), o.cacheKey("table3/wf/"+kind.String()))
+		r, err := cal.Run(ctx)
+		if err != nil {
+			return 0, fmt.Errorf("table3 %s/%s: %w", alg.Name(), kind, err)
+		}
+		return core.CalibrationError(v.Space(), r.Best.Point, planted), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	best := -1.0
+	for i, ce := range ces {
+		ai, ki := i/nk, i%nk
+		res.Errors[algs[ai].Name()][loss.AllWFKinds[ki].String()] = ce
+		if best < 0 || ce < best {
+			best = ce
+			res.WinnerAlg, res.WinnerLoss = algs[ai].Name(), loss.AllWFKinds[ki].String()
 		}
 	}
 	return res, nil
@@ -99,7 +113,8 @@ func Figure1(ctx context.Context, o Options) (*Figure1Result, error) {
 		return nil, err
 	}
 	v := wfsim.HighestDetail
-	cal := o.calibrator(v.Space(), loss.WFEvaluator(v, loss.WFL1, ds), algorithms()[1], o.Seed)
+	cal := o.calibrator(v.Space(), loss.WFEvaluator(v, loss.WFL1, ds), algorithms()[1],
+		o.Seed, o.cacheKey("figure1/wf/L1"))
 	r, err := cal.Run(ctx)
 	if err != nil {
 		return nil, err
@@ -148,13 +163,20 @@ func Figure2(ctx context.Context, o Options) (*Figure2Result, error) {
 		return nil, err
 	}
 	train, test := splitTrainTest(full, o)
+	versions := wfsim.AllVersions()
+	vas, err := RunJobs(ctx, o.sched(), len(versions), func(ctx context.Context, i int) (*VersionAccuracy, error) {
+		va, err := calibrateAndTestWF(ctx, o, versions[i], train, test, "train")
+		if err != nil {
+			return nil, fmt.Errorf("figure2 %s: %w", versions[i].Name(), err)
+		}
+		return va, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Figure2Result{}
 	bestAvg := -1.0
-	for _, v := range wfsim.AllVersions() {
-		va, err := calibrateAndTestWF(ctx, o, v, train, test)
-		if err != nil {
-			return nil, fmt.Errorf("figure2 %s: %w", v.Name(), err)
-		}
+	for _, va := range vas {
 		res.Versions = append(res.Versions, *va)
 		if bestAvg < 0 || va.AvgError < bestAvg {
 			bestAvg = va.AvgError
@@ -165,9 +187,12 @@ func Figure2(ctx context.Context, o Options) (*Figure2Result, error) {
 }
 
 // calibrateAndTestWF calibrates one version on train and scores it on
-// test.
-func calibrateAndTestWF(ctx context.Context, o Options, v wfsim.Version, train, test *groundtruth.WFDataset) (*VersionAccuracy, error) {
-	r, err := o.calibrateBest(ctx, v.Space(), loss.WFEvaluator(v, loss.WFL1, train), algorithms()[1], o.Seed)
+// test. dsKey names the training dataset for the evaluation cache
+// (calibrations of the same version on the same data — e.g. Figure 2
+// and Baseline 1 — legitimately share entries).
+func calibrateAndTestWF(ctx context.Context, o Options, v wfsim.Version, train, test *groundtruth.WFDataset, dsKey string) (*VersionAccuracy, error) {
+	r, err := o.calibrateBest(ctx, v.Space(), loss.WFEvaluator(v, loss.WFL1, train), algorithms()[1],
+		o.Seed, o.cacheKey("wf/L1/"+dsKey+"/"+v.Name()))
 	if err != nil {
 		return nil, err
 	}
@@ -228,7 +253,7 @@ func Baseline1(ctx context.Context, o Options) (*Baseline1Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	va, err := calibrateAndTestWF(ctx, o, v, train, test)
+	va, err := calibrateAndTestWF(ctx, o, v, train, test, "train")
 	if err != nil {
 		return nil, err
 	}

@@ -67,30 +67,45 @@ func Table5(ctx context.Context, o Options) (*Table5Result, error) {
 	for _, kind := range loss.AllMPIKinds {
 		res.Losses = append(res.Losses, kind.String())
 	}
-	bestRate := -1.0
-	for ai, alg := range algorithms() {
+	algs := algorithms()
+	for _, alg := range algs {
 		res.Algorithms = append(res.Algorithms, alg.Name())
 		res.CalibErrors[alg.Name()] = make(map[string]float64)
 		res.RateErrors[alg.Name()] = make(map[string]float64)
-		for ki, kind := range loss.AllMPIKinds {
-			// Distinct seed per cell (see Table3).
-			cal := o.calibrator(v.Space(), loss.MPIEvaluator(v, kind, syn, o.MPIRounds), alg, o.Seed+int64(100*ai+ki+1))
-			r, err := cal.Run(ctx)
-			if err != nil {
-				return nil, fmt.Errorf("table5 %s/%s: %w", alg.Name(), kind, err)
-			}
-			ce := core.CalibrationError(v.Space(), r.Best.Point, planted)
-			res.CalibErrors[alg.Name()][kind.String()] = ce
-			rerrs, err := loss.MPIRateErrors(v, v.DecodeConfig(r.Best.Point), syn, o.MPIRounds)
-			if err != nil {
-				return nil, err
-			}
-			re := stats.Mean(rerrs) / 100 // fractional, like the paper
-			res.RateErrors[alg.Name()][kind.String()] = re
-			if bestRate < 0 || re < bestRate {
-				bestRate = re
-				res.WinnerAlg, res.WinnerLoss = alg.Name(), kind.String()
-			}
+	}
+	type table5Cell struct{ ce, re float64 }
+	nk := len(loss.AllMPIKinds)
+	cells, err := RunJobs(ctx, o.sched(), len(algs)*nk, func(ctx context.Context, i int) (table5Cell, error) {
+		ai, ki := i/nk, i%nk
+		alg := algorithms()[ai] // fresh instance per concurrent cell
+		kind := loss.AllMPIKinds[ki]
+		// Distinct seed per cell (see Table3).
+		cal := o.calibrator(v.Space(), loss.MPIEvaluator(v, kind, syn, o.MPIRounds), alg,
+			o.Seed+int64(100*ai+ki+1), o.cacheKey("table5/mpi/"+kind.String()))
+		r, err := cal.Run(ctx)
+		if err != nil {
+			return table5Cell{}, fmt.Errorf("table5 %s/%s: %w", alg.Name(), kind, err)
+		}
+		ce := core.CalibrationError(v.Space(), r.Best.Point, planted)
+		rerrs, err := loss.MPIRateErrors(v, v.DecodeConfig(r.Best.Point), syn, o.MPIRounds)
+		if err != nil {
+			return table5Cell{}, err
+		}
+		re := stats.Mean(rerrs) / 100 // fractional, like the paper
+		return table5Cell{ce: ce, re: re}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	bestRate := -1.0
+	for i, c := range cells {
+		ai, ki := i/nk, i%nk
+		kind := loss.AllMPIKinds[ki]
+		res.CalibErrors[algs[ai].Name()][kind.String()] = c.ce
+		res.RateErrors[algs[ai].Name()][kind.String()] = c.re
+		if bestRate < 0 || c.re < bestRate {
+			bestRate = c.re
+			res.WinnerAlg, res.WinnerLoss = algs[ai].Name(), kind.String()
 		}
 	}
 	return res, nil
@@ -111,7 +126,8 @@ func Figure4(ctx context.Context, o Options) (*Figure4Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cal := o.calibrator(v.Space(), loss.MPIEvaluator(v, loss.MPIL1, ds, o.MPIRounds), algorithms()[1], o.Seed)
+	cal := o.calibrator(v.Space(), loss.MPIEvaluator(v, loss.MPIL1, ds, o.MPIRounds), algorithms()[1],
+		o.Seed, o.cacheKey("figure4/mpi/L1"))
 	r, err := cal.Run(ctx)
 	if err != nil {
 		return nil, err
@@ -143,13 +159,20 @@ func Figure5(ctx context.Context, o Options) (*Figure5Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	versions := mpisim.AllVersions()
+	vas, err := RunJobs(ctx, o.sched(), len(versions), func(ctx context.Context, i int) (*VersionAccuracy, error) {
+		va, err := calibrateAndTestMPI(ctx, o, versions[i], ds, ds, "p2p")
+		if err != nil {
+			return nil, fmt.Errorf("figure5 %s: %w", versions[i].Name(), err)
+		}
+		return va, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Figure5Result{}
 	bestAvg := -1.0
-	for _, v := range mpisim.AllVersions() {
-		va, err := calibrateAndTestMPI(ctx, o, v, ds, ds)
-		if err != nil {
-			return nil, fmt.Errorf("figure5 %s: %w", v.Name(), err)
-		}
+	for _, va := range vas {
 		res.Versions = append(res.Versions, *va)
 		if bestAvg < 0 || va.AvgError < bestAvg {
 			bestAvg = va.AvgError
@@ -160,9 +183,12 @@ func Figure5(ctx context.Context, o Options) (*Figure5Result, error) {
 }
 
 // calibrateAndTestMPI calibrates one version on train and scores percent
-// rate errors on test.
-func calibrateAndTestMPI(ctx context.Context, o Options, v mpisim.Version, train, test *groundtruth.MPIDataset) (*VersionAccuracy, error) {
-	r, err := o.calibrateBest(ctx, v.Space(), loss.MPIEvaluator(v, loss.MPIL1, train, o.MPIRounds), algorithms()[1], o.Seed)
+// rate errors on test. dsKey names the training dataset for the
+// evaluation cache (calibrations of the same version on the same data —
+// e.g. Figure 5 and Baseline 2 — legitimately share entries).
+func calibrateAndTestMPI(ctx context.Context, o Options, v mpisim.Version, train, test *groundtruth.MPIDataset, dsKey string) (*VersionAccuracy, error) {
+	r, err := o.calibrateBest(ctx, v.Space(), loss.MPIEvaluator(v, loss.MPIL1, train, o.MPIRounds), algorithms()[1],
+		o.Seed, o.cacheKey("mpi/L1/"+dsKey+"/"+v.Name()))
 	if err != nil {
 		return nil, err
 	}
@@ -222,7 +248,7 @@ func Baseline2(ctx context.Context, o Options) (*Baseline2Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	va, err := calibrateAndTestMPI(ctx, o, v, ds, ds)
+	va, err := calibrateAndTestMPI(ctx, o, v, ds, ds, "p2p")
 	if err != nil {
 		return nil, err
 	}
@@ -270,12 +296,12 @@ func Section65(ctx context.Context, o Options) (*Section65Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	fromP2P, err := calibrateAndTestMPI(ctx, o, v, p2p, stencil)
+	fromP2P, err := calibrateAndTestMPI(ctx, o, v, p2p, stencil, "p2p")
 	if err != nil {
 		return nil, err
 	}
 	out.StencilFromP2P = fromP2P.AvgError
-	native, err := calibrateAndTestMPI(ctx, o, v, stencil, stencil)
+	native, err := calibrateAndTestMPI(ctx, o, v, stencil, stencil, "stencil")
 	if err != nil {
 		return nil, err
 	}
@@ -283,7 +309,8 @@ func Section65(ctx context.Context, o Options) (*Section65Result, error) {
 
 	// Cross-scale: calibrate at the smallest count, evaluate at each
 	// larger count.
-	r, err := o.calibrateBest(ctx, v.Space(), loss.MPIEvaluator(v, loss.MPIL1, p2p, o.MPIRounds), algorithms()[1], o.Seed)
+	r, err := o.calibrateBest(ctx, v.Space(), loss.MPIEvaluator(v, loss.MPIL1, p2p, o.MPIRounds), algorithms()[1],
+		o.Seed, o.cacheKey("mpi/L1/p2p/"+v.Name()))
 	if err != nil {
 		return nil, err
 	}

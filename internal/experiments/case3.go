@@ -25,30 +25,38 @@ func CaseStudy3(ctx context.Context, o Options) (*CaseStudy3Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &CaseStudy3Result{}
-	bestAvg := -1.0
-	for _, v := range batch.AllVersions() {
-		r, err := o.calibrateBest(ctx, v.Space(), batch.Evaluator(v, gt), algorithms()[1], o.Seed)
+	versions := batch.AllVersions()
+	vas, err := RunJobs(ctx, o.sched(), len(versions), func(ctx context.Context, i int) (VersionAccuracy, error) {
+		v := versions[i]
+		r, err := o.calibrateBest(ctx, v.Space(), batch.Evaluator(v, gt), algorithms()[1],
+			o.Seed, o.cacheKey("case3/batch/"+v.Name()))
 		if err != nil {
-			return nil, fmt.Errorf("casestudy3 %s: %w", v.Name(), err)
+			return VersionAccuracy{}, fmt.Errorf("casestudy3 %s: %w", v.Name(), err)
 		}
 		cfg := v.DecodeConfig(r.Best.Point, gt.Procs)
 		sim, err := batch.Simulate(v.Policy, cfg, gt.Jobs)
 		if err != nil {
-			return nil, err
+			return VersionAccuracy{}, err
 		}
 		var errs []float64
 		for _, j := range gt.Jobs {
 			errs = append(errs, 100*stats.RelError(gt.MeanTurnaround[j.ID], sim.Ends[j.ID]-j.Submit))
 		}
-		va := VersionAccuracy{
+		return VersionAccuracy{
 			Version:   v.Name(),
 			AvgError:  stats.Mean(errs),
 			MinError:  stats.Min(errs),
 			MaxError:  stats.Max(errs),
 			TrainLoss: r.Best.Loss,
 			Params:    v.Space().Dim(),
-		}
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &CaseStudy3Result{}
+	bestAvg := -1.0
+	for _, va := range vas {
 		res.Versions = append(res.Versions, va)
 		if bestAvg < 0 || va.AvgError < bestAvg {
 			bestAvg = va.AvgError

@@ -7,9 +7,11 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"time"
 
+	"simcal/internal/cache"
 	"simcal/internal/core"
 	"simcal/internal/opt"
 	"simcal/internal/wfgen"
@@ -56,6 +58,31 @@ type Options struct {
 	// calibration an experiment runs (see core.Observer and
 	// core.NewObsObserver). Nil disables instrumentation.
 	Observer core.Observer
+
+	// Jobs is the number of independent calibrations (LoD version × loss
+	// × algorithm cells, restarts) run concurrently by the drivers.
+	// Values <= 1 run sequentially. Results are identical either way:
+	// every cell's seed derives from Seed, never from scheduling order.
+	Jobs int
+	// Cache, when non-nil, memoizes loss evaluations across every
+	// calibration an experiment runs (see the cache package). Each
+	// driver keys the cache by its (simulator version, loss, dataset)
+	// configuration, so restarts and repeated algorithms share
+	// simulations while distinct configurations stay apart.
+	Cache *cache.Cache
+}
+
+// sched returns the experiment-wide scheduler implied by Jobs (nil for
+// sequential execution).
+func (o Options) sched() *Scheduler { return NewScheduler(o.Jobs) }
+
+// cacheKey builds the evaluation-cache identity for one (simulator
+// version, loss, dataset) configuration. o.Seed participates because
+// every ground-truth dataset is generated from it. The scale fields
+// (WFApps, Reps, MPI grids, …) do not: a Cache must not be shared
+// across differently scaled Options values.
+func (o Options) cacheKey(config string) string {
+	return fmt.Sprintf("%s#seed=%d", config, o.Seed)
 }
 
 // Default returns the fast configuration used by the benchmark harness:
@@ -101,8 +128,10 @@ func Full() Options {
 	return o
 }
 
-// calibrator assembles a core.Calibrator from the options.
-func (o Options) calibrator(space core.Space, sim core.Simulator, alg core.Algorithm, seed int64) *core.Calibrator {
+// calibrator assembles a core.Calibrator from the options. key
+// identifies the (simulator version, loss, dataset) configuration for
+// the evaluation cache; it is ignored when o.Cache is nil.
+func (o Options) calibrator(space core.Space, sim core.Simulator, alg core.Algorithm, seed int64, key string) *core.Calibrator {
 	return &core.Calibrator{
 		Space:          space,
 		Simulator:      sim,
@@ -112,19 +141,25 @@ func (o Options) calibrator(space core.Space, sim core.Simulator, alg core.Algor
 		Workers:        o.Workers,
 		Seed:           seed,
 		Observer:       o.Observer,
+		Cache:          o.Cache,
+		CacheKey:       key,
 	}
 }
 
 // calibrateBest runs the calibration o.Restarts times with distinct
-// seeds and returns the result with the lowest training loss.
-func (o Options) calibrateBest(ctx context.Context, space core.Space, sim core.Simulator, alg core.Algorithm, seed int64) (*core.Result, error) {
+// seeds and returns the result with the lowest training loss. The
+// restarts run sequentially: drivers parallelize at the cell level
+// (one RunJobs per driver loop), and nesting a second level inside a
+// cell would either oversubscribe or, on a shared pool, deadlock.
+// With a cache the restarts share memoized evaluations anyway.
+func (o Options) calibrateBest(ctx context.Context, space core.Space, sim core.Simulator, alg core.Algorithm, seed int64, key string) (*core.Result, error) {
 	restarts := o.Restarts
 	if restarts < 1 {
 		restarts = 1
 	}
 	var best *core.Result
 	for i := 0; i < restarts; i++ {
-		r, err := o.calibrator(space, sim, alg, seed+int64(1000*i)).Run(ctx)
+		r, err := o.calibrator(space, sim, alg, seed+int64(1000*i), key).Run(ctx)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Scheduler is a bounded worker pool for running independent
+// calibrations — the (LoD version × loss × algorithm) cells of the
+// paper's evaluation — concurrently. One Scheduler is meant to be
+// shared by every driver of an experiment run so the total calibration
+// parallelism stays bounded regardless of how drivers nest their loops.
+// The zero bound and a nil *Scheduler both mean sequential execution.
+//
+// Concurrency does not change results: every cell derives its own
+// deterministic seed from the root seed (never from scheduling order),
+// and RunJobs returns results in index order, so a parallel run is
+// output-identical to a sequential one.
+type Scheduler struct {
+	sem chan struct{}
+}
+
+// NewScheduler returns a scheduler running at most jobs calibrations at
+// once. jobs <= 1 returns nil, the sequential scheduler.
+func NewScheduler(jobs int) *Scheduler {
+	if jobs <= 1 {
+		return nil
+	}
+	return &Scheduler{sem: make(chan struct{}, jobs)}
+}
+
+// RunJobs runs fn(ctx, i) for i in [0, n) under the scheduler's
+// concurrency bound and returns the n results in index order. A nil
+// scheduler runs the jobs sequentially in index order. The first
+// failure cancels the context passed to still-running siblings;
+// RunJobs then reports that failure — preferring a sibling's real
+// error over the context.Canceled the cancellation itself induces —
+// after every started job has returned.
+func RunJobs[T any](ctx context.Context, s *Scheduler, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if s == nil {
+		for i := 0; i < n; i++ {
+			r, err := fn(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			errs[i] = ctx.Err()
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-s.sem }()
+			r, err := fn(ctx, i)
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+	if first != nil {
+		return nil, first
+	}
+	return results, nil
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"simcal/internal/cache"
+)
+
+func TestNewSchedulerSequentialBelowTwo(t *testing.T) {
+	for _, jobs := range []int{-1, 0, 1} {
+		if s := NewScheduler(jobs); s != nil {
+			t.Errorf("NewScheduler(%d) = %v, want nil (sequential)", jobs, s)
+		}
+	}
+	if NewScheduler(2) == nil {
+		t.Error("NewScheduler(2) = nil, want a pool")
+	}
+}
+
+func TestRunJobsIndexOrder(t *testing.T) {
+	for _, s := range []*Scheduler{nil, NewScheduler(4)} {
+		got, err := RunJobs(context.Background(), s, 20, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("results[%d] = %d: not in index order", i, v)
+			}
+		}
+	}
+}
+
+func TestRunJobsBoundsConcurrency(t *testing.T) {
+	const jobs = 3
+	var running, peak atomic.Int64
+	_, err := RunJobs(context.Background(), NewScheduler(jobs), 24, func(_ context.Context, i int) (int, error) {
+		n := running.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		defer running.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > jobs {
+		t.Errorf("peak concurrency %d exceeds pool size %d", p, jobs)
+	}
+}
+
+func TestRunJobsPropagatesFirstRealError(t *testing.T) {
+	boom := errors.New("cell 1 exploded")
+	// The failing index must land in the first wave of the 4-slot pool:
+	// later siblings hold their slots until the failure cancels them.
+	_, err := RunJobs(context.Background(), NewScheduler(4), 16, func(ctx context.Context, i int) (int, error) {
+		if i == 1 {
+			return 0, boom
+		}
+		<-ctx.Done() // siblings canceled after the failure
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the cell error, not a sibling's context.Canceled", err)
+	}
+}
+
+func TestRunJobsSequentialError(t *testing.T) {
+	boom := errors.New("no")
+	var ran int
+	_, err := RunJobs(context.Background(), nil, 5, func(_ context.Context, i int) (int, error) {
+		ran++
+		if i == 2 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran != 3 {
+		t.Errorf("sequential run executed %d jobs after the failure, want stop at 3", ran)
+	}
+}
+
+func TestRunJobsCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunJobs(ctx, NewScheduler(2), 8, func(ctx context.Context, i int) (int, error) {
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// stripTiming zeroes the fields that legitimately vary between a
+// sequential and a concurrent run (wall-clock measurements).
+func stripTiming(vs []VersionAccuracy) []VersionAccuracy {
+	out := append([]VersionAccuracy(nil), vs...)
+	for i := range out {
+		out[i].SimMicros = 0
+	}
+	return out
+}
+
+// TestFigure2JobsDeterminism: running the per-version cells concurrently
+// must give byte-for-byte the same accuracy numbers as sequentially —
+// seeds derive from the options, never from scheduling order.
+func TestFigure2JobsDeterminism(t *testing.T) {
+	seq, err := Figure2(context.Background(), tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := tiny()
+	par.Jobs = 4
+	got, err := Figure2(context.Background(), par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Best != seq.Best {
+		t.Errorf("best version differs: %q vs %q", got.Best, seq.Best)
+	}
+	a, b := stripTiming(seq.Versions), stripTiming(got.Versions)
+	if len(a) != len(b) {
+		t.Fatalf("version counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("version %d differs:\nsequential: %+v\nconcurrent: %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestFigure2CacheDeterminism: attaching a shared evaluation cache must
+// not change the results either, and the overlapping configurations
+// (versions × restarts revisiting points) must actually produce hits.
+func TestFigure2CacheDeterminism(t *testing.T) {
+	seq, err := Figure2(context.Background(), tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := tiny()
+	co.Jobs = 4
+	co.Cache = cache.New(nil)
+	got, err := Figure2(context.Background(), co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := stripTiming(seq.Versions), stripTiming(got.Versions)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("version %d differs with cache:\nuncached: %+v\ncached:   %+v", i, a[i], b[i])
+		}
+	}
+	// A second run over the same options replays entirely from cache.
+	if _, err := Figure2(context.Background(), co); err != nil {
+		t.Fatal(err)
+	}
+	if st := co.Cache.Stats(); st.Hits == 0 {
+		t.Errorf("no cache hits across repeated Figure2 runs: %+v", st)
+	}
+}

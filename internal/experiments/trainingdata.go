@@ -69,12 +69,18 @@ func Figure3(ctx context.Context, o Options) (*Figure3Result, error) {
 		}
 		oo.MaxEvals = 0
 		oo.Restarts = 1
+		// No evaluation cache here: the study measures how evaluation
+		// COST trades against optimizer iterations, and memoized (free)
+		// re-evaluations would erase exactly that effect. Cells also stay
+		// sequential — concurrent wall-clock-budgeted calibrations would
+		// contend for CPU and distort each other's budgets.
+		oo.Cache = nil
 		evalOption := func(scheme string, nw, m int, keep func(*groundtruth.WFGroup) bool) error {
 			train := full.Filter(keep)
 			if len(train.Groups) == 0 {
 				return nil
 			}
-			r, err := oo.calibrateBest(ctx, v.Space(), loss.WFEvaluator(v, loss.WFL1, train), algorithms()[1], o.Seed)
+			r, err := oo.calibrateBest(ctx, v.Space(), loss.WFEvaluator(v, loss.WFL1, train), algorithms()[1], o.Seed, "")
 			if err != nil {
 				return fmt.Errorf("figure3 %s %s n=%d m=%d: %w", app, scheme, nw, m, err)
 			}
@@ -158,8 +164,12 @@ func Section55(ctx context.Context, o Options) (*Section55Result, error) {
 	}
 	oo.MaxEvals = 0
 	oo.Restarts = 1
+	// No cache and no concurrency, for the same reason as Figure 3: the
+	// study's effect lives in per-evaluation cost under a wall-clock
+	// budget.
+	oo.Cache = nil
 	testLossOf := func(train *groundtruth.WFDataset) (float64, error) {
-		r, err := oo.calibrateBest(ctx, v.Space(), loss.WFEvaluator(v, loss.WFL1, train), algorithms()[1], o.Seed)
+		r, err := oo.calibrateBest(ctx, v.Space(), loss.WFEvaluator(v, loss.WFL1, train), algorithms()[1], o.Seed, "")
 		if err != nil {
 			return 0, err
 		}

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"time"
 )
 
@@ -12,6 +13,7 @@ const (
 	EventCalibrationStarted  = "calibration_started"
 	EventBatchProposed       = "batch_proposed"
 	EventEvalCompleted       = "eval_completed"
+	EventCacheHit            = "cache_hit"
 	EventIncumbentImproved   = "incumbent_improved"
 	EventSurrogateFitted     = "surrogate_fitted"
 	EventAcquisitionSolved   = "acquisition_solved"
@@ -79,7 +81,10 @@ func ReplayConvergenceRecords(recs []Record) ([]ConvergencePoint, error) {
 	return points, nil
 }
 
-// fieldFloat extracts a numeric field from a decoded JSON payload.
+// fieldFloat extracts a numeric field from a decoded JSON payload. The
+// tracer encodes non-finite floats as the string sentinels "Inf",
+// "-Inf", and "NaN" (JSON has no representation for them); fieldFloat
+// decodes those back to their float64 values.
 func fieldFloat(f Fields, key string) (float64, bool) {
 	v, ok := f[key]
 	if !ok {
@@ -92,6 +97,16 @@ func fieldFloat(f Fields, key string) (float64, bool) {
 		return float64(x), true
 	case int:
 		return float64(x), true
+	case string:
+		switch x {
+		case "Inf", "+Inf":
+			return math.Inf(1), true
+		case "-Inf":
+			return math.Inf(-1), true
+		case "NaN":
+			return math.NaN(), true
+		}
+		return 0, false
 	default:
 		return 0, false
 	}

@@ -5,12 +5,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"reflect"
 	"sync"
 	"time"
 )
 
 // Fields carries a record's structured payload. Values must be
-// JSON-encodable (numbers, strings, bools, slices, maps).
+// JSON-encodable (numbers, strings, bools, slices, maps). Non-finite
+// floats are allowed: the tracer encodes them as the string sentinels
+// "Inf", "-Inf", and "NaN" (JSON has no representation for them), and
+// the replay helpers decode the sentinels back.
 type Fields map[string]any
 
 // Record is one line of a JSONL trace.
@@ -99,7 +104,7 @@ func (t *Tracer) emitLocked(name string, fields Fields) {
 		ElapsedS: now.Sub(t.start).Seconds(),
 		Seq:      t.seq,
 		Name:     name,
-		Fields:   fields,
+		Fields:   sanitizeFields(fields),
 	}
 	t.seq++
 	b, err := json.Marshal(rec)
@@ -111,6 +116,117 @@ func (t *Tracer) emitLocked(name string, fields Fields) {
 	if _, err := t.w.Write(b); err != nil {
 		t.err = err
 	}
+}
+
+// sanitizeFields returns fields with every non-finite float replaced by
+// the string sentinels "Inf", "-Inf", or "NaN", recursing into nested
+// maps and slices. JSON has no encoding for non-finite numbers, so
+// without this a single +Inf loss (a failed evaluation) would make
+// json.Marshal fail and permanently poison the tracer. Payloads with
+// only finite values — the common case — are returned as-is, without
+// copying.
+func sanitizeFields(fields Fields) Fields {
+	var out Fields
+	for k, v := range fields {
+		s, changed := sanitizeValue(v)
+		if !changed {
+			continue
+		}
+		if out == nil {
+			// Copy-on-write: never mutate the caller's map.
+			out = make(Fields, len(fields))
+			for k2, v2 := range fields {
+				out[k2] = v2
+			}
+		}
+		out[k] = s
+	}
+	if out == nil {
+		return fields
+	}
+	return out
+}
+
+// sanitizeValue replaces non-finite floats in v (including inside
+// nested maps, slices, and arrays, via reflection — payload values such
+// as core.Point are named map types that a type switch would miss) with
+// string sentinels. It reports whether anything was replaced; when
+// nothing was, v is returned untouched.
+func sanitizeValue(v any) (any, bool) {
+	switch x := v.(type) {
+	case float64:
+		if s, bad := nonFiniteSentinel(x); bad {
+			return s, true
+		}
+		return v, false
+	case float32:
+		if s, bad := nonFiniteSentinel(float64(x)); bad {
+			return s, true
+		}
+		return v, false
+	case nil, bool, string, int, int8, int16, int32, int64,
+		uint, uint8, uint16, uint32, uint64:
+		return v, false
+	}
+	rv := reflect.ValueOf(v)
+	switch rv.Kind() {
+	case reflect.Float32, reflect.Float64:
+		if s, bad := nonFiniteSentinel(rv.Float()); bad {
+			return s, true
+		}
+		return v, false
+	case reflect.Map:
+		var out map[string]any
+		iter := rv.MapRange()
+		for iter.Next() {
+			if s, changed := sanitizeValue(iter.Value().Interface()); changed {
+				if out == nil {
+					out = make(map[string]any, rv.Len())
+					i2 := rv.MapRange()
+					for i2.Next() {
+						out[fmt.Sprint(i2.Key().Interface())] = i2.Value().Interface()
+					}
+				}
+				out[fmt.Sprint(iter.Key().Interface())] = s
+			}
+		}
+		if out == nil {
+			return v, false
+		}
+		return out, true
+	case reflect.Slice, reflect.Array:
+		var out []any
+		for i := 0; i < rv.Len(); i++ {
+			if s, changed := sanitizeValue(rv.Index(i).Interface()); changed {
+				if out == nil {
+					out = make([]any, rv.Len())
+					for j := 0; j < rv.Len(); j++ {
+						out[j] = rv.Index(j).Interface()
+					}
+				}
+				out[i] = s
+			}
+		}
+		if out == nil {
+			return v, false
+		}
+		return out, true
+	}
+	return v, false
+}
+
+// nonFiniteSentinel maps a non-finite float to its trace sentinel
+// string, reporting false for finite values.
+func nonFiniteSentinel(f float64) (string, bool) {
+	switch {
+	case math.IsInf(f, 1):
+		return "Inf", true
+	case math.IsInf(f, -1):
+		return "-Inf", true
+	case math.IsNaN(f):
+		return "NaN", true
+	}
+	return "", false
 }
 
 // EmitManifest writes the run manifest record.
@@ -130,7 +246,10 @@ func (t *Tracer) EmitManifest(m Manifest) {
 }
 
 // Flush writes buffered records through to the underlying writer and
-// reports the first error encountered while tracing.
+// reports the first error encountered while tracing. Emit never reports
+// errors itself (it sits on the calibration hot path), so Flush is
+// where a tracing failure — a full disk, a closed writer — first
+// surfaces; once one occurs, subsequent records are dropped.
 func (t *Tracer) Flush() error {
 	if t == nil {
 		return nil

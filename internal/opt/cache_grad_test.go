@@ -1,0 +1,155 @@
+package opt
+
+import (
+	"context"
+	"testing"
+
+	"simcal/internal/cache"
+	"simcal/internal/core"
+)
+
+var optSpace3 = core.Space{
+	{Name: "x", Kind: core.Continuous, Min: -5, Max: 5},
+	{Name: "y", Kind: core.Continuous, Min: -5, Max: 5},
+	{Name: "z", Kind: core.Continuous, Min: -5, Max: 5},
+}
+
+func sphere3(_ context.Context, p core.Point) (float64, error) {
+	dx, dy, dz := p["x"]-1, p["y"]+1, p["z"]-2
+	return dx*dx + dy*dy + dz*dz, nil
+}
+
+// TestGradSurvivesMidBatchTruncation is the regression test for the GRAD
+// panic: when MaxEvaluations truncates a probe or line-search batch,
+// Evaluate returns fewer samples than requested with a nil error, and
+// GRAD used to index the short slice out of range. Sweeping the budget
+// across every phase boundary (initial eval at 1, d=3 probes, 5
+// line-search candidates) exercises truncation at each site.
+func TestGradSurvivesMidBatchTruncation(t *testing.T) {
+	for evals := 1; evals <= 12; evals++ {
+		c := &core.Calibrator{
+			Space:          optSpace3,
+			Simulator:      core.Evaluator(sphere3),
+			Algorithm:      GradientDescent{},
+			MaxEvaluations: evals,
+			Workers:        3,
+			Seed:           21,
+		}
+		res, err := c.Run(context.Background())
+		if err != nil {
+			t.Fatalf("evals=%d: %v", evals, err)
+		}
+		if res.Evaluations != evals {
+			t.Errorf("evals=%d: used %d evaluations, want the full budget", evals, res.Evaluations)
+		}
+	}
+}
+
+// TestGridLatticesNest asserts the resolution schedule 2, 3, 5, 9, 17, …
+// produces nested lattices: after exhausting the 25-point res=5 lattice
+// in 2-D, every evaluated point lies bitwise-exactly on that finest
+// lattice (coordinates k/4) with no duplicates — coarser points were
+// genuine members, not near-misses that got re-evaluated.
+func TestGridLatticesNest(t *testing.T) {
+	res := calibrate(t, Grid{}, sphere, 25, 22)
+	onLattice := func(v float64) bool {
+		for k := 0; k <= 4; k++ {
+			if v == float64(k)/4 {
+				return true
+			}
+		}
+		return false
+	}
+	seen := make(map[string]bool)
+	for _, s := range res.History {
+		for _, v := range s.Unit {
+			if !onLattice(v) {
+				t.Fatalf("unit coordinate %v is not on the res=5 lattice", v)
+			}
+		}
+		k := fingerprint(s.Unit)
+		if seen[k] {
+			t.Fatalf("lattice point %v evaluated twice", s.Unit)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 25 {
+		t.Fatalf("evaluated %d distinct points, want all 25 of the res=5 lattice", len(seen))
+	}
+}
+
+func calibrateCached(t *testing.T, alg core.Algorithm, evals int, seed int64, cc *cache.Cache) *core.Result {
+	t.Helper()
+	c := &core.Calibrator{
+		Space:          optSpace,
+		Simulator:      core.Evaluator(sphere),
+		Algorithm:      alg,
+		MaxEvaluations: evals,
+		Workers:        4,
+		Seed:           seed,
+	}
+	if cc != nil {
+		c.Cache = cc
+		c.CacheKey = "opt-test"
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatalf("%s: %v", alg.Name(), err)
+	}
+	return res
+}
+
+// TestGridCacheAcrossRuns: a second GRID run re-enumerates the same
+// nesting lattices, so with a shared cache every previously paid lattice
+// point is a hit — and the results stay bitwise-identical to uncached.
+func TestGridCacheAcrossRuns(t *testing.T) {
+	plain := calibrateCached(t, Grid{}, 80, 23, nil)
+	cc := cache.New(nil)
+	calibrateCached(t, Grid{}, 25, 23, cc) // warm: the res=5 lattice
+	cached := calibrateCached(t, Grid{}, 80, 23, cc)
+	st := cc.Stats()
+	if st.Hits < 25 {
+		t.Errorf("second GRID run hit only %d cached lattice points, want ≥ 25", st.Hits)
+	}
+	if cached.Best.Loss != plain.Best.Loss || cached.Best.Point["x"] != plain.Best.Point["x"] {
+		t.Errorf("cached GRID best %+v differs from uncached %+v", cached.Best, plain.Best)
+	}
+	_, pl := plain.LossOverTime()
+	_, cl := cached.LossOverTime()
+	if len(pl) != len(cl) {
+		t.Fatalf("loss-over-time lengths differ: %d vs %d", len(pl), len(cl))
+	}
+	for i := range pl {
+		if pl[i] != cl[i] {
+			t.Fatalf("loss-over-time diverges at %d: %v vs %v", i, pl[i], cl[i])
+		}
+	}
+}
+
+// TestRandCacheRepeatedSeed: re-running RAND with the same seed against a
+// shared cache replays the identical trajectory entirely from cache.
+func TestRandCacheRepeatedSeed(t *testing.T) {
+	plain := calibrateCached(t, Random{}, 100, 24, nil)
+	cc := cache.New(nil)
+	first := calibrateCached(t, Random{}, 100, 24, cc)
+	second := calibrateCached(t, Random{}, 100, 24, cc)
+	st := cc.Stats()
+	if st.Hits < 100 {
+		t.Errorf("repeated-seed RAND hit %d, want ≥ 100 (full replay from cache)", st.Hits)
+	}
+	for name, r := range map[string]*core.Result{"first": first, "second": second} {
+		if r.Best.Loss != plain.Best.Loss {
+			t.Errorf("%s cached run best loss %v differs from uncached %v", name, r.Best.Loss, plain.Best.Loss)
+		}
+		if r.Evaluations != plain.Evaluations {
+			t.Errorf("%s cached run used %d evaluations, uncached %d", name, r.Evaluations, plain.Evaluations)
+		}
+		_, pl := plain.LossOverTime()
+		_, cl := r.LossOverTime()
+		for i := range pl {
+			if pl[i] != cl[i] {
+				t.Fatalf("%s run loss-over-time diverges at %d", name, i)
+			}
+		}
+	}
+}

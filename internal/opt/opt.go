@@ -51,9 +51,14 @@ func (r Random) Optimize(ctx context.Context, prob *core.Problem) error {
 	}
 }
 
-// Grid is the GRID algorithm: an exhaustive sweep over a lattice whose
-// resolution doubles every iteration. Lattice points already evaluated at
-// a coarser resolution are skipped.
+// Grid is the GRID algorithm: an exhaustive sweep over a lattice that is
+// refined every iteration through the nesting resolutions 2, 3, 5, 9,
+// 17, … (2^k + 1). With res-1 a power of two, every coarser lattice
+// point i/(res-1) is bitwise-exactly a point of every finer lattice, so
+// each lattice is a superset of the previous one and lattice points
+// already evaluated at a coarser resolution are genuinely skipped.
+// (Doubling res instead — the obvious refinement — only shares the two
+// endpoints between resolutions, re-evaluating nearly everything.)
 type Grid struct {
 	// Batch is the number of lattice points evaluated per call. Defaults
 	// to 16.
@@ -71,7 +76,7 @@ func (g Grid) Optimize(ctx context.Context, prob *core.Problem) error {
 	}
 	d := prob.Space.Dim()
 	seen := make(map[string]bool)
-	for res := 2; ; res *= 2 {
+	for res := 2; ; res = res*2 - 1 {
 		// Lattice with res points per dimension: u = i/(res-1).
 		idx := make([]int, d)
 		var pending [][]float64
@@ -185,6 +190,11 @@ func (g GradientDescent) Optimize(ctx context.Context, prob *core.Problem) error
 			}
 			return err
 		}
+		if len(samples) == 0 {
+			// Evaluate truncated the batch to the remaining evaluation
+			// budget and returned short with a nil error: nothing is left.
+			return nil
+		}
 		fx := samples[0].Loss
 		for stepIdx := 0; stepIdx < maxSteps; stepIdx++ {
 			// Forward-difference gradient: d probes evaluated in parallel.
@@ -204,6 +214,12 @@ func (g GradientDescent) Optimize(ctx context.Context, prob *core.Problem) error
 					return nil
 				}
 				return err
+			}
+			if len(ps) < d {
+				// The probe batch was truncated to the remaining budget:
+				// a partial gradient is useless and the next Evaluate
+				// would end the run anyway.
+				return nil
 			}
 			grad := make([]float64, d)
 			for j := 0; j < d; j++ {
@@ -228,6 +244,11 @@ func (g GradientDescent) Optimize(ctx context.Context, prob *core.Problem) error
 				}
 				return err
 			}
+			if len(cs) == 0 {
+				return nil // line-search batch fully truncated: budget gone
+			}
+			// cs may still be shorter than cands (truncation mid-batch);
+			// ranging over cs keeps bestIdx a valid index into cands.
 			bestIdx, bestLoss := -1, fx
 			for i, s := range cs {
 				if s.Loss < bestLoss {
