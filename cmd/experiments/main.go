@@ -8,7 +8,8 @@
 //	experiments -run figure2 -evals 200 -seed 7
 //
 // Artifact ids: table1 table2 table3 figure1 figure2 baseline1 figure3
-// section55 table4 table5 figure4 figure5 baseline2 section65.
+// section55 table4 table5 figure4 figure5 baseline2 section65, plus the
+// runtime-robustness sweep `faults` (not part of 'all').
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"simcal/internal/core"
 	"simcal/internal/experiments"
 	"simcal/internal/obs"
+	"simcal/internal/resilience"
 	"simcal/internal/wfgen"
 )
 
@@ -42,6 +44,10 @@ func main() {
 		jobs     = flag.Int("jobs", 1, "independent calibrations run concurrently per driver (1 = sequential; results are identical either way)")
 		useCache = flag.Bool("cache", false, "memoize loss evaluations across calibrations (identical results, fewer simulations)")
 		jsonDir  = flag.String("json", "", "also write each artifact's result as JSON into this directory")
+		ckpt     = flag.String("checkpoint", "", "log completed grid cells to this JSONL file; re-running with the same flags resumes only the unfinished cells")
+
+		evalTimeout = flag.Duration("eval-timeout", 0, "per-evaluation timeout (enables the fault-tolerant executor)")
+		evalRetries = flag.Int("eval-retries", 0, "max attempts per evaluation for transient failures (enables the fault-tolerant executor)")
 
 		tracePath = flag.String("trace", "", "write a structured JSONL trace of every calibration to this file")
 		metrics   = flag.Bool("metrics", false, "print the final metrics snapshot after all artifacts")
@@ -84,6 +90,30 @@ func main() {
 	if *useCache {
 		evalCache = cache.New(obs.Default())
 		o.Cache = evalCache
+	}
+	if *evalTimeout > 0 || *evalRetries > 0 {
+		p := resilience.DefaultPolicy()
+		p.Timeout = *evalTimeout // 0 disables the per-attempt timeout
+		if *evalRetries > 0 {
+			p.MaxAttempts = *evalRetries
+		}
+		p.BreakerThreshold = 0 // a grid run should finish every cell
+		o.Resilience = &p
+	}
+	if *ckpt != "" {
+		// The meta string fingerprints every option that changes cell
+		// results; a log written under different options is refused.
+		meta := fmt.Sprintf("seed=%d evals=%d budget=%s full=%v", o.Seed, o.MaxEvals, o.Budget, *full)
+		l, err := experiments.OpenRunLog(*ckpt, meta)
+		if err != nil {
+			logger.Printf("error: %v", err)
+			os.Exit(1)
+		}
+		defer l.Close()
+		o.RunLog = l
+		if n := l.Len(); n > 0 {
+			logger.Printf("resuming: %d completed cells in %s", n, *ckpt)
+		}
 	}
 
 	var tracer *obs.Tracer
@@ -380,6 +410,23 @@ func runOne(ctx context.Context, id string, o experiments.Options, jsonDir strin
 			res.DataHeavySubmitOnly, res.DataHeavyAllNodes)
 		fmt.Printf("data-free  workloads: submit-only %.1f%%, all-nodes %.1f%%\n",
 			res.DataFreeSubmitOnly, res.DataFreeAllNodes)
+	case "faults":
+		// Not part of 'all': it measures the calibration runtime, not a
+		// paper artifact.
+		res, err := experiments.Faults(ctx, o)
+		if err != nil {
+			return err
+		}
+		if err := record(res); err != nil {
+			return err
+		}
+		fmt.Println("calibration-error degradation vs injected fault rate:")
+		for _, r := range res.Rows {
+			fmt.Printf("  rate %4.0f%%: calib-err %6.1f%%  evals %d  injected %d (panic %d, hang %d, transient %d, nan %d)  recovered: panics %d, retries %d, timeouts %d\n",
+				100*r.Rate, r.CalibError, r.Evaluations, r.Injected.Total(),
+				r.Injected.Panics, r.Injected.Hangs, r.Injected.Transients, r.Injected.NaNs,
+				r.PanicsRecovered, r.Retries, r.Timeouts)
+		}
 	default:
 		return fmt.Errorf("unknown artifact %q", id)
 	}

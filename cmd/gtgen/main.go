@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -94,15 +95,36 @@ func main() {
 	}
 }
 
+// openOut opens the output for writing. Files are written atomically —
+// into a temp file in the destination directory, renamed into place by
+// the returned commit func — so a crashed or killed generation never
+// leaves a torn dataset where a complete one is expected.
 func openOut(path string) (io.Writer, func(), error) {
 	if path == "-" {
 		return os.Stdout, func() {}, nil
 	}
-	f, err := os.Create(path)
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
 		return nil, nil, err
 	}
-	return f, func() { f.Close() }, nil
+	commit := func() {
+		err := f.Sync()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(f.Name(), path)
+		}
+		if err != nil {
+			os.Remove(f.Name())
+			fatal(fmt.Errorf("finalizing %s: %w", path, err))
+		}
+	}
+	return f, commit, nil
 }
 
 func parseInts(s string) ([]int, error) {

@@ -11,12 +11,17 @@
 //	simcal -case wf  -trace out.jsonl -metrics      # instrumented run
 //	simcal -replay out.jsonl                        # convergence from a trace
 //	simcal -case mpi -pprof localhost:6060          # live profiling
+//	simcal -case wf  -eval-timeout 2s -eval-retries 5    # fault-tolerant executor
+//	simcal -case wf  -evals 500 -checkpoint ck.json      # periodic snapshots
+//	simcal -case wf  -evals 500 -checkpoint ck.json -resume  # continue a killed run
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -32,6 +37,7 @@ import (
 	"simcal/internal/mpisim"
 	"simcal/internal/obs"
 	"simcal/internal/opt"
+	"simcal/internal/resilience"
 	"simcal/internal/wfgen"
 	"simcal/internal/wfsim"
 )
@@ -59,8 +65,23 @@ func main() {
 		metrics    = flag.Bool("metrics", false, "print the final metrics snapshot after the calibration")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address (e.g. localhost:6060)")
 		replayPath = flag.String("replay", "", "replay a JSONL trace: print its convergence curve and exit")
+
+		ckptPath  = flag.String("checkpoint", "", "periodically snapshot the calibration to this file (atomic write-then-rename; see -resume)")
+		ckptEvery = flag.Int("checkpoint-every", 25, "evaluations between checkpoint snapshots")
+		resume    = flag.Bool("resume", false, "resume from the -checkpoint file if it exists (fresh start otherwise); the resumed result is identical to an uninterrupted run")
+
+		evalTimeout = flag.Duration("eval-timeout", 0, "per-evaluation timeout (enables the fault-tolerant executor)")
+		evalRetries = flag.Int("eval-retries", 0, "max attempts per evaluation for transient failures (enables the fault-tolerant executor)")
+		breakerN    = flag.Int("breaker", 0, "open the circuit breaker after this many consecutive evaluation failures (enables the fault-tolerant executor)")
 	)
 	flag.Parse()
+
+	if *ckptPath != "" && *jobs > 1 {
+		fatal(fmt.Errorf("-checkpoint snapshots a single calibration; it cannot be combined with -jobs %d", *jobs))
+	}
+	if *resume && *ckptPath == "" {
+		fatal(fmt.Errorf("-resume needs -checkpoint to name the snapshot file"))
+	}
 
 	if *replayPath != "" {
 		if err := runReplay(*replayPath); err != nil {
@@ -110,11 +131,21 @@ func main() {
 		evalCache = cache.New(obs.Default())
 	}
 
+	rc := runCfg{
+		outPath:   *outPath,
+		jobs:      *jobs,
+		cache:     evalCache,
+		ckptPath:  *ckptPath,
+		ckptEvery: *ckptEvery,
+		resume:    *resume,
+		policy:    resiliencePolicy(*evalTimeout, *evalRetries, *breakerN),
+	}
+
 	switch *study {
 	case "wf":
-		err = runWF(o, alg, *lossName, *network, *storage, *compute, *outPath, *jobs, evalCache)
+		err = runWF(o, alg, *lossName, *network, *storage, *compute, rc)
 	case "mpi":
-		err = runMPI(o, alg, *lossName, *network, *node, *proto, *outPath, *jobs, evalCache)
+		err = runMPI(o, alg, *lossName, *network, *node, *proto, rc)
 	default:
 		err = fmt.Errorf("unknown case study %q", *study)
 	}
@@ -176,6 +207,60 @@ func runReplay(path string) error {
 	return nil
 }
 
+// runCfg bundles the per-run flags shared by both case studies.
+type runCfg struct {
+	outPath   string
+	jobs      int
+	cache     *cache.Cache
+	ckptPath  string
+	ckptEvery int
+	resume    bool
+	policy    *resilience.Policy
+}
+
+// resiliencePolicy builds the executor policy implied by the flags, or
+// nil when none are set (evaluations then run without timeouts,
+// retries, or circuit breaking; panic isolation alone is always on).
+// Setting any flag starts from resilience.DefaultPolicy's backoff, so
+// e.g. -eval-timeout alone still retries transient failures.
+func resiliencePolicy(timeout time.Duration, retries, breaker int) *resilience.Policy {
+	if timeout <= 0 && retries <= 0 && breaker <= 0 {
+		return nil
+	}
+	p := resilience.DefaultPolicy()
+	p.Timeout = timeout // 0 disables the per-attempt timeout
+	if retries > 0 {
+		p.MaxAttempts = retries
+	}
+	p.BreakerThreshold = breaker // 0 disables the breaker
+	return &p
+}
+
+// applyRuntime wires the fault-tolerance and checkpoint/resume flags
+// into the calibrator.
+func applyRuntime(cal *core.Calibrator, rc runCfg) error {
+	cal.Resilience = rc.policy
+	if rc.ckptPath == "" {
+		return nil
+	}
+	cal.Checkpoint = &core.CheckpointSpec{Path: rc.ckptPath, Every: rc.ckptEvery}
+	if !rc.resume {
+		return nil
+	}
+	snap, err := core.LoadCheckpoint(rc.ckptPath)
+	switch {
+	case err == nil:
+		cal.Resume = snap
+		fmt.Printf("resuming from %s: %d evaluations, %s elapsed\n",
+			rc.ckptPath, snap.Evaluations, snap.Elapsed.Round(time.Millisecond))
+	case errors.Is(err, fs.ErrNotExist):
+		fmt.Printf("no checkpoint at %s; starting fresh\n", rc.ckptPath)
+	default:
+		return err
+	}
+	return nil
+}
+
 // saveResult writes the result JSON when a path was given.
 func saveResult(path string, res *core.Result) error {
 	if path == "" {
@@ -220,7 +305,7 @@ func calibrateBest(ctx context.Context, base core.Calibrator, jobs int) (*core.R
 	return best, nil
 }
 
-func runWF(o experiments.Options, alg core.Algorithm, lossName, network, storage, compute, outPath string, jobs int, evalCache *cache.Cache) error {
+func runWF(o experiments.Options, alg core.Algorithm, lossName, network, storage, compute string, rc runCfg) error {
 	v := wfsim.HighestDetail
 	if network != "" {
 		var err error
@@ -247,13 +332,14 @@ func runWF(o experiments.Options, alg core.Algorithm, lossName, network, storage
 		Space: v.Space(), Simulator: loss.WFEvaluator(v, kind, ds),
 		Algorithm: alg, MaxEvaluations: o.MaxEvals, Budget: o.Budget,
 		Workers: o.Workers, Seed: o.Seed, Observer: o.Observer,
+		Cache:    rc.cache,
+		CacheKey: fmt.Sprintf("simcal/wf/%s/%s#seed=%d", v.Name(), kind, o.Seed),
 	}
-	if evalCache != nil {
-		cal.Cache = evalCache
-		cal.CacheKey = fmt.Sprintf("simcal/wf/%s/%s#seed=%d", v.Name(), kind, o.Seed)
+	if err := applyRuntime(&cal, rc); err != nil {
+		return err
 	}
 	start := time.Now()
-	res, err := calibrateBest(context.Background(), cal, jobs)
+	res, err := calibrateBest(context.Background(), cal, rc.jobs)
 	if err != nil {
 		return err
 	}
@@ -261,10 +347,10 @@ func runWF(o experiments.Options, alg core.Algorithm, lossName, network, storage
 	truth := groundtruth.WorkflowTruthPoint(v)
 	fmt.Printf("calibration error vs hidden truth: %.1f%%\n",
 		core.CalibrationError(v.Space(), res.Best.Point, truth))
-	return saveResult(outPath, res)
+	return saveResult(rc.outPath, res)
 }
 
-func runMPI(o experiments.Options, alg core.Algorithm, lossName, network, node, proto, outPath string, jobs int, evalCache *cache.Cache) error {
+func runMPI(o experiments.Options, alg core.Algorithm, lossName, network, node, proto string, rc runCfg) error {
 	v := mpisim.HighestDetail
 	if network != "" {
 		var err error
@@ -290,13 +376,14 @@ func runMPI(o experiments.Options, alg core.Algorithm, lossName, network, node, 
 		Space: v.Space(), Simulator: loss.MPIEvaluator(v, kind, ds, 2),
 		Algorithm: alg, MaxEvaluations: o.MaxEvals, Budget: o.Budget,
 		Workers: o.Workers, Seed: o.Seed, Observer: o.Observer,
+		Cache:    rc.cache,
+		CacheKey: fmt.Sprintf("simcal/mpi/%s/%s#seed=%d", v.Name(), kind, o.Seed),
 	}
-	if evalCache != nil {
-		cal.Cache = evalCache
-		cal.CacheKey = fmt.Sprintf("simcal/mpi/%s/%s#seed=%d", v.Name(), kind, o.Seed)
+	if err := applyRuntime(&cal, rc); err != nil {
+		return err
 	}
 	start := time.Now()
-	res, err := calibrateBest(context.Background(), cal, jobs)
+	res, err := calibrateBest(context.Background(), cal, rc.jobs)
 	if err != nil {
 		return err
 	}
@@ -304,7 +391,7 @@ func runMPI(o experiments.Options, alg core.Algorithm, lossName, network, node, 
 	truth := groundtruth.MPITruthPoint(v)
 	fmt.Printf("calibration error vs hidden truth: %.1f%%\n",
 		core.CalibrationError(v.Space(), res.Best.Point, truth))
-	return saveResult(outPath, res)
+	return saveResult(rc.outPath, res)
 }
 
 func report(space core.Space, res *core.Result, start time.Time) {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"simcal/internal/cache"
+	"simcal/internal/resilience"
 	"simcal/internal/stats"
 )
 
@@ -53,13 +54,27 @@ type Problem struct {
 	maxEvals int
 	start    time.Time
 	obs      Observer
+	fobs     FaultObserver
 	cache    *cache.Cache
 	cacheKey string
+	now      func() time.Time
+	exec     *resilience.Executor
+	replay   []Sample
+	ckpt     *checkpointer
 
 	mu      sync.Mutex
 	history []Sample
 	best    *Sample
 	evals   int
+}
+
+// clock returns the current time from the injected clock (tests freeze
+// it to make elapsed fields reproducible) or the wall clock.
+func (p *Problem) clock() time.Time {
+	if p.now != nil {
+		return p.now()
+	}
+	return time.Now()
 }
 
 // Observer returns the observer attached to the calibration, or nil
@@ -103,7 +118,15 @@ func (p *Problem) Evaluate(ctx context.Context, units [][]float64) ([]Sample, er
 	if observing {
 		p.obs.BatchProposed(len(units))
 	}
-	batchStart := time.Now()
+	// base is the global position of this batch's first evaluation;
+	// positions below len(p.replay) are served from the resume
+	// checkpoint instead of the simulator. Algorithms call Evaluate
+	// sequentially and p.evals only advances in record, so the snapshot
+	// here is stable for the whole batch.
+	p.mu.Lock()
+	base := p.evals
+	p.mu.Unlock()
+	batchStart := p.clock()
 	out := make([]Sample, len(units))
 	completed := make([]bool, len(units))
 	hits := make([]bool, len(units))
@@ -112,6 +135,8 @@ func (p *Problem) Evaluate(ctx context.Context, units [][]float64) ([]Sample, er
 		waits = make([]time.Duration, len(units))
 		durs = make([]time.Duration, len(units))
 	}
+	var replayMu sync.Mutex
+	var replayErr error
 	workers := p.workers
 	if workers > len(units) {
 		workers = len(units)
@@ -123,12 +148,37 @@ func (p *Problem) Evaluate(ctx context.Context, units [][]float64) ([]Sample, er
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				u := units[i]
+				if pos := base + i; pos < len(p.replay) {
+					// Resume replay: the deterministic algorithm re-proposed
+					// this position; serve the checkpointed sample without
+					// touching the simulator. A mismatch means the checkpoint
+					// belongs to a different configuration — fail loudly.
+					r := p.replay[pos]
+					if !unitsEqual(r.Unit, u) {
+						replayMu.Lock()
+						if replayErr == nil {
+							replayErr = fmt.Errorf(
+								"core: checkpoint diverged at evaluation %d: stored unit %v, algorithm proposed %v",
+								pos, r.Unit, u)
+						}
+						replayMu.Unlock()
+						continue
+					}
+					out[i] = Sample{
+						Unit:    append([]float64(nil), r.Unit...),
+						Point:   r.Point.Clone(),
+						Loss:    r.Loss,
+						Elapsed: r.Elapsed,
+					}
+					completed[i] = true
+					continue
+				}
 				var pickup time.Time
 				if observing {
-					pickup = time.Now()
+					pickup = p.clock()
 					waits[i] = pickup.Sub(batchStart)
 				}
-				u := units[i]
 				pt := p.Space.Decode(u)
 				loss, hit, err := p.runSim(ctx, u, pt)
 				if err != nil && ctx.Err() != nil {
@@ -136,13 +186,16 @@ func (p *Problem) Evaluate(ctx context.Context, units [][]float64) ([]Sample, er
 					// failure: do not record a phantom +Inf sample.
 					continue
 				}
-				if err != nil || math.IsNaN(loss) {
+				if err != nil || math.IsNaN(loss) || math.IsInf(loss, -1) {
+					// Failed, NaN, and -Inf losses all normalize to +Inf:
+					// NaN would poison best-loss comparisons (NaN < x is
+					// always false) and -Inf would win them unconditionally.
 					loss = math.Inf(1)
 				}
 				if observing {
-					durs[i] = time.Since(pickup)
+					durs[i] = p.clock().Sub(pickup)
 				}
-				out[i] = Sample{Unit: append([]float64(nil), u...), Point: pt, Loss: loss, Elapsed: time.Since(p.start)}
+				out[i] = Sample{Unit: append([]float64(nil), u...), Point: pt, Loss: loss, Elapsed: p.clock().Sub(p.start)}
 				completed[i] = true
 				hits[i] = hit
 			}
@@ -163,6 +216,9 @@ dispatch:
 	}
 	close(idx)
 	wg.Wait()
+	if replayErr != nil {
+		return nil, replayErr
+	}
 	// Compact to the evaluations that actually completed, preserving
 	// input order (the partially-completed batch is still recorded).
 	kept := out
@@ -211,33 +267,103 @@ dispatch:
 			}
 		}
 	}
+	p.maybeCheckpoint()
 	if expired || ctx.Err() != nil {
 		return kept, ErrBudgetExhausted
 	}
 	return kept, nil
 }
 
+// unitsEqual reports bitwise equality of two unit vectors.
+func unitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// maybeCheckpoint snapshots the calibration after a recorded batch when
+// a checkpointer is attached and enough evaluations accumulated since
+// the last snapshot. Replayed evaluations never re-trigger a snapshot
+// (the file already contains them). State is copied under the lock; the
+// disk write happens outside it so a slow filesystem cannot stall
+// concurrent Best/History readers.
+func (p *Problem) maybeCheckpoint() {
+	if p.ckpt == nil {
+		return
+	}
+	p.mu.Lock()
+	evals := p.evals
+	if evals <= len(p.replay) || evals-p.ckpt.lastEvals < p.ckpt.every {
+		p.mu.Unlock()
+		return
+	}
+	history := append([]Sample(nil), p.history...)
+	p.mu.Unlock()
+	p.ckpt.write(evals, p.clock().Sub(p.start), history)
+}
+
+// simRun invokes the simulator once under panic isolation: a panicking
+// simulator configuration becomes a *resilience.PanicError (classified
+// Deterministic, hence memoized as +Inf) instead of killing the
+// calibration. Panic isolation is always on — it costs one deferred
+// recover per evaluation and removes the single worst failure mode.
+func (p *Problem) simRun(ctx context.Context, pt Point) (float64, error) {
+	var loss float64
+	err := resilience.Safely(func() error {
+		var e error
+		loss, e = p.sim.Run(ctx, pt)
+		return e
+	})
+	if err != nil {
+		var pe *resilience.PanicError
+		if errors.As(err, &pe) && p.fobs != nil {
+			p.fobs.PanicRecovered("simulator")
+		}
+		return 0, err
+	}
+	return loss, nil
+}
+
 // runSim evaluates the loss at one decoded point, through the
-// calibration's evaluation cache when one is attached. A cache hit
-// returns the memoized loss of the first evaluation of that point
-// (hit=true) without invoking the simulator; concurrent requests for an
-// in-flight point share its single simulation. Deterministic simulator
-// failures are memoized as +Inf so they are avoided without re-running;
-// budget-expiry aborts propagate their error uncached.
+// fault-tolerance executor (timeouts, retries, breaker) when a
+// resilience policy is attached, and through the calibration's
+// evaluation cache when one is attached. A cache hit returns the
+// memoized loss of the first evaluation of that point (hit=true)
+// without invoking the simulator; concurrent requests for an in-flight
+// point share its single simulation. Deterministic simulator failures
+// (including recovered panics) are memoized as +Inf so they are avoided
+// without re-running; transient failures that exhausted their retries
+// and breaker rejections surface +Inf to the caller uncached, because
+// the same point may well succeed later; budget-expiry aborts propagate
+// their error uncached.
 func (p *Problem) runSim(ctx context.Context, u []float64, pt Point) (loss float64, hit bool, err error) {
+	eval := func(ctx context.Context) (float64, error) { return p.simRun(ctx, pt) }
+	if p.exec != nil {
+		inner := eval
+		eval = func(ctx context.Context) (float64, error) { return p.exec.Do(ctx, inner) }
+	}
 	if p.cache == nil {
-		loss, err = p.sim.Run(ctx, pt)
+		loss, err = eval(ctx)
 		return loss, false, err
 	}
 	return p.cache.Do(ctx, cache.NewKey(p.cacheKey, u), func() (float64, error) {
-		l, e := p.sim.Run(ctx, pt)
+		l, e := eval(ctx)
 		if e != nil {
 			if ctx.Err() != nil {
 				return 0, e // aborted mid-run: not a memoizable outcome
 			}
-			return math.Inf(1), nil
+			if resilience.Classify(e) == resilience.Deterministic {
+				return math.Inf(1), nil // fails every time: memoize the +Inf
+			}
+			return 0, e // transient or breaker-open: record +Inf, don't memoize
 		}
-		if math.IsNaN(l) {
+		if math.IsNaN(l) || math.IsInf(l, -1) {
 			return math.Inf(1), nil
 		}
 		return l, nil
@@ -370,6 +496,30 @@ type Calibrator struct {
 	// Required when Cache is set: an empty key would let unrelated
 	// simulators exchange loss values.
 	CacheKey string
+	// Resilience, when non-nil, runs every loss evaluation under the
+	// fault-tolerance executor: per-attempt timeouts, bounded retries of
+	// transient failures with seeded backoff, and a consecutive-failure
+	// circuit breaker per simulator identity. Retries happen inside one
+	// evaluation, so they never consume evaluation budget. Nil keeps
+	// only the always-on panic isolation.
+	Resilience *resilience.Policy
+	// Checkpoint, when non-nil, snapshots the in-progress calibration to
+	// Checkpoint.Path every Checkpoint.Every evaluations (atomically:
+	// write-tmp-then-rename). Snapshot failures are reported through the
+	// observer and never abort the run.
+	Checkpoint *CheckpointSpec
+	// Resume, when non-nil, continues a previous run from its snapshot:
+	// the algorithm is replayed deterministically, the first
+	// Resume.Evaluations evaluations are served from the snapshot
+	// instead of the simulator, and the elapsed axis continues from
+	// Resume.Elapsed. Algorithm name, Seed, and Space must match the
+	// snapshot's; results are bitwise-identical to an uninterrupted run
+	// (elapsed fields excepted, unless Clock is injected).
+	Resume *Checkpoint
+	// Clock, when non-nil, replaces the wall clock for elapsed-time
+	// measurement. Tests freeze it to make Sample.Elapsed reproducible;
+	// nil uses time.Now.
+	Clock func() time.Time
 }
 
 // Run executes the calibration and returns the result. The configured
@@ -394,15 +544,30 @@ func (c *Calibrator) Run(ctx context.Context) (*Result, error) {
 	if c.Cache != nil && c.CacheKey == "" {
 		return nil, errors.New("core: Calibrator with a Cache requires a CacheKey")
 	}
+	names := make([]string, len(c.Space))
+	for i, spec := range c.Space {
+		names[i] = spec.Name
+	}
+	if err := c.validateResume(names); err != nil {
+		return nil, err
+	}
 	workers := c.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	now := c.Clock
+	if now == nil {
+		now = time.Now
+	}
 	parent := ctx
-	if c.Budget > 0 {
+	if budget := c.remainingBudget(); budget > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, c.Budget)
+		ctx, cancel = context.WithTimeout(ctx, budget)
 		defer cancel()
+	}
+	var fobs FaultObserver
+	if c.Observer != nil {
+		fobs, _ = c.Observer.(FaultObserver)
 	}
 	prob := &Problem{
 		Space:    c.Space,
@@ -410,16 +575,47 @@ func (c *Calibrator) Run(ctx context.Context) (*Result, error) {
 		sim:      c.Simulator,
 		workers:  workers,
 		maxEvals: c.MaxEvaluations,
-		start:    time.Now(),
+		start:    now(),
 		obs:      c.Observer,
+		fobs:     fobs,
 		cache:    c.Cache,
 		cacheKey: c.CacheKey,
+		now:      c.Clock,
+	}
+	if c.Resilience != nil {
+		identity := c.CacheKey
+		if identity == "" {
+			identity = c.Algorithm.Name()
+		}
+		prob.exec = resilience.NewExecutor(*c.Resilience, resilience.Config{
+			Identity: identity,
+			Seed:     c.Seed,
+			Events:   faultEvents{fobs: fobs},
+		})
+	}
+	if c.Resume != nil {
+		prob.replay = c.Resume.Samples
+		// Continue the elapsed axis where the snapshot left off: new
+		// samples stamp Elapsed = (now - start) = snapshot offset + time
+		// since resume.
+		prob.start = prob.start.Add(-c.Resume.Elapsed)
+	}
+	if c.Checkpoint != nil {
+		every := c.Checkpoint.Every
+		if every <= 0 {
+			every = 32
+		}
+		prob.ckpt = &checkpointer{
+			path:      c.Checkpoint.Path,
+			every:     every,
+			algorithm: c.Algorithm.Name(),
+			seed:      c.Seed,
+			space:     names,
+			fobs:      fobs,
+			lastEvals: len(prob.replay),
+		}
 	}
 	if c.Observer != nil {
-		names := make([]string, len(c.Space))
-		for i, spec := range c.Space {
-			names[i] = spec.Name
-		}
 		c.Observer.CalibrationStarted(RunInfo{
 			Algorithm:      c.Algorithm.Name(),
 			Space:          names,
@@ -448,11 +644,89 @@ func (c *Calibrator) Run(ctx context.Context) (*Result, error) {
 		Best:        *best,
 		History:     prob.History(),
 		Evaluations: prob.Evaluations(),
-		Elapsed:     time.Since(prob.start),
+		Elapsed:     now().Sub(prob.start),
 		Algorithm:   c.Algorithm.Name(),
 	}
 	if c.Observer != nil {
 		c.Observer.CalibrationFinished(res)
 	}
 	return res, nil
+}
+
+// validateResume rejects a Resume snapshot that does not belong to this
+// calibration's (algorithm, seed, space) identity: replaying it would
+// diverge from the original run and silently corrupt the search.
+func (c *Calibrator) validateResume(names []string) error {
+	r := c.Resume
+	if r == nil {
+		return nil
+	}
+	if r.Algorithm != c.Algorithm.Name() {
+		return fmt.Errorf("core: resume checkpoint is for algorithm %q, this calibration runs %q",
+			r.Algorithm, c.Algorithm.Name())
+	}
+	if r.Seed != c.Seed {
+		return fmt.Errorf("core: resume checkpoint has seed %d, this calibration uses %d", r.Seed, c.Seed)
+	}
+	if len(r.Space) != len(names) {
+		return fmt.Errorf("core: resume checkpoint has %d parameters, this calibration has %d",
+			len(r.Space), len(names))
+	}
+	for i := range names {
+		if r.Space[i] != names[i] {
+			return fmt.Errorf("core: resume checkpoint parameter %d is %q, this calibration has %q",
+				i, r.Space[i], names[i])
+		}
+	}
+	if r.Evaluations != len(r.Samples) {
+		return fmt.Errorf("core: resume checkpoint evaluation count %d != %d stored samples",
+			r.Evaluations, len(r.Samples))
+	}
+	return nil
+}
+
+// remainingBudget returns the wall-clock budget to enforce for this
+// run: the configured Budget, reduced by the elapsed time a resumed
+// snapshot already consumed. A resumed run whose budget is (nearly)
+// spent still gets a small grace window so the replay — which runs at
+// memory speed, not simulator speed — can complete and surface the
+// snapshot's partial result instead of failing with zero evaluations.
+func (c *Calibrator) remainingBudget() time.Duration {
+	if c.Budget <= 0 {
+		return 0
+	}
+	budget := c.Budget
+	if c.Resume != nil {
+		budget -= c.Resume.Elapsed
+		if grace := time.Second; budget < grace {
+			budget = grace
+		}
+	}
+	return budget
+}
+
+// faultEvents bridges resilience.Events notifications from the executor
+// to the calibration's FaultObserver (when the configured Observer
+// implements it). A nil fobs drops everything.
+type faultEvents struct{ fobs FaultObserver }
+
+// EvalRetried implements resilience.Events.
+func (f faultEvents) EvalRetried(attempt int, delay time.Duration, cause error) {
+	if f.fobs != nil {
+		f.fobs.EvalRetried(attempt, delay, cause.Error())
+	}
+}
+
+// EvalTimedOut implements resilience.Events.
+func (f faultEvents) EvalTimedOut(timeout time.Duration) {
+	if f.fobs != nil {
+		f.fobs.EvalTimedOut(timeout)
+	}
+}
+
+// BreakerStateChanged implements resilience.Events.
+func (f faultEvents) BreakerStateChanged(identity string, open bool) {
+	if f.fobs != nil {
+		f.fobs.BreakerStateChanged(identity, open)
+	}
 }

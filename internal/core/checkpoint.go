@@ -1,0 +1,293 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Checkpoint/resume for long calibrations: a checkpoint is a snapshot of
+// everything needed to continue a killed run — the evaluation history
+// (units, decoded points, losses, per-sample elapsed offsets), the
+// evaluation count, and the elapsed wall-clock offset, keyed by the
+// (algorithm, seed, space) identity that makes the run deterministic.
+//
+// The RNG cursor is not stored explicitly: resume replays the
+// deterministic algorithm from scratch, serving the first
+// len(Samples) evaluations from the checkpoint instead of the
+// simulator. The algorithm consumes exactly the random draws it
+// consumed originally (same seed, same evaluation results), so by the
+// end of replay the RNG sits at the recorded cursor and the run
+// continues bitwise-identically to an uninterrupted one. Replay
+// verifies every proposed unit position against the stored one, so a
+// checkpoint from a different configuration fails loudly instead of
+// silently corrupting the search.
+
+// Checkpoint is an in-progress calibration snapshot.
+type Checkpoint struct {
+	// Algorithm is the search algorithm's name; resume requires an exact
+	// match.
+	Algorithm string
+	// Seed is the calibration seed; resume requires an exact match.
+	Seed int64
+	// Space lists the calibrated parameter names in declaration order;
+	// resume requires an exact match.
+	Space []string
+	// Evaluations is the number of completed evaluations at snapshot
+	// time (== len(Samples)).
+	Evaluations int
+	// Elapsed is the calibration wall-clock at snapshot time; resumed
+	// runs continue their elapsed axis from this offset.
+	Elapsed time.Duration
+	// Samples is the evaluation history in completion order.
+	Samples []Sample
+}
+
+// CheckpointSpec configures periodic checkpointing on a Calibrator.
+type CheckpointSpec struct {
+	// Path is the snapshot file; each write replaces it atomically
+	// (write-tmp-then-rename), so a crash mid-write leaves the previous
+	// snapshot intact.
+	Path string
+	// Every is the minimum number of completed evaluations between
+	// snapshots; <= 0 defaults to 32. Snapshots land on batch
+	// boundaries (after a batch is recorded), which is what makes
+	// resumed replay align with the algorithm's proposals.
+	Every int
+}
+
+const checkpointDocKind = "simcal-calibration-checkpoint"
+
+// lossValue is a float64 whose JSON form survives non-finite values:
+// encoding/json rejects ±Inf and NaN, but failed evaluations are
+// memoized as +Inf losses, so checkpoints encode them with the same
+// string sentinels as the obs tracer ("Inf", "-Inf", "NaN"). Finite
+// values use Go's shortest-round-trip float encoding, so units and
+// losses survive the disk round-trip bitwise.
+type lossValue float64
+
+// MarshalJSON implements json.Marshaler.
+func (v lossValue) MarshalJSON() ([]byte, error) {
+	f := float64(v)
+	switch {
+	case math.IsInf(f, 1):
+		return []byte(`"Inf"`), nil
+	case math.IsInf(f, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(f):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(f)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *lossValue) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "Inf", "+Inf":
+			*v = lossValue(math.Inf(1))
+		case "-Inf":
+			*v = lossValue(math.Inf(-1))
+		case "NaN":
+			*v = lossValue(math.NaN())
+		default:
+			return fmt.Errorf("core: invalid loss sentinel %q", s)
+		}
+		return nil
+	}
+	var f float64
+	if err := json.Unmarshal(b, &f); err != nil {
+		return err
+	}
+	*v = lossValue(f)
+	return nil
+}
+
+type checkpointDoc struct {
+	Kind        string          `json:"kind"` // "simcal-calibration-checkpoint"
+	Algorithm   string          `json:"algorithm"`
+	Seed        int64           `json:"seed"`
+	Space       []string        `json:"space"`
+	Evaluations int             `json:"evaluations"`
+	ElapsedNS   int64           `json:"elapsedNanos"`
+	Samples     []ckptSampleDoc `json:"samples"`
+}
+
+type ckptSampleDoc struct {
+	Unit      []float64            `json:"unit"`
+	Point     map[string]lossValue `json:"point"`
+	Loss      lossValue            `json:"loss"`
+	ElapsedNS int64                `json:"elapsedNanos"`
+}
+
+// WriteJSON serializes the checkpoint to w.
+func (c *Checkpoint) WriteJSON(w io.Writer) error {
+	doc := checkpointDoc{
+		Kind:        checkpointDocKind,
+		Algorithm:   c.Algorithm,
+		Seed:        c.Seed,
+		Space:       c.Space,
+		Evaluations: c.Evaluations,
+		ElapsedNS:   int64(c.Elapsed),
+		Samples:     make([]ckptSampleDoc, 0, len(c.Samples)),
+	}
+	for _, s := range c.Samples {
+		pt := make(map[string]lossValue, len(s.Point))
+		for k, v := range s.Point {
+			pt[k] = lossValue(v)
+		}
+		doc.Samples = append(doc.Samples, ckptSampleDoc{
+			Unit:      s.Unit,
+			Point:     pt,
+			Loss:      lossValue(s.Loss),
+			ElapsedNS: int64(s.Elapsed),
+		})
+	}
+	return json.NewEncoder(w).Encode(doc)
+}
+
+// WriteFile atomically replaces path with this checkpoint: the document
+// is written to a temporary file in the same directory, fsynced, and
+// renamed over path. A crash at any point leaves either the old
+// snapshot or the new one, never a torn file.
+func (c *Checkpoint) WriteFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("core: checkpoint temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := c.WriteJSON(tmp); err != nil {
+		return fail(fmt.Errorf("core: writing checkpoint: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("core: syncing checkpoint: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("core: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("core: publishing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint parses and validates a checkpoint previously written
+// with WriteJSON/WriteFile. Corrupted or truncated documents return an
+// error, never panic.
+func ReadCheckpoint(in io.Reader) (*Checkpoint, error) {
+	var doc checkpointDoc
+	if err := json.NewDecoder(in).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("core: decoding checkpoint: %w", err)
+	}
+	if doc.Kind != checkpointDocKind {
+		return nil, fmt.Errorf("core: unexpected document kind %q", doc.Kind)
+	}
+	if doc.Algorithm == "" {
+		return nil, fmt.Errorf("core: checkpoint without an algorithm")
+	}
+	if len(doc.Space) == 0 {
+		return nil, fmt.Errorf("core: checkpoint without a parameter space")
+	}
+	if doc.Evaluations != len(doc.Samples) {
+		return nil, fmt.Errorf("core: checkpoint evaluation count %d != %d stored samples",
+			doc.Evaluations, len(doc.Samples))
+	}
+	if doc.ElapsedNS < 0 {
+		return nil, fmt.Errorf("core: checkpoint with negative elapsed time")
+	}
+	ck := &Checkpoint{
+		Algorithm:   doc.Algorithm,
+		Seed:        doc.Seed,
+		Space:       doc.Space,
+		Evaluations: doc.Evaluations,
+		Elapsed:     time.Duration(doc.ElapsedNS),
+		Samples:     make([]Sample, 0, len(doc.Samples)),
+	}
+	for i, s := range doc.Samples {
+		if len(s.Unit) != len(doc.Space) {
+			return nil, fmt.Errorf("core: checkpoint sample %d has %d unit coordinates for a %d-dimensional space",
+				i, len(s.Unit), len(doc.Space))
+		}
+		for _, u := range s.Unit {
+			if math.IsNaN(u) || math.IsInf(u, 0) {
+				return nil, fmt.Errorf("core: checkpoint sample %d has a non-finite unit coordinate", i)
+			}
+		}
+		pt := make(Point, len(s.Point))
+		for k, v := range s.Point {
+			pt[k] = float64(v)
+		}
+		ck.Samples = append(ck.Samples, Sample{
+			Unit:    s.Unit,
+			Point:   pt,
+			Loss:    float64(s.Loss),
+			Elapsed: time.Duration(s.ElapsedNS),
+		})
+	}
+	return ck, nil
+}
+
+// LoadCheckpoint reads a checkpoint file. The underlying filesystem
+// error is preserved (wrapped), so callers can distinguish a missing
+// file (fresh start) from a corrupt one with errors.Is(err,
+// fs.ErrNotExist).
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
+}
+
+// checkpointer writes periodic snapshots for one calibration run.
+type checkpointer struct {
+	path      string
+	every     int
+	algorithm string
+	seed      int64
+	space     []string
+	fobs      FaultObserver
+	lastEvals int // evaluation count at the last snapshot (or resume point)
+}
+
+// write snapshots the given state. Failures degrade gracefully: the
+// calibration continues (and keeps retrying on later boundaries), the
+// failure is only reported through the observer — losing a snapshot
+// must never kill the run it exists to protect.
+func (ck *checkpointer) write(evals int, elapsed time.Duration, history []Sample) {
+	snap := &Checkpoint{
+		Algorithm:   ck.algorithm,
+		Seed:        ck.seed,
+		Space:       ck.space,
+		Evaluations: evals,
+		Elapsed:     elapsed,
+		Samples:     history,
+	}
+	if err := snap.WriteFile(ck.path); err != nil {
+		if ck.fobs != nil {
+			ck.fobs.CheckpointFailed(err)
+		}
+		return
+	}
+	ck.lastEvals = evals
+	if ck.fobs != nil {
+		ck.fobs.CheckpointWritten(evals)
+	}
+}

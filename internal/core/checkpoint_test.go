@@ -1,0 +1,422 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// frozenClock returns an injectable clock stuck at a fixed instant, so
+// every Sample.Elapsed is exactly zero and results from separate runs
+// can be compared bitwise.
+func frozenClock() func() time.Time {
+	t0 := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	return func() time.Time { return t0 }
+}
+
+func sampleCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Algorithm:   "test-random",
+		Seed:        42,
+		Space:       []string{"x", "y"},
+		Evaluations: 3,
+		Elapsed:     1500 * time.Millisecond,
+		Samples: []Sample{
+			{Unit: []float64{0.1234567890123456, 0.5}, Point: Point{"x": 1.234567890123456, "y": 5}, Loss: 0.25, Elapsed: 10 * time.Millisecond},
+			{Unit: []float64{0.25, 0.75}, Point: Point{"x": 2.5, "y": 7.5}, Loss: math.Inf(1), Elapsed: 20 * time.Millisecond},
+			{Unit: []float64{1.0 / 3.0, 2.0 / 3.0}, Point: Point{"x": 10.0 / 3.0, "y": 20.0 / 3.0}, Loss: math.NaN(), Elapsed: 30 * time.Millisecond},
+		},
+	}
+}
+
+func TestCheckpointRoundTripBitwise(t *testing.T) {
+	ck := sampleCheckpoint()
+	var buf bytes.Buffer
+	if err := ck.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Algorithm != ck.Algorithm || got.Seed != ck.Seed || got.Evaluations != ck.Evaluations || got.Elapsed != ck.Elapsed {
+		t.Errorf("header mismatch: %+v vs %+v", got, ck)
+	}
+	if len(got.Space) != len(ck.Space) || got.Space[0] != "x" || got.Space[1] != "y" {
+		t.Errorf("space mismatch: %v", got.Space)
+	}
+	for i, want := range ck.Samples {
+		s := got.Samples[i]
+		for j := range want.Unit {
+			if s.Unit[j] != want.Unit[j] {
+				t.Errorf("sample %d unit[%d]: %v != %v (not bitwise)", i, j, s.Unit[j], want.Unit[j])
+			}
+		}
+		for k, v := range want.Point {
+			if got := s.Point[k]; got != v && !(math.IsNaN(got) && math.IsNaN(v)) {
+				t.Errorf("sample %d point[%q]: %v != %v", i, k, got, v)
+			}
+		}
+		if s.Loss != want.Loss && !(math.IsNaN(s.Loss) && math.IsNaN(want.Loss)) {
+			t.Errorf("sample %d loss: %v != %v", i, s.Loss, want.Loss)
+		}
+		if s.Elapsed != want.Elapsed {
+			t.Errorf("sample %d elapsed: %v != %v", i, s.Elapsed, want.Elapsed)
+		}
+	}
+}
+
+func TestCheckpointWriteFileAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	ck := sampleCheckpoint()
+	if err := ck.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	ck.Evaluations = 2
+	ck.Samples = ck.Samples[:2]
+	if err := ck.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Evaluations != 2 {
+		t.Errorf("second write not visible: Evaluations = %d", got.Evaluations)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("temp files left behind: %v", entries)
+	}
+}
+
+func TestLoadCheckpointMissingFile(t *testing.T) {
+	_, err := LoadCheckpoint(filepath.Join(t.TempDir(), "absent.json"))
+	if !os.IsNotExist(errUnwrapAll(err)) {
+		t.Errorf("missing file error not preserved: %v", err)
+	}
+}
+
+// errUnwrapAll unwraps to the innermost error for os.IsNotExist.
+func errUnwrapAll(err error) error {
+	for {
+		type unwrapper interface{ Unwrap() error }
+		u, ok := err.(unwrapper)
+		if !ok {
+			return err
+		}
+		inner := u.Unwrap()
+		if inner == nil {
+			return err
+		}
+		err = inner
+	}
+}
+
+func TestReadCheckpointRejectsCorruptDocuments(t *testing.T) {
+	valid := func() *Checkpoint { return sampleCheckpoint() }
+	encode := func(ck *Checkpoint) string {
+		var buf bytes.Buffer
+		if err := ck.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	cases := map[string]string{
+		"empty":            "",
+		"not json":         "calibration went great",
+		"wrong kind":       strings.Replace(encode(valid()), checkpointDocKind, "simcal-calibration-result", 1),
+		"truncated":        encode(valid())[:len(encode(valid()))/2],
+		"count mismatch":   strings.Replace(encode(valid()), `"evaluations":3`, `"evaluations":7`, 1),
+		"negative elapsed": strings.Replace(encode(valid()), `"elapsedNanos":1500000000`, `"elapsedNanos":-5`, 1),
+		"bad sentinel":     strings.Replace(encode(valid()), `"NaN"`, `"Nope"`, 1),
+	}
+	for name, doc := range cases {
+		if _, err := ReadCheckpoint(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: corrupt checkpoint accepted", name)
+		}
+	}
+	// Dimension mismatch: a sample with too few unit coordinates.
+	ck := valid()
+	ck.Samples[1].Unit = ck.Samples[1].Unit[:1]
+	if _, err := ReadCheckpoint(strings.NewReader(encode(ck))); err == nil {
+		t.Error("unit dimension mismatch accepted")
+	}
+	// Non-finite unit coordinate (handcrafted: WriteJSON cannot produce
+	// one, but a corrupted file can claim anything).
+	nonFinite := strings.Replace(encode(valid()), `"unit":[0.25,0.75]`, `"unit":[1e999,0.75]`, 1)
+	if _, err := ReadCheckpoint(strings.NewReader(nonFinite)); err == nil {
+		t.Error("non-finite unit coordinate accepted")
+	}
+}
+
+// countingSim wraps an Evaluator and counts real invocations, so resume
+// tests can prove replayed evaluations never touch the simulator.
+type countingSim struct {
+	inner Evaluator
+	calls atomic.Int64
+}
+
+func (c *countingSim) Run(ctx context.Context, p Point) (float64, error) {
+	c.calls.Add(1)
+	return c.inner(ctx, p)
+}
+
+// resultsIdentical compares two results bitwise (assuming a frozen
+// clock zeroed all elapsed fields).
+func resultsIdentical(t *testing.T, a, b *Result) {
+	t.Helper()
+	if a.Evaluations != b.Evaluations {
+		t.Fatalf("Evaluations: %d vs %d", a.Evaluations, b.Evaluations)
+	}
+	if a.Best.Loss != b.Best.Loss {
+		t.Fatalf("Best.Loss: %v vs %v", a.Best.Loss, b.Best.Loss)
+	}
+	for k, v := range a.Best.Point {
+		if b.Best.Point[k] != v {
+			t.Fatalf("Best.Point[%q]: %v vs %v", k, v, b.Best.Point[k])
+		}
+	}
+	if len(a.History) != len(b.History) {
+		t.Fatalf("history length: %d vs %d", len(a.History), len(b.History))
+	}
+	for i := range a.History {
+		x, y := a.History[i], b.History[i]
+		if x.Loss != y.Loss || x.Elapsed != y.Elapsed {
+			t.Fatalf("history[%d]: loss %v/%v elapsed %v/%v", i, x.Loss, y.Loss, x.Elapsed, y.Elapsed)
+		}
+		for j := range x.Unit {
+			if x.Unit[j] != y.Unit[j] {
+				t.Fatalf("history[%d].Unit[%d]: %v vs %v (not bitwise)", i, j, x.Unit[j], y.Unit[j])
+			}
+		}
+		for k, v := range x.Point {
+			if y.Point[k] != v {
+				t.Fatalf("history[%d].Point[%q]: %v vs %v", i, k, v, y.Point[k])
+			}
+		}
+	}
+	ta, la := a.LossOverTime()
+	tb, lb := b.LossOverTime()
+	for i := range la {
+		if la[i] != lb[i] || ta[i] != tb[i] {
+			t.Fatalf("loss-over-time[%d] differs", i)
+		}
+	}
+}
+
+func TestCheckpointResumeBitwiseIdentical(t *testing.T) {
+	optimum := Point{"x": 3, "y": 7}
+	clock := frozenClock()
+	base := func(sim Simulator) *Calibrator {
+		return &Calibrator{
+			Space:          testSpace,
+			Simulator:      sim,
+			Algorithm:      randomSearch{batch: 4},
+			MaxEvaluations: 40,
+			Workers:        1,
+			Seed:           42,
+			Clock:          clock,
+		}
+	}
+
+	// Reference: one uninterrupted run to the full budget.
+	ref, err := base(sphereLoss(optimum)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Killed" run: checkpoints every 8 evaluations, budget cut to 16 —
+	// the snapshot on disk afterwards is what a kill -9 at that boundary
+	// leaves behind.
+	path := filepath.Join(t.TempDir(), "ck.json")
+	killed := base(sphereLoss(optimum))
+	killed.MaxEvaluations = 16
+	killed.Checkpoint = &CheckpointSpec{Path: path, Every: 8}
+	if _, err := killed.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Evaluations != 16 {
+		t.Fatalf("snapshot at %d evaluations, want the 16-eval boundary", snap.Evaluations)
+	}
+
+	// Resume to the full budget; the first 16 evaluations must come from
+	// the snapshot, not the simulator.
+	sim := &countingSim{inner: sphereLoss(optimum)}
+	resumed := base(sim)
+	resumed.Resume = snap
+	res, err := resumed.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.calls.Load(); got != 40-16 {
+		t.Errorf("resumed run invoked the simulator %d times, want %d (replay must not re-simulate)", got, 40-16)
+	}
+	resultsIdentical(t, ref, res)
+}
+
+func TestResumeContinuesElapsedOffset(t *testing.T) {
+	clock := frozenClock()
+	snapElapsed := 90 * time.Second
+	// Build a snapshot by running 8 evals, then hand-set its elapsed
+	// offset to something noticeable.
+	path := filepath.Join(t.TempDir(), "ck.json")
+	c := &Calibrator{
+		Space:          testSpace,
+		Simulator:      sphereLoss(Point{"x": 1, "y": 1}),
+		Algorithm:      randomSearch{batch: 4},
+		MaxEvaluations: 8,
+		Workers:        1,
+		Seed:           9,
+		Clock:          clock,
+		Checkpoint:     &CheckpointSpec{Path: path, Every: 8},
+	}
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Elapsed = snapElapsed
+
+	resumed := &Calibrator{
+		Space:          testSpace,
+		Simulator:      sphereLoss(Point{"x": 1, "y": 1}),
+		Algorithm:      randomSearch{batch: 4},
+		MaxEvaluations: 12,
+		Workers:        1,
+		Seed:           9,
+		Clock:          clock,
+		Resume:         snap,
+	}
+	res, err := resumed.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a frozen clock, post-replay samples sit exactly at the
+	// snapshot offset: elapsed = offset + (0 wall time since resume).
+	for i, s := range res.History[8:] {
+		if s.Elapsed != snapElapsed {
+			t.Errorf("post-resume history[%d].Elapsed = %v, want the %v snapshot offset", 8+i, s.Elapsed, snapElapsed)
+		}
+	}
+	if res.Elapsed != snapElapsed {
+		t.Errorf("Result.Elapsed = %v, want continuation from %v", res.Elapsed, snapElapsed)
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	snap := func() *Checkpoint {
+		return &Checkpoint{Algorithm: "test-random", Seed: 42, Space: []string{"x", "y"}}
+	}
+	base := func() *Calibrator {
+		return &Calibrator{
+			Space:          testSpace,
+			Simulator:      sphereLoss(Point{"x": 1, "y": 1}),
+			Algorithm:      randomSearch{},
+			MaxEvaluations: 8,
+			Seed:           42,
+		}
+	}
+	cases := map[string]func(*Checkpoint){
+		"wrong algorithm":   func(ck *Checkpoint) { ck.Algorithm = "GRID" },
+		"wrong seed":        func(ck *Checkpoint) { ck.Seed = 7 },
+		"wrong space names": func(ck *Checkpoint) { ck.Space = []string{"x", "z"} },
+		"wrong space size":  func(ck *Checkpoint) { ck.Space = []string{"x"} },
+		"count mismatch":    func(ck *Checkpoint) { ck.Evaluations = 3 },
+	}
+	for name, corrupt := range cases {
+		c := base()
+		ck := snap()
+		corrupt(ck)
+		c.Resume = ck
+		if _, err := c.Run(context.Background()); err == nil {
+			t.Errorf("%s: mismatched resume checkpoint accepted", name)
+		}
+	}
+	c := base()
+	c.Resume = snap()
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Errorf("matching empty checkpoint rejected: %v", err)
+	}
+}
+
+func TestResumeDivergenceDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	c := &Calibrator{
+		Space:          testSpace,
+		Simulator:      sphereLoss(Point{"x": 1, "y": 1}),
+		Algorithm:      randomSearch{batch: 4},
+		MaxEvaluations: 8,
+		Workers:        1,
+		Seed:           11,
+		Checkpoint:     &CheckpointSpec{Path: path, Every: 8},
+	}
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Samples[2].Unit[0] = 0.123456 // not what the seeded algorithm proposes
+	resumed := &Calibrator{
+		Space:          testSpace,
+		Simulator:      sphereLoss(Point{"x": 1, "y": 1}),
+		Algorithm:      randomSearch{batch: 4},
+		MaxEvaluations: 16,
+		Workers:        1,
+		Seed:           11,
+		Resume:         snap,
+	}
+	_, err = resumed.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("tampered checkpoint not detected: err = %v", err)
+	}
+}
+
+func TestCheckpointEveryBatchBoundaries(t *testing.T) {
+	// With batch 4 and Every=10, snapshots can only land on multiples of
+	// the batch size past the threshold: evals 12, then 24, then 36.
+	var written []int
+	obs := &recordingFaultObserver{}
+	path := filepath.Join(t.TempDir(), "ck.json")
+	c := &Calibrator{
+		Space:          testSpace,
+		Simulator:      sphereLoss(Point{"x": 1, "y": 1}),
+		Algorithm:      randomSearch{batch: 4},
+		MaxEvaluations: 40,
+		Workers:        2,
+		Seed:           13,
+		Observer:       obs,
+		Checkpoint:     &CheckpointSpec{Path: path, Every: 10},
+	}
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	written = obs.checkpoints()
+	want := []int{12, 24, 36}
+	if len(written) != len(want) {
+		t.Fatalf("checkpoints at %v, want %v", written, want)
+	}
+	for i := range want {
+		if written[i] != want[i] {
+			t.Fatalf("checkpoints at %v, want %v", written, want)
+		}
+	}
+}

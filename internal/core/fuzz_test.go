@@ -1,0 +1,117 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+// The persistence readers sit downstream of the filesystem: a killed
+// run, a full disk, or a stray editor can hand them anything. The fuzz
+// contract is that arbitrary input never panics, and that any input
+// they accept survives a write/read round-trip unchanged — a document
+// that parses but does not round-trip would corrupt a resumed run.
+
+func FuzzReadResult(f *testing.F) {
+	var buf bytes.Buffer
+	r := &Result{
+		Algorithm:   "RAND",
+		Evaluations: 2,
+		Elapsed:     3 * time.Second,
+		Best:        Sample{Point: Point{"x": 1.5, "y": -2}, Loss: 0.25, Elapsed: time.Second},
+		History: []Sample{
+			{Point: Point{"x": 4, "y": 8}, Loss: 2.5, Elapsed: 500 * time.Millisecond},
+			{Point: Point{"x": 1.5, "y": -2}, Loss: 0.25, Elapsed: time.Second},
+		},
+	}
+	if err := r.WriteJSON(&buf, true); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(`{"kind":"simcal-calibration-result"}`))
+	f.Add([]byte(`{"kind":"wrong","best":{"point":{"x":1}}}`))
+	f.Add([]byte(""))
+	f.Add([]byte("{"))
+	f.Add([]byte("null"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := ReadResult(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(res.Best.Point) == 0 {
+			t.Fatal("accepted a result without a best point")
+		}
+		var out bytes.Buffer
+		if err := res.WriteJSON(&out, true); err != nil {
+			t.Fatalf("accepted result does not re-serialize: %v", err)
+		}
+		again, err := ReadResult(&out)
+		if err != nil {
+			t.Fatalf("round-trip rejected: %v", err)
+		}
+		if again.Algorithm != res.Algorithm || again.Evaluations != res.Evaluations ||
+			len(again.History) != len(res.History) {
+			t.Fatalf("round-trip changed the result: %+v != %+v", again, res)
+		}
+	})
+}
+
+func FuzzReadCheckpoint(f *testing.F) {
+	var buf bytes.Buffer
+	ck := &Checkpoint{
+		Algorithm:   "GRID",
+		Seed:        42,
+		Space:       []string{"x", "y"},
+		Evaluations: 2,
+		Elapsed:     time.Second,
+		Samples: []Sample{
+			{Unit: []float64{0.25, 0.75}, Point: Point{"x": 2.5, "y": 7.5}, Loss: 1.25, Elapsed: time.Millisecond},
+			{Unit: []float64{0.5, 0.5}, Point: Point{"x": 5, "y": 5}, Loss: math.Inf(1), Elapsed: 2 * time.Millisecond},
+		},
+	}
+	if err := ck.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(bytes.Replace(valid, []byte(`"Inf"`), []byte(`"bogus"`), 1))
+	f.Add([]byte(`{"kind":"simcal-calibration-checkpoint","algorithm":"A","space":["x"],"evaluations":1,"samples":[{"unit":[0.5],"point":{"x":1},"loss":"NaN"}]}`))
+	f.Add([]byte(`{"kind":"simcal-calibration-checkpoint","algorithm":"A","space":["x"],"evaluations":1,"samples":[{"unit":["NaN"],"point":{},"loss":0}]}`))
+	f.Add([]byte(""))
+	f.Add([]byte("{"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := ReadCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if ck.Evaluations != len(ck.Samples) {
+			t.Fatalf("accepted checkpoint with %d evaluations but %d samples", ck.Evaluations, len(ck.Samples))
+		}
+		var out bytes.Buffer
+		if err := ck.WriteJSON(&out); err != nil {
+			t.Fatalf("accepted checkpoint does not re-serialize: %v", err)
+		}
+		again, err := ReadCheckpoint(&out)
+		if err != nil {
+			t.Fatalf("round-trip rejected: %v", err)
+		}
+		if again.Algorithm != ck.Algorithm || again.Seed != ck.Seed || len(again.Samples) != len(ck.Samples) {
+			t.Fatal("round-trip changed the checkpoint identity")
+		}
+		for i := range ck.Samples {
+			a, b := ck.Samples[i], again.Samples[i]
+			if math.Float64bits(a.Loss) != math.Float64bits(b.Loss) {
+				t.Fatalf("sample %d loss not bitwise stable: %v != %v", i, a.Loss, b.Loss)
+			}
+			for j := range a.Unit {
+				if math.Float64bits(a.Unit[j]) != math.Float64bits(b.Unit[j]) {
+					t.Fatalf("sample %d unit %d not bitwise stable", i, j)
+				}
+			}
+		}
+	})
+}

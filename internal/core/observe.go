@@ -71,6 +71,34 @@ type CacheObserver interface {
 	CacheHit(s Sample)
 }
 
+// FaultObserver is an optional extension of Observer for the
+// fault-tolerance runtime. When the Calibrator's Observer also
+// implements it, recovery events — panics converted to errors, retried
+// and timed-out evaluations, circuit-breaker transitions, checkpoint
+// writes — are reported as they happen. Implementations must be safe
+// for concurrent use (evaluations run on the worker pool).
+type FaultObserver interface {
+	// PanicRecovered fires when a panic is converted to an error; where
+	// identifies the recovery site ("simulator", "surrogate").
+	PanicRecovered(where string)
+	// EvalRetried fires before each retry backoff: attempt is the
+	// 1-based attempt that failed, delay the upcoming backoff, cause
+	// the transient error's message.
+	EvalRetried(attempt int, delay time.Duration, cause string)
+	// EvalTimedOut fires when an evaluation attempt exceeds the
+	// per-attempt timeout and is abandoned.
+	EvalTimedOut(timeout time.Duration)
+	// BreakerStateChanged fires when a simulator identity's circuit
+	// breaker opens or closes.
+	BreakerStateChanged(identity string, open bool)
+	// CheckpointWritten fires after each successful snapshot;
+	// evaluations is the snapshot's evaluation count.
+	CheckpointWritten(evaluations int)
+	// CheckpointFailed fires when a snapshot could not be written; the
+	// calibration continues regardless.
+	CheckpointFailed(err error)
+}
+
 // obsObserver bridges Observer callbacks into an obs.Registry and an
 // obs.Tracer. Either may be nil: a nil registry skips metrics, a nil
 // tracer skips trace records.
@@ -78,21 +106,26 @@ type obsObserver struct {
 	tracer *obs.Tracer
 	start  time.Time
 
-	evals     *obs.Counter
-	batches   *obs.Counter
-	improves  *obs.Counter
-	fits      *obs.Counter
-	acqs      *obs.Counter
-	busyNS    *obs.Counter
-	waitNS    *obs.Counter
-	fitNS     *obs.Counter
-	predictNS *obs.Counter
-	bestLoss  *obs.Gauge
-	evalRate  *obs.Gauge
-	evalHist  *obs.Histogram
-	fitHist   *obs.Histogram
-	acqHist   *obs.Histogram
-	batchSize *obs.Histogram
+	evals       *obs.Counter
+	batches     *obs.Counter
+	improves    *obs.Counter
+	fits        *obs.Counter
+	acqs        *obs.Counter
+	busyNS      *obs.Counter
+	waitNS      *obs.Counter
+	fitNS       *obs.Counter
+	predictNS   *obs.Counter
+	panics      *obs.Counter
+	retries     *obs.Counter
+	timeouts    *obs.Counter
+	checkpoints *obs.Counter
+	bestLoss    *obs.Gauge
+	evalRate    *obs.Gauge
+	breakerOpen *obs.Gauge
+	evalHist    *obs.Histogram
+	fitHist     *obs.Histogram
+	acqHist     *obs.Histogram
+	batchSize   *obs.Histogram
 }
 
 // NewObsObserver returns an Observer that updates calibration metrics in
@@ -111,8 +144,13 @@ func NewObsObserver(reg *obs.Registry, tracer *obs.Tracer) Observer {
 		o.waitNS = reg.Counter("cal.batch_queue_wait_ns")
 		o.fitNS = reg.Counter("opt.surrogate_fit_ns")
 		o.predictNS = reg.Counter("opt.surrogate_predict_ns")
+		o.panics = reg.Counter("eval_panics_recovered")
+		o.retries = reg.Counter("eval_retries")
+		o.timeouts = reg.Counter("eval_timeouts")
+		o.checkpoints = reg.Counter("checkpoints_written")
 		o.bestLoss = reg.Gauge("cal.best_loss")
 		o.evalRate = reg.Gauge("cal.evals_per_sec")
+		o.breakerOpen = reg.Gauge("breaker_open")
 		o.evalHist = reg.Histogram("cal.eval_ns")
 		o.fitHist = reg.Histogram("opt.fit_ns")
 		o.acqHist = reg.Histogram("opt.acquisition_ns")
@@ -214,6 +252,62 @@ func (o *obsObserver) AcquisitionSolved(candidates int, predict, dur time.Durati
 		"predict_ns": int64(predict),
 		"dur_ns":     int64(dur),
 	})
+}
+
+// PanicRecovered implements FaultObserver.
+func (o *obsObserver) PanicRecovered(where string) {
+	if o.panics != nil {
+		o.panics.Inc()
+	}
+	o.tracer.Emit(obs.EventPanicRecovered, obs.Fields{"where": where})
+}
+
+// EvalRetried implements FaultObserver.
+func (o *obsObserver) EvalRetried(attempt int, delay time.Duration, cause string) {
+	if o.retries != nil {
+		o.retries.Inc()
+	}
+	o.tracer.Emit(obs.EventEvalRetried, obs.Fields{
+		"attempt":  attempt,
+		"delay_ns": int64(delay),
+		"cause":    cause,
+	})
+}
+
+// EvalTimedOut implements FaultObserver.
+func (o *obsObserver) EvalTimedOut(timeout time.Duration) {
+	if o.timeouts != nil {
+		o.timeouts.Inc()
+	}
+	o.tracer.Emit(obs.EventEvalTimeout, obs.Fields{"timeout_ns": int64(timeout)})
+}
+
+// BreakerStateChanged implements FaultObserver.
+func (o *obsObserver) BreakerStateChanged(identity string, open bool) {
+	if o.breakerOpen != nil {
+		if open {
+			o.breakerOpen.Set(1)
+		} else {
+			o.breakerOpen.Set(0)
+		}
+	}
+	o.tracer.Emit(obs.EventBreakerState, obs.Fields{
+		"identity": identity,
+		"open":     open,
+	})
+}
+
+// CheckpointWritten implements FaultObserver.
+func (o *obsObserver) CheckpointWritten(evaluations int) {
+	if o.checkpoints != nil {
+		o.checkpoints.Inc()
+	}
+	o.tracer.Emit(obs.EventCheckpointWritten, obs.Fields{"evaluations": evaluations})
+}
+
+// CheckpointFailed implements FaultObserver.
+func (o *obsObserver) CheckpointFailed(err error) {
+	o.tracer.Emit(obs.EventCheckpointFailed, obs.Fields{"error": err.Error()})
 }
 
 // CalibrationFinished implements Observer.

@@ -43,7 +43,7 @@ func AblationAlgorithms(ctx context.Context, o Options) (*AblationAlgResult, err
 	// configuration, so all cells share one cache key: with a cache
 	// attached, an evaluation any algorithm has already paid for is free
 	// to every other.
-	losses, err := RunJobs(ctx, o.sched(), len(algs), func(ctx context.Context, i int) (float64, error) {
+	losses, err := RunJobsLogged(ctx, o.sched(), o.RunLog, "ablation-alg", len(algs), func(ctx context.Context, i int) (float64, error) {
 		alg := algs[i] // one instance per cell: algorithms may keep state
 		cal := o.calibrator(v.Space(), ev, alg, o.Seed, o.cacheKey("ablation/wf/L1"))
 		r, err := cal.Run(ctx)
@@ -156,7 +156,7 @@ func AblationStorageValue(ctx context.Context, o Options) (*AblationStorageValue
 		{wfsim.SubmitOnly, free, "storage-free"},
 		{wfsim.AllNodes, free, "storage-free"},
 	}
-	errsOut, err := RunJobs(ctx, o.sched(), len(combos), func(ctx context.Context, i int) (float64, error) {
+	errsOut, err := RunJobsLogged(ctx, o.sched(), o.RunLog, "ablation-storage", len(combos), func(ctx context.Context, i int) (float64, error) {
 		c := combos[i]
 		v := wfsim.Version{Network: wfsim.OneLink, Storage: c.storage, Compute: wfsim.HTCondor}
 		va, err := calibrateAndTestWF(ctx, o, v, c.ds, c.ds, c.dsKey)

@@ -51,7 +51,7 @@ func Table3(ctx context.Context, o Options) (*Table3Result, error) {
 		res.Errors[alg.Name()] = make(map[string]float64)
 	}
 	nk := len(loss.AllWFKinds)
-	ces, err := RunJobs(ctx, o.sched(), len(algs)*nk, func(ctx context.Context, i int) (float64, error) {
+	ces, err := RunJobsLogged(ctx, o.sched(), o.RunLog, "table3", len(algs)*nk, func(ctx context.Context, i int) (float64, error) {
 		ai, ki := i/nk, i%nk
 		// Fresh algorithm instance per cell: algorithms may keep
 		// internal state and cells run concurrently.
@@ -164,7 +164,7 @@ func Figure2(ctx context.Context, o Options) (*Figure2Result, error) {
 	}
 	train, test := splitTrainTest(full, o)
 	versions := wfsim.AllVersions()
-	vas, err := RunJobs(ctx, o.sched(), len(versions), func(ctx context.Context, i int) (*VersionAccuracy, error) {
+	vas, err := RunJobsLogged(ctx, o.sched(), o.RunLog, "figure2", len(versions), func(ctx context.Context, i int) (*VersionAccuracy, error) {
 		va, err := calibrateAndTestWF(ctx, o, versions[i], train, test, "train")
 		if err != nil {
 			return nil, fmt.Errorf("figure2 %s: %w", versions[i].Name(), err)

@@ -73,9 +73,10 @@ func Table5(ctx context.Context, o Options) (*Table5Result, error) {
 		res.CalibErrors[alg.Name()] = make(map[string]float64)
 		res.RateErrors[alg.Name()] = make(map[string]float64)
 	}
-	type table5Cell struct{ ce, re float64 }
+	// Exported fields: cells round-trip through the RunLog as JSON.
+	type table5Cell struct{ CE, RE float64 }
 	nk := len(loss.AllMPIKinds)
-	cells, err := RunJobs(ctx, o.sched(), len(algs)*nk, func(ctx context.Context, i int) (table5Cell, error) {
+	cells, err := RunJobsLogged(ctx, o.sched(), o.RunLog, "table5", len(algs)*nk, func(ctx context.Context, i int) (table5Cell, error) {
 		ai, ki := i/nk, i%nk
 		alg := algorithms()[ai] // fresh instance per concurrent cell
 		kind := loss.AllMPIKinds[ki]
@@ -92,7 +93,7 @@ func Table5(ctx context.Context, o Options) (*Table5Result, error) {
 			return table5Cell{}, err
 		}
 		re := stats.Mean(rerrs) / 100 // fractional, like the paper
-		return table5Cell{ce: ce, re: re}, nil
+		return table5Cell{CE: ce, RE: re}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -101,10 +102,10 @@ func Table5(ctx context.Context, o Options) (*Table5Result, error) {
 	for i, c := range cells {
 		ai, ki := i/nk, i%nk
 		kind := loss.AllMPIKinds[ki]
-		res.CalibErrors[algs[ai].Name()][kind.String()] = c.ce
-		res.RateErrors[algs[ai].Name()][kind.String()] = c.re
-		if bestRate < 0 || c.re < bestRate {
-			bestRate = c.re
+		res.CalibErrors[algs[ai].Name()][kind.String()] = c.CE
+		res.RateErrors[algs[ai].Name()][kind.String()] = c.RE
+		if bestRate < 0 || c.RE < bestRate {
+			bestRate = c.RE
 			res.WinnerAlg, res.WinnerLoss = algs[ai].Name(), kind.String()
 		}
 	}
@@ -160,7 +161,7 @@ func Figure5(ctx context.Context, o Options) (*Figure5Result, error) {
 		return nil, err
 	}
 	versions := mpisim.AllVersions()
-	vas, err := RunJobs(ctx, o.sched(), len(versions), func(ctx context.Context, i int) (*VersionAccuracy, error) {
+	vas, err := RunJobsLogged(ctx, o.sched(), o.RunLog, "figure5", len(versions), func(ctx context.Context, i int) (*VersionAccuracy, error) {
 		va, err := calibrateAndTestMPI(ctx, o, versions[i], ds, ds, "p2p")
 		if err != nil {
 			return nil, fmt.Errorf("figure5 %s: %w", versions[i].Name(), err)

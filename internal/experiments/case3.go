@@ -26,7 +26,7 @@ func CaseStudy3(ctx context.Context, o Options) (*CaseStudy3Result, error) {
 		return nil, err
 	}
 	versions := batch.AllVersions()
-	vas, err := RunJobs(ctx, o.sched(), len(versions), func(ctx context.Context, i int) (VersionAccuracy, error) {
+	vas, err := RunJobsLogged(ctx, o.sched(), o.RunLog, "casestudy3", len(versions), func(ctx context.Context, i int) (VersionAccuracy, error) {
 		v := versions[i]
 		r, err := o.calibrateBest(ctx, v.Space(), batch.Evaluator(v, gt), algorithms()[1],
 			o.Seed, o.cacheKey("case3/batch/"+v.Name()))

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// TestFaultsDriver: every fault-rate row must complete its full budget
+// (the fault tolerance absorbing the injected failures), the recovery
+// counters must reconcile with the injection log, and the zero-rate row
+// must be fault-free.
+func TestFaultsDriver(t *testing.T) {
+	o := tiny()
+	o.MaxEvals = 24
+	res, err := Faults(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(faultRates) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(faultRates))
+	}
+	for _, row := range res.Rows {
+		if row.Evaluations != o.MaxEvals {
+			t.Errorf("rate %g: %d evaluations, want the full %d", row.Rate, row.Evaluations, o.MaxEvals)
+		}
+		if row.PanicsRecovered != row.Injected.Panics {
+			t.Errorf("rate %g: recovered %d panics, injector logged %d", row.Rate, row.PanicsRecovered, row.Injected.Panics)
+		}
+		if row.Timeouts != row.Injected.Hangs {
+			t.Errorf("rate %g: %d timeouts, injector logged %d hangs", row.Rate, row.Timeouts, row.Injected.Hangs)
+		}
+		if want := row.Injected.Transients + row.Injected.Hangs; row.Retries != want {
+			t.Errorf("rate %g: %d retries, want transients+hangs = %d", row.Rate, row.Retries, want)
+		}
+		if row.CalibError < 0 {
+			t.Errorf("rate %g: negative calibration error %v", row.Rate, row.CalibError)
+		}
+	}
+	if z := res.Rows[0]; z.Rate != 0 || z.Injected.Total() != 0 {
+		t.Errorf("zero-rate row injected faults: %+v", z.Injected)
+	}
+	if res.Rows[3].Injected.Total() == 0 {
+		t.Error("20%-rate row injected nothing; rates are not wired through")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"simcal/internal/cache"
 	"simcal/internal/core"
 	"simcal/internal/opt"
+	"simcal/internal/resilience"
 	"simcal/internal/wfgen"
 )
 
@@ -70,6 +71,18 @@ type Options struct {
 	// configuration, so restarts and repeated algorithms share
 	// simulations while distinct configurations stay apart.
 	Cache *cache.Cache
+
+	// Resilience, when non-nil, runs every loss evaluation of every
+	// calibration under the fault-tolerant executor (timeouts, retries,
+	// circuit breaking — see resilience.Policy).
+	Resilience *resilience.Policy
+
+	// RunLog, when non-nil, checkpoints completed grid cells so a
+	// killed experiment run resumes only its unfinished cells (see
+	// OpenRunLog). Drivers that fan out over cells consult it; resumed
+	// results are identical to uninterrupted ones because cell seeds
+	// derive from Seed, never from scheduling order.
+	RunLog *RunLog
 }
 
 // sched returns the experiment-wide scheduler implied by Jobs (nil for
@@ -143,6 +156,7 @@ func (o Options) calibrator(space core.Space, sim core.Simulator, alg core.Algor
 		Observer:       o.Observer,
 		Cache:          o.Cache,
 		CacheKey:       key,
+		Resilience:     o.Resilience,
 	}
 }
 

@@ -3,10 +3,12 @@ package experiments
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 
 	"simcal/internal/cache"
+	"simcal/internal/resilience"
 )
 
 func TestNewSchedulerSequentialBelowTwo(t *testing.T) {
@@ -58,37 +60,59 @@ func TestRunJobsBoundsConcurrency(t *testing.T) {
 	}
 }
 
-func TestRunJobsPropagatesFirstRealError(t *testing.T) {
-	boom := errors.New("cell 1 exploded")
-	// The failing index must land in the first wave of the 4-slot pool:
-	// later siblings hold their slots until the failure cancels them.
-	_, err := RunJobs(context.Background(), NewScheduler(4), 16, func(ctx context.Context, i int) (int, error) {
-		if i == 1 {
-			return 0, boom
+// TestRunJobsRunsAllAndJoinsErrors: a cell failure must not discard
+// sibling work — every job runs, every failure surfaces (joined and
+// index-tagged), and successful results stay available.
+func TestRunJobsRunsAllAndJoinsErrors(t *testing.T) {
+	boom1 := errors.New("cell 1 exploded")
+	boom5 := errors.New("cell 5 exploded")
+	for _, s := range []*Scheduler{nil, NewScheduler(4)} {
+		var ran atomic.Int64
+		results, err := RunJobs(context.Background(), s, 16, func(_ context.Context, i int) (int, error) {
+			ran.Add(1)
+			switch i {
+			case 1:
+				return 0, boom1
+			case 5:
+				return 0, boom5
+			}
+			return i * i, nil
+		})
+		if n := ran.Load(); n != 16 {
+			t.Errorf("ran %d of 16 jobs; failures must not stop siblings", n)
 		}
-		<-ctx.Done() // siblings canceled after the failure
-		return 0, ctx.Err()
-	})
-	if !errors.Is(err, boom) {
-		t.Fatalf("err = %v, want the cell error, not a sibling's context.Canceled", err)
+		if !errors.Is(err, boom1) || !errors.Is(err, boom5) {
+			t.Fatalf("err = %v, want both cell errors joined", err)
+		}
+		if !strings.Contains(err.Error(), "job 1:") || !strings.Contains(err.Error(), "job 5:") {
+			t.Errorf("err = %v, want errors tagged with their job index", err)
+		}
+		if results[3] != 9 || results[15] != 225 {
+			t.Errorf("successful results lost alongside the failures: %v", results)
+		}
 	}
 }
 
-func TestRunJobsSequentialError(t *testing.T) {
-	boom := errors.New("no")
-	var ran int
-	_, err := RunJobs(context.Background(), nil, 5, func(_ context.Context, i int) (int, error) {
-		ran++
-		if i == 2 {
-			return 0, boom
+// TestRunJobsRecoversPanics: a panicking cell becomes that cell's
+// error, not a process crash.
+func TestRunJobsRecoversPanics(t *testing.T) {
+	for _, s := range []*Scheduler{nil, NewScheduler(2)} {
+		results, err := RunJobs(context.Background(), s, 4, func(_ context.Context, i int) (int, error) {
+			if i == 2 {
+				panic("cell blew up")
+			}
+			return i, nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "job 2:") {
+			t.Fatalf("err = %v, want the recovered panic tagged job 2", err)
 		}
-		return i, nil
-	})
-	if !errors.Is(err, boom) {
-		t.Fatalf("err = %v", err)
-	}
-	if ran != 3 {
-		t.Errorf("sequential run executed %d jobs after the failure, want stop at 3", ran)
+		var pe *resilience.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("err = %v, want a resilience.PanicError with the stack", err)
+		}
+		if results[3] != 3 {
+			t.Errorf("sibling results lost after the panic: %v", results)
+		}
 	}
 }
 

@@ -1,0 +1,197 @@
+// Package faultsim wraps a core.Simulator with deterministic fault
+// injection for testing the calibration runtime's resilience machinery:
+// panics, hangs, transient errors, persistently failing parameter
+// points, NaN losses, and latency spikes.
+//
+// Fault selection draws from a dedicated seeded stats.RNG stream, so a
+// single-worker calibration injects a bit-identical fault sequence on
+// every run. With concurrent workers the *assignment* of faults to
+// evaluations depends on scheduling, but the injected totals per fault
+// kind remain internally consistent: the Injector counts every fault it
+// raises, and tests match those counts against the recovery counters
+// the calibration runtime exports.
+//
+// Persistent faults are the exception to RNG-driven selection: whether
+// a parameter point is persistently broken is a pure hash of its
+// values, independent of call order, so re-evaluating the same point —
+// for example through the evaluation cache — fails identically every
+// time. These model deterministic simulator defects (a segfault on a
+// particular configuration), whereas the RNG-driven kinds model
+// environmental flakiness.
+package faultsim
+
+import (
+	"context"
+	"errors"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"simcal/internal/core"
+	"simcal/internal/resilience"
+	"simcal/internal/stats"
+)
+
+// ErrPersistent is the deterministic failure returned for persistently
+// broken points (wrapped with the offending point's rendering).
+var ErrPersistent = errors.New("faultsim: persistent simulator defect")
+
+// Config sets the per-evaluation fault probabilities. The RNG-driven
+// rates (Panic, Hang, Transient, NaN, Latency) are cumulative and their
+// sum must not exceed 1; a single uniform draw per evaluation selects
+// at most one of them.
+type Config struct {
+	// Seed drives the fault-selection RNG stream.
+	Seed int64
+
+	// PanicRate is the probability an evaluation panics.
+	PanicRate float64
+	// HangRate is the probability an evaluation blocks until its
+	// context is canceled (or MaxHang elapses, as a safety net).
+	HangRate float64
+	// TransientRate is the probability an evaluation fails with a
+	// retryable error (resilience.MarkTransient).
+	TransientRate float64
+	// NaNRate is the probability an evaluation returns a NaN loss with
+	// a nil error — the "quietly numerically broken" simulator.
+	NaNRate float64
+	// LatencyRate is the probability an evaluation is delayed by
+	// Latency before running normally.
+	LatencyRate float64
+
+	// PersistentFrac is the fraction of parameter points (by value
+	// hash) that fail deterministically on every evaluation.
+	PersistentFrac float64
+
+	// Latency is the spike duration (default 20ms).
+	Latency time.Duration
+	// MaxHang caps a hang for safety should the caller never cancel
+	// (default 30s).
+	MaxHang time.Duration
+}
+
+// Counts reports how many faults of each kind the injector raised.
+type Counts struct {
+	Panics      int64
+	Hangs       int64
+	Transients  int64
+	Persistents int64
+	NaNs        int64
+	Latencies   int64
+}
+
+// Total sums all injected faults (latency spikes included, although the
+// evaluation still succeeds).
+func (c Counts) Total() int64 {
+	return c.Panics + c.Hangs + c.Transients + c.Persistents + c.NaNs + c.Latencies
+}
+
+// Injector is a core.Simulator that injects faults in front of an inner
+// simulator. Safe for concurrent use (the selection RNG is
+// mutex-guarded; counters are atomic).
+type Injector struct {
+	inner core.Simulator
+	cfg   Config
+
+	mu  sync.Mutex
+	rng *stats.RNG
+
+	panics      atomic.Int64
+	hangs       atomic.Int64
+	transients  atomic.Int64
+	persistents atomic.Int64
+	nans        atomic.Int64
+	latencies   atomic.Int64
+}
+
+// Wrap returns an Injector injecting cfg's faults in front of inner.
+func Wrap(inner core.Simulator, cfg Config) *Injector {
+	if cfg.Latency <= 0 {
+		cfg.Latency = 20 * time.Millisecond
+	}
+	if cfg.MaxHang <= 0 {
+		cfg.MaxHang = 30 * time.Second
+	}
+	return &Injector{
+		inner: inner,
+		cfg:   cfg,
+		rng:   stats.NewRNG(cfg.Seed),
+	}
+}
+
+// Counts returns a snapshot of the injected-fault totals.
+func (in *Injector) Counts() Counts {
+	return Counts{
+		Panics:      in.panics.Load(),
+		Hangs:       in.hangs.Load(),
+		Transients:  in.transients.Load(),
+		Persistents: in.persistents.Load(),
+		NaNs:        in.nans.Load(),
+		Latencies:   in.latencies.Load(),
+	}
+}
+
+// Run implements core.Simulator.
+func (in *Injector) Run(ctx context.Context, p core.Point) (float64, error) {
+	if in.cfg.PersistentFrac > 0 && pointHash01(p) < in.cfg.PersistentFrac {
+		in.persistents.Add(1)
+		return 0, ErrPersistent
+	}
+
+	in.mu.Lock()
+	u := in.rng.Float64()
+	in.mu.Unlock()
+
+	c := &in.cfg
+	switch {
+	case u < c.PanicRate:
+		in.panics.Add(1)
+		panic("faultsim: injected panic")
+	case u < c.PanicRate+c.HangRate:
+		in.hangs.Add(1)
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(c.MaxHang):
+			return 0, resilience.MarkTransient(errors.New("faultsim: hang exceeded MaxHang"))
+		}
+	case u < c.PanicRate+c.HangRate+c.TransientRate:
+		in.transients.Add(1)
+		return 0, resilience.MarkTransient(errors.New("faultsim: injected transient failure"))
+	case u < c.PanicRate+c.HangRate+c.TransientRate+c.NaNRate:
+		in.nans.Add(1)
+		return math.NaN(), nil
+	case u < c.PanicRate+c.HangRate+c.TransientRate+c.NaNRate+c.LatencyRate:
+		in.latencies.Add(1)
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(c.Latency):
+		}
+	}
+	return in.inner.Run(ctx, p)
+}
+
+// pointHash01 maps a parameter point to a uniform-ish value in [0,1)
+// by FNV-hashing its sorted key=value rendering. Pure in the point:
+// the same assignment hashes identically across processes and runs.
+func pointHash01(p core.Point) float64 {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := fnv.New64a()
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{'='})
+		h.Write([]byte(strconv.FormatFloat(p[k], 'g', -1, 64)))
+		h.Write([]byte{';'})
+	}
+	const span = 1 << 53
+	return float64(h.Sum64()%span) / span
+}

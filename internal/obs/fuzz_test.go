@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzReadTrace feeds arbitrary bytes through the full trace-replay
+// path: decode, manifest extraction, and convergence reconstruction.
+// Traces come off disk — possibly truncated mid-line by a killed run —
+// so the contract is errors, never panics, and the non-finite loss
+// sentinels must decode without upsetting the replay.
+func FuzzReadTrace(f *testing.F) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.SetClock(func() time.Time { return time.Unix(1700000000, 0) })
+	tr.EmitManifest(Manifest{Algorithm: "RAND", Space: []string{"x"}, Seed: 1, Version: "fuzz"})
+	tr.Emit(EventEvalCompleted, Fields{"loss": 2.5, "elapsed_ns": float64(time.Millisecond)})
+	tr.Emit(EventEvalCompleted, Fields{"loss": math.Inf(1), "elapsed_ns": float64(2 * time.Millisecond)})
+	tr.Emit(EventEvalCompleted, Fields{"loss": math.NaN(), "elapsed_s": 0.003})
+	tr.Emit(EventPanicRecovered, Fields{"error": "boom"})
+	if err := tr.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // torn mid-line
+	f.Add([]byte(`{"name":"eval_completed","fields":{"loss":"-Inf","elapsed_s":1}}` + "\n"))
+	f.Add([]byte(`{"name":"eval_completed","fields":{}}` + "\n"))
+	f.Add([]byte(`{"name":"eval_completed","fields":{"loss":[1,2]}}` + "\n"))
+	f.Add([]byte("\n\nnot json\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		TraceManifest(recs)
+		points, err := ReplayConvergenceRecords(recs)
+		if err != nil {
+			return
+		}
+		// The replayed curve is a running minimum: NaN-free (NaN losses
+		// normalize to +Inf) and monotone non-increasing.
+		for i, p := range points {
+			if math.IsNaN(p.Loss) {
+				t.Fatalf("NaN leaked into the best-loss curve at point %d", i)
+			}
+			if i > 0 && p.Loss > points[i-1].Loss {
+				t.Fatalf("best-loss curve increased at point %d: %v -> %v", i, points[i-1].Loss, p.Loss)
+			}
+		}
+	})
+}

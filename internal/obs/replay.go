@@ -18,6 +18,15 @@ const (
 	EventSurrogateFitted     = "surrogate_fitted"
 	EventAcquisitionSolved   = "acquisition_solved"
 	EventCalibrationFinished = "calibration_finished"
+
+	// Fault-tolerance events (see core.FaultObserver): recovery actions
+	// taken by the runtime, so -replay can reconstruct a faulty run.
+	EventPanicRecovered    = "panic_recovered"
+	EventEvalRetried       = "eval_retry"
+	EventEvalTimeout       = "eval_timeout"
+	EventBreakerState      = "breaker_state"
+	EventCheckpointWritten = "checkpoint_written"
+	EventCheckpointFailed  = "checkpoint_failed"
 )
 
 // ConvergencePoint is one point of a replayed best-loss-vs-time curve.
@@ -57,6 +66,13 @@ func ReplayConvergenceRecords(recs []Record) ([]ConvergencePoint, error) {
 		loss, ok := fieldFloat(rec.Fields, "loss")
 		if !ok {
 			return nil, fmt.Errorf("obs: eval_completed record %d lacks a loss field", rec.Seq)
+		}
+		// The calibrator normalizes NaN losses to +Inf before recording
+		// them; apply the same rule here so a hand-edited or pre-fix
+		// trace cannot poison the running minimum (NaN compares false
+		// with everything, freezing the curve).
+		if math.IsNaN(loss) {
+			loss = math.Inf(1)
 		}
 		// elapsed_ns is emitted alongside elapsed_s for an exact
 		// round-trip (float seconds lose nanosecond precision).

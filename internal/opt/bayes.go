@@ -2,12 +2,14 @@ package opt
 
 import (
 	"context"
+	"errors"
 	"math"
 	"sort"
 	"time"
 
 	"simcal/internal/core"
 	"simcal/internal/opt/surrogate"
+	"simcal/internal/resilience"
 )
 
 // Acquisition selects how BayesOpt scores candidates.
@@ -134,22 +136,11 @@ func (b *BayesOpt) Optimize(ctx context.Context, prob *core.Problem) error {
 		X, y, ok := b.trainingSet(prob, maxFit)
 		var next [][]float64
 		if ok {
-			reg := b.NewRegressor(prob.RNG.Int63())
-			fitStart := time.Now()
-			if err := reg.Fit(X, y); err == nil {
-				if observer != nil {
-					observer.SurrogateFitted(len(X), time.Since(fitStart))
-					timed := &timedRegressor{Regressor: reg}
-					acqStart := time.Now()
-					next = b.proposeByEI(prob, timed, nCands, batch, xi)
-					observer.AcquisitionSolved(nCands, timed.predict, time.Since(acqStart))
-				} else {
-					next = b.proposeByEI(prob, reg, nCands, batch, xi)
-				}
-			}
+			next = b.proposeBatch(prob, observer, X, y, nCands, batch, xi)
 		}
 		if next == nil {
-			// Surrogate unavailable: fall back to random exploration.
+			// Surrogate unavailable (too little data, a failed or
+			// panicking fit): fall back to random exploration.
 			next = make([][]float64, batch)
 			for i := range next {
 				next[i] = prob.Space.Sample(prob.RNG)
@@ -161,6 +152,56 @@ func (b *BayesOpt) Optimize(ctx context.Context, prob *core.Problem) error {
 			}
 			return err
 		}
+	}
+}
+
+// proposeBatch fits a fresh surrogate and scores an acquisition batch.
+// Both stages run under panic isolation: a numerically degenerate
+// history can drive a surrogate into a panic (singular matrices,
+// division by zero in tree splits), which must degrade to a
+// random-exploration iteration — reported through the observer's
+// FaultObserver extension — rather than kill the calibration. A nil
+// return (any failure) triggers the caller's random fallback.
+func (b *BayesOpt) proposeBatch(prob *core.Problem, observer core.Observer, X [][]float64, y []float64, nCands, batch int, xi float64) (next [][]float64) {
+	reg := b.NewRegressor(prob.RNG.Int63())
+	fitStart := time.Now()
+	if err := resilience.Safely(func() error { return reg.Fit(X, y) }); err != nil {
+		notePanic(observer, err)
+		return nil
+	}
+	if observer == nil {
+		if err := resilience.Safely(func() error {
+			next = b.proposeByEI(prob, reg, nCands, batch, xi)
+			return nil
+		}); err != nil {
+			return nil
+		}
+		return next
+	}
+	observer.SurrogateFitted(len(X), time.Since(fitStart))
+	timed := &timedRegressor{Regressor: reg}
+	acqStart := time.Now()
+	if err := resilience.Safely(func() error {
+		next = b.proposeByEI(prob, timed, nCands, batch, xi)
+		return nil
+	}); err != nil {
+		notePanic(observer, err)
+		return nil
+	}
+	observer.AcquisitionSolved(nCands, timed.predict, time.Since(acqStart))
+	return next
+}
+
+// notePanic reports a recovered surrogate panic through the observer's
+// FaultObserver extension, when present. Non-panic errors (a Fit that
+// returned an error, the historical fallback path) stay silent.
+func notePanic(observer core.Observer, err error) {
+	var pe *resilience.PanicError
+	if !errors.As(err, &pe) {
+		return
+	}
+	if fo, ok := observer.(core.FaultObserver); ok {
+		fo.PanicRecovered("surrogate")
 	}
 }
 

@@ -1,0 +1,112 @@
+package resilience
+
+import "sync"
+
+// Breaker is a consecutive-failure circuit breaker. After Threshold
+// evaluation failures in a row it opens and rejects calls without
+// running them, so a simulator identity (an LoD cell whose binary is
+// broken, a dead remote endpoint) degrades to fast +Inf losses instead
+// of burning wall-clock budget on doomed attempts.
+//
+// Recovery is probe-based and deterministic: while open, every Probe-th
+// rejected call is let through as a half-open probe. A successful probe
+// closes the breaker; a failed one keeps it open. Counting calls rather
+// than wall-clock time keeps replayed calibrations bitwise-identical —
+// a time-based cool-down would make breaker behavior depend on machine
+// speed.
+//
+// The zero Breaker is unusable; construct with NewBreaker. A nil
+// *Breaker is inert: Allow always reports true and outcomes are
+// ignored, so callers can thread "no breaker" without branching.
+type Breaker struct {
+	threshold int
+	probe     int
+
+	mu       sync.Mutex
+	failures int  // consecutive failures observed
+	open     bool // tripped state
+	rejected int  // rejections since opening, drives probe cadence
+	probing  bool // a half-open probe is in flight
+}
+
+// NewBreaker returns a breaker that opens after threshold consecutive
+// failures and lets every probe-th rejected call through as a half-open
+// probe. threshold <= 0 disables the breaker (returns nil); probe <= 0
+// defaults to 16.
+func NewBreaker(threshold, probe int) *Breaker {
+	if threshold <= 0 {
+		return nil
+	}
+	if probe <= 0 {
+		probe = 16
+	}
+	return &Breaker{threshold: threshold, probe: probe}
+}
+
+// Allow reports whether a call may proceed. When the breaker is open it
+// admits every probe-th rejected call as a half-open probe (at most one
+// probe in flight at a time) and rejects the rest.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if b.probing {
+		return false
+	}
+	b.rejected++
+	if b.rejected%b.probe == 0 {
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Success records a successful evaluation, closing the breaker and
+// resetting the failure streak. It reports whether the state changed
+// from open to closed.
+func (b *Breaker) Success() (closed bool) {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	closed = b.open
+	b.open = false
+	b.failures = 0
+	b.rejected = 0
+	b.probing = false
+	return closed
+}
+
+// Failure records a failed evaluation. It reports whether the breaker
+// transitioned from closed to open on this failure.
+func (b *Breaker) Failure() (opened bool) {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.failures++
+	if !b.open && b.failures >= b.threshold {
+		b.open = true
+		b.rejected = 0
+		return true
+	}
+	return false
+}
+
+// Open reports whether the breaker is currently tripped.
+func (b *Breaker) Open() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}
