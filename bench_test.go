@@ -338,6 +338,23 @@ func BenchmarkAblationOptimizers(b *testing.B) {
 	}
 }
 
+// BenchmarkBOGPHotPath measures a full BO-GP calibration on a cheap
+// analytic loss, so surrogate fitting and acquisition scoring — not the
+// simulator — dominate. This is the end-to-end view of the incremental
+// GP fit and batched prediction hot path.
+func BenchmarkBOGPHotPath(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cal := &core.Calibrator{
+			Space: benchSpace, Simulator: core.Evaluator(sphereEval),
+			Algorithm: opt.NewBOGP(), MaxEvaluations: 150, Workers: 2, Seed: 21,
+		}
+		if _, err := cal.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAblationLossFunctions compares the six workflow losses on one
 // evaluation each — the loss-choice ablation.
 func BenchmarkAblationLossFunctions(b *testing.B) {

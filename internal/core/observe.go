@@ -71,6 +71,35 @@ type CacheObserver interface {
 	CacheHit(s Sample)
 }
 
+// SurrogateDetail carries fit-time performance counters from a
+// surrogate that tracks them (currently the GP), reported once per
+// refit alongside SurrogateFitted.
+type SurrogateDetail struct {
+	// Points is the number of training rows fitted.
+	Points int
+	// PrefixReused is the number of leading rows whose cached distance
+	// and factorization state carried over from the previous fit.
+	PrefixReused int
+	// Incremental reports whether any cached state was reused.
+	Incremental bool
+	// CholeskyRetries counts jitter escalations during this fit.
+	CholeskyRetries int
+	// Jitter is the shared diagonal jitter the selected model used.
+	Jitter float64
+	// BufferAllocs counts fresh buffer allocations this fit (0 = fully
+	// reused memory).
+	BufferAllocs int
+}
+
+// SurrogateDetailObserver is an optional extension of Observer. When a
+// model-based algorithm's surrogate exposes fit statistics and the
+// Observer also implements this interface, SurrogateFitDetail fires
+// immediately after each SurrogateFitted callback.
+type SurrogateDetailObserver interface {
+	// SurrogateFitDetail reports the most recent refit's counters.
+	SurrogateFitDetail(d SurrogateDetail)
+}
+
 // FaultObserver is an optional extension of Observer for the
 // fault-tolerance runtime. When the Calibrator's Observer also
 // implements it, recovery events — panics converted to errors, retried
@@ -115,6 +144,10 @@ type obsObserver struct {
 	waitNS      *obs.Counter
 	fitNS       *obs.Counter
 	predictNS   *obs.Counter
+	incFits     *obs.Counter
+	prefixRows  *obs.Counter
+	cholRetries *obs.Counter
+	bufAllocs   *obs.Counter
 	panics      *obs.Counter
 	retries     *obs.Counter
 	timeouts    *obs.Counter
@@ -144,6 +177,10 @@ func NewObsObserver(reg *obs.Registry, tracer *obs.Tracer) Observer {
 		o.waitNS = reg.Counter("cal.batch_queue_wait_ns")
 		o.fitNS = reg.Counter("opt.surrogate_fit_ns")
 		o.predictNS = reg.Counter("opt.surrogate_predict_ns")
+		o.incFits = reg.Counter("opt.surrogate_incremental_fits")
+		o.prefixRows = reg.Counter("opt.surrogate_prefix_rows_reused")
+		o.cholRetries = reg.Counter("opt.surrogate_chol_retries")
+		o.bufAllocs = reg.Counter("opt.surrogate_buffer_allocs")
 		o.panics = reg.Counter("eval_panics_recovered")
 		o.retries = reg.Counter("eval_retries")
 		o.timeouts = reg.Counter("eval_timeouts")
@@ -237,6 +274,26 @@ func (o *obsObserver) SurrogateFitted(points int, dur time.Duration) {
 	o.tracer.Emit(obs.EventSurrogateFitted, obs.Fields{
 		"points": points,
 		"dur_ns": int64(dur),
+	})
+}
+
+// SurrogateFitDetail implements SurrogateDetailObserver.
+func (o *obsObserver) SurrogateFitDetail(d SurrogateDetail) {
+	if o.incFits != nil {
+		if d.Incremental {
+			o.incFits.Inc()
+		}
+		o.prefixRows.Add(int64(d.PrefixReused))
+		o.cholRetries.Add(int64(d.CholeskyRetries))
+		o.bufAllocs.Add(int64(d.BufferAllocs))
+	}
+	o.tracer.Emit(obs.EventSurrogateFitDetail, obs.Fields{
+		"points":        d.Points,
+		"prefix_reused": d.PrefixReused,
+		"incremental":   d.Incremental,
+		"chol_retries":  d.CholeskyRetries,
+		"jitter":        d.Jitter,
+		"buffer_allocs": d.BufferAllocs,
 	})
 }
 

@@ -2,10 +2,16 @@
 // surrogate models in the Bayesian-optimization implementation: dense
 // matrices, Cholesky factorization, and triangular solves.
 //
-// The package is deliberately minimal. It targets the sizes that arise in
-// simulation calibration (hundreds of rows, tens of columns), favors
-// clarity and numerical robustness over raw speed, and depends only on
-// the standard library.
+// The package is deliberately minimal: it targets the sizes that arise
+// in simulation calibration (hundreds of rows, tens of columns) and
+// depends only on the standard library. The Cholesky and multi-RHS
+// solve routines sit on the surrogate hot path (they run once per
+// length-scale candidate per BO iteration), so their inner loops are
+// blocked and slice-indexed — no per-element At/Set — and the
+// factorization supports in-place extension of a previously factored
+// leading block (CholeskyExtendInPlace), the operation behind the GP's
+// incremental refit. All routines are strictly deterministic: a fixed
+// operation order, no data-dependent reductions.
 package la
 
 import (
@@ -76,6 +82,13 @@ func (m *Matrix) Row(i int) []float64 {
 	return out
 }
 
+// RawRow returns row i as a live view into the matrix storage: writes
+// through the returned slice mutate the matrix. It exists for hot loops
+// (kernel fills, batched solves) that cannot afford per-element At/Set.
+func (m *Matrix) RawRow(i int) []float64 {
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
 // Clone returns a deep copy of the matrix.
 func (m *Matrix) Clone() *Matrix {
 	c := NewMatrix(m.rows, m.cols)
@@ -139,56 +152,260 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 // not (numerically) symmetric positive definite.
 var ErrNotPositiveDefinite = errors.New("la: matrix is not positive definite")
 
+// cholBlock is the column-block width of the blocked Cholesky. The
+// trailing update then works on contiguous length-cholBlock row
+// segments (512 bytes) that stay resident in L1 while a whole trailing
+// row sweep streams past them.
+const cholBlock = 64
+
+// dotf is the blocked factorization's inner product: four independent
+// accumulators reduced in a fixed order, so it is deterministic while
+// giving the scheduler instruction-level parallelism a single serial
+// accumulator cannot.
+func dotf(a, b []float64) float64 {
+	var s0, s1, s2, s3 float64
+	n := len(a)
+	b = b[:n] // bounds-check hint
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// dotf2 computes dotf(a0, b) and dotf(a1, b) in one pass, sharing the
+// loads of b. The accumulator layout per output is identical to dotf's,
+// so each result is bitwise equal to the corresponding dotf call —
+// required so that pairing rows in the trailing update cannot change
+// the factorization's bits.
+func dotf2(a0, a1, b []float64) (float64, float64) {
+	var p0, p1, p2, p3 float64
+	var q0, q1, q2, q3 float64
+	n := len(b)
+	a0 = a0[:n]
+	a1 = a1[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		b0, b1, b2, b3 := b[i], b[i+1], b[i+2], b[i+3]
+		p0 += a0[i] * b0
+		p1 += a0[i+1] * b1
+		p2 += a0[i+2] * b2
+		p3 += a0[i+3] * b3
+		q0 += a1[i] * b0
+		q1 += a1[i+1] * b1
+		q2 += a1[i+2] * b2
+		q3 += a1[i+3] * b3
+	}
+	for ; i < n; i++ {
+		p0 += a0[i] * b[i]
+		q0 += a1[i] * b[i]
+	}
+	return (p0 + p1) + (p2 + p3), (q0 + q1) + (q2 + q3)
+}
+
 // Cholesky computes the lower-triangular factor L such that m = L·Lᵀ.
 // The input must be square and symmetric positive definite; otherwise
-// ErrNotPositiveDefinite is returned.
+// ErrNotPositiveDefinite is returned. The input is not modified; use
+// CholeskyInPlace to factorize without the copy.
 func Cholesky(m *Matrix) (*Matrix, error) {
 	if m.rows != m.cols {
 		return nil, fmt.Errorf("la: Cholesky of non-square %dx%d matrix", m.rows, m.cols)
 	}
-	n := m.rows
-	l := NewMatrix(n, n)
-	for j := 0; j < n; j++ {
-		d := m.At(j, j)
-		for k := 0; k < j; k++ {
-			ljk := l.At(j, k)
-			d -= ljk * ljk
-		}
-		if d <= 0 || math.IsNaN(d) {
-			return nil, ErrNotPositiveDefinite
-		}
-		d = math.Sqrt(d)
-		l.Set(j, j, d)
-		for i := j + 1; i < n; i++ {
-			s := m.At(i, j)
-			for k := 0; k < j; k++ {
-				s -= l.At(i, k) * l.At(j, k)
-			}
-			l.Set(i, j, s/d)
+	l := m.Clone()
+	if err := CholeskyInPlace(l); err != nil {
+		return nil, err
+	}
+	// Zero the strictly upper triangle so l is a proper triangular matrix.
+	n := l.rows
+	for i := 0; i < n-1; i++ {
+		row := l.data[i*n : (i+1)*n]
+		for j := i + 1; j < n; j++ {
+			row[j] = 0
 		}
 	}
 	return l, nil
+}
+
+// CholeskyInPlace overwrites the lower triangle (including the
+// diagonal) of the square matrix a with its Cholesky factor L. Only the
+// lower triangle of a is read; the strictly upper triangle is left
+// untouched, so callers that follow up with SolveLower/CholSolve (which
+// read only the lower triangle) need not clear it. On error the lower
+// triangle is left partially overwritten.
+func CholeskyInPlace(a *Matrix) error {
+	return CholeskyExtendInPlace(a, 0)
+}
+
+// CholeskyExtendInPlace computes rows [start, n) of the Cholesky factor
+// of a, in place, assuming rows [0, start) already hold the
+// corresponding rows of the factor — i.e. the leading start×start block
+// was factored by a previous call on the identical leading submatrix.
+// Rows at and above start must hold the (symmetric) input values in
+// their lower triangle. This is the incremental-refit primitive: when a
+// kernel matrix grows by appended rows, refactoring costs
+// O((n−start)·n²) instead of O(n³/3), and because the per-row operation
+// sequence does not depend on start, the extended factor is bitwise
+// identical to a from-scratch factorization of the full matrix.
+//
+// Only the lower triangle is read or written; rows below start are
+// never written. start==0 is a full factorization.
+func CholeskyExtendInPlace(a *Matrix, start int) error {
+	n := a.rows
+	if a.cols != n {
+		return fmt.Errorf("la: Cholesky of non-square %dx%d matrix", n, a.cols)
+	}
+	if start < 0 || start > n {
+		return fmt.Errorf("la: CholeskyExtendInPlace start %d out of range [0,%d]", start, n)
+	}
+	// Blocked right-looking factorization. For each column block
+	// [k0,k1): factor the diagonal block, solve the panel below it, then
+	// subtract the block's outer-product contribution from the trailing
+	// rows. Every write lands in rows >= start; rows below start are
+	// only read (they hold the previously computed factor).
+	for k0 := 0; k0 < n; k0 += cholBlock {
+		k1 := k0 + cholBlock
+		if k1 > n {
+			k1 = n
+		}
+		// (1) Diagonal block: rows [max(k0,start), k1).
+		i0 := k0
+		if i0 < start {
+			i0 = start
+		}
+		for i := i0; i < k1; i++ {
+			ri := a.data[i*n : i*n+n]
+			for j := k0; j < i; j++ {
+				rj := a.data[j*n : j*n+n]
+				ri[j] = (ri[j] - dotf(ri[k0:j], rj[k0:j])) / rj[j]
+			}
+			d := ri[i] - dotf(ri[k0:i], ri[k0:i])
+			if d <= 0 || math.IsNaN(d) {
+				return ErrNotPositiveDefinite
+			}
+			ri[i] = math.Sqrt(d)
+		}
+		// (2) Panel solve: rows [max(k1,start), n), columns [k0,k1).
+		p0 := k1
+		if p0 < start {
+			p0 = start
+		}
+		for i := p0; i < n; i++ {
+			ri := a.data[i*n : i*n+n]
+			for j := k0; j < k1; j++ {
+				rj := a.data[j*n : j*n+n]
+				ri[j] = (ri[j] - dotf(ri[k0:j], rj[k0:j])) / rj[j]
+			}
+		}
+		// (3) Trailing update: subtract this block's contribution from
+		// the not-yet-factored lower triangle. Rows are processed in
+		// pairs sharing each rj segment load (dotf2); each element's
+		// value is independent of the pairing, so the result is bitwise
+		// identical to the single-row sweep.
+		i := p0
+		for ; i+1 < n; i += 2 {
+			ri := a.data[i*n : i*n+n]
+			ri1 := a.data[(i+1)*n : (i+1)*n+n]
+			seg, seg1 := ri[k0:k1], ri1[k0:k1]
+			for j := k1; j <= i; j++ {
+				rj := a.data[j*n+k0 : j*n+k1]
+				d0, d1 := dotf2(seg, seg1, rj)
+				ri[j] -= d0
+				ri1[j] -= d1
+			}
+			ri1[i+1] -= dotf(seg1, ri1[k0:k1])
+		}
+		if i < n {
+			ri := a.data[i*n : i*n+n]
+			seg := ri[k0:k1]
+			for j := k1; j <= i; j++ {
+				rj := a.data[j*n : j*n+n]
+				ri[j] -= dotf(seg, rj[k0:k1])
+			}
+		}
+	}
+	return nil
 }
 
 // SolveLower solves L·x = b for x where L is lower triangular
 // (forward substitution). It panics on dimension mismatch and returns an
 // error if a diagonal entry is zero.
 func SolveLower(l *Matrix, b []float64) ([]float64, error) {
-	n := l.rows
-	if l.cols != n || len(b) != n {
-		panic("la: SolveLower dimension mismatch")
+	x := make([]float64, len(b))
+	if err := SolveLowerInto(l, b, x); err != nil {
+		return nil, err
 	}
-	x := make([]float64, n)
+	return x, nil
+}
+
+// SolveLowerInto solves L·x = b into the caller-provided x, letting hot
+// paths (batched GP prediction) reuse one buffer across many solves.
+// The operation order is exactly SolveLower's, so the result is bitwise
+// identical. x must not alias b.
+func SolveLowerInto(l *Matrix, b, x []float64) error {
+	n := l.rows
+	if l.cols != n || len(b) != n || len(x) != n {
+		panic("la: SolveLowerInto dimension mismatch")
+	}
 	for i := 0; i < n; i++ {
+		ri := l.data[i*n : i*n+n]
 		s := b[i]
-		for j := 0; j < i; j++ {
-			s -= l.At(i, j) * x[j]
+		for j, v := range ri[:i] {
+			s -= v * x[j]
 		}
-		d := l.At(i, i)
+		d := ri[i]
 		if d == 0 {
-			return nil, errors.New("la: singular lower-triangular matrix")
+			return errors.New("la: singular lower-triangular matrix")
 		}
 		x[i] = s / d
+	}
+	return nil
+}
+
+// SolveLowerManyInPlace solves L·X = B for the n×k right-hand-side
+// matrix B, overwriting B with the solution X. Each column is solved
+// with exactly the operation order SolveLower uses, so column c of the
+// result is bitwise identical to SolveLower(l, column c of B) — the
+// property that lets batched surrogate prediction replace per-point
+// solves without changing a single output bit. It panics on dimension
+// mismatch and returns an error (with B partially overwritten) if a
+// diagonal entry is zero.
+func SolveLowerManyInPlace(l, b *Matrix) error {
+	n := l.rows
+	if l.cols != n || b.rows != n {
+		panic("la: SolveLowerManyInPlace dimension mismatch")
+	}
+	k := b.cols
+	for i := 0; i < n; i++ {
+		ri := l.data[i*n : i*n+n]
+		bi := b.data[i*k : i*k+k]
+		for j, v := range ri[:i] {
+			bj := b.data[j*k : j*k+k]
+			for c := range bi {
+				bi[c] -= v * bj[c]
+			}
+		}
+		d := ri[i]
+		if d == 0 {
+			return errors.New("la: singular lower-triangular matrix")
+		}
+		for c := range bi {
+			bi[c] /= d
+		}
+	}
+	return nil
+}
+
+// SolveLowerMany solves L·X = B without modifying B.
+func SolveLowerMany(l, b *Matrix) (*Matrix, error) {
+	x := b.Clone()
+	if err := SolveLowerManyInPlace(l, x); err != nil {
+		return nil, err
 	}
 	return x, nil
 }
@@ -225,6 +442,48 @@ func CholSolve(l *Matrix, b []float64) ([]float64, error) {
 	return solveLowerT(l, y)
 }
 
+// CholSolveMany solves (L·Lᵀ)·X = B for the n×k right-hand-side matrix
+// B given the lower Cholesky factor L. Column c of the result is
+// bitwise identical to CholSolve(l, column c of B). B is not modified.
+func CholSolveMany(l, b *Matrix) (*Matrix, error) {
+	x := b.Clone()
+	if err := SolveLowerManyInPlace(l, x); err != nil {
+		return nil, err
+	}
+	if err := solveLowerTManyInPlace(l, x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// solveLowerTManyInPlace solves Lᵀ·X = B in place without
+// materializing the transpose, column-order-compatible with solveLowerT.
+func solveLowerTManyInPlace(l, b *Matrix) error {
+	n := l.rows
+	if l.cols != n || b.rows != n {
+		panic("la: solveLowerTManyInPlace dimension mismatch")
+	}
+	k := b.cols
+	for i := n - 1; i >= 0; i-- {
+		bi := b.data[i*k : i*k+k]
+		for j := i + 1; j < n; j++ {
+			v := l.data[j*n+i]
+			bj := b.data[j*k : j*k+k]
+			for c := range bi {
+				bi[c] -= v * bj[c]
+			}
+		}
+		d := l.data[i*n+i]
+		if d == 0 {
+			return errors.New("la: singular triangular matrix")
+		}
+		for c := range bi {
+			bi[c] /= d
+		}
+	}
+	return nil
+}
+
 // solveLowerT solves Lᵀ·x = b without materializing the transpose.
 func solveLowerT(l *Matrix, b []float64) ([]float64, error) {
 	n := l.rows
@@ -232,9 +491,9 @@ func solveLowerT(l *Matrix, b []float64) ([]float64, error) {
 	for i := n - 1; i >= 0; i-- {
 		s := b[i]
 		for j := i + 1; j < n; j++ {
-			s -= l.At(j, i) * x[j]
+			s -= l.data[j*n+i] * x[j]
 		}
-		d := l.At(i, i)
+		d := l.data[i*n+i]
 		if d == 0 {
 			return nil, errors.New("la: singular triangular matrix")
 		}

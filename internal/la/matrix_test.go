@@ -255,6 +255,168 @@ func TestCholeskyReconstructionProperty(t *testing.T) {
 	}
 }
 
+// spdMatrix builds a random SPD matrix A = BᵀB + n·I.
+func spdMatrix(n int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, rng.NormFloat64())
+		}
+	}
+	a := b.T().Mul(b)
+	AddDiagonal(a, float64(n))
+	return a
+}
+
+func TestCholeskyInPlaceMatchesCholesky(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 63, 64, 65, 130} {
+		a := spdMatrix(n, int64(n))
+		want, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: Cholesky: %v", n, err)
+		}
+		got := a.Clone()
+		if err := CholeskyInPlace(got); err != nil {
+			t.Fatalf("n=%d: CholeskyInPlace: %v", n, err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				if got.At(i, j) != want.At(i, j) {
+					t.Fatalf("n=%d: in-place factor differs at (%d,%d): %v vs %v", n, i, j, got.At(i, j), want.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// The extension contract: factoring the leading block first and then
+// extending must give the same bits as factoring the full matrix at
+// once. The GP's incremental refit (and its checkpoint-replay
+// determinism) rests on this.
+func TestCholeskyExtendMatchesFullBitwise(t *testing.T) {
+	for _, tc := range []struct{ n, start int }{
+		{10, 4}, {50, 30}, {130, 64}, {130, 65}, {130, 100}, {40, 0}, {40, 40},
+	} {
+		a := spdMatrix(tc.n, int64(tc.n+tc.start))
+		full := a.Clone()
+		if err := CholeskyInPlace(full); err != nil {
+			t.Fatalf("n=%d: full: %v", tc.n, err)
+		}
+		// Factor the leading start×start block separately.
+		lead := NewMatrix(max(tc.start, 1), max(tc.start, 1))
+		for i := 0; i < tc.start; i++ {
+			copy(lead.RawRow(i)[:i+1], a.RawRow(i)[:i+1])
+		}
+		if tc.start > 0 {
+			if err := CholeskyExtendInPlace(lead, 0); err != nil {
+				t.Fatalf("n=%d start=%d: leading block: %v", tc.n, tc.start, err)
+			}
+		}
+		// Assemble the extension input: factored rows, then raw rows.
+		ext := a.Clone()
+		for i := 0; i < tc.start; i++ {
+			copy(ext.RawRow(i)[:i+1], lead.RawRow(i)[:i+1])
+		}
+		if err := CholeskyExtendInPlace(ext, tc.start); err != nil {
+			t.Fatalf("n=%d start=%d: extend: %v", tc.n, tc.start, err)
+		}
+		for i := 0; i < tc.n; i++ {
+			for j := 0; j <= i; j++ {
+				if ext.At(i, j) != full.At(i, j) {
+					t.Fatalf("n=%d start=%d: extension differs at (%d,%d): %v vs %v",
+						tc.n, tc.start, i, j, ext.At(i, j), full.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyExtendRejectsBadStart(t *testing.T) {
+	a := spdMatrix(4, 1)
+	if err := CholeskyExtendInPlace(a, -1); err == nil {
+		t.Error("negative start accepted")
+	}
+	if err := CholeskyExtendInPlace(a, 5); err == nil {
+		t.Error("start beyond n accepted")
+	}
+}
+
+func TestSolveLowerManyMatchesSolveLowerBitwise(t *testing.T) {
+	const n, k = 37, 9
+	a := spdMatrix(n, 3)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	b := NewMatrix(n, k)
+	for i := 0; i < n; i++ {
+		for c := 0; c < k; c++ {
+			b.Set(i, c, rng.NormFloat64())
+		}
+	}
+	x, err := SolveLowerMany(l, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xx, err := CholSolveMany(l, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < k; c++ {
+		col := make([]float64, n)
+		for i := 0; i < n; i++ {
+			col[i] = b.At(i, c)
+		}
+		want, err := SolveLower(l, col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want2, err := CholSolve(l, col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if x.At(i, c) != want[i] {
+				t.Fatalf("SolveLowerMany col %d row %d: %v != %v", c, i, x.At(i, c), want[i])
+			}
+			if xx.At(i, c) != want2[i] {
+				t.Fatalf("CholSolveMany col %d row %d: %v != %v", c, i, xx.At(i, c), want2[i])
+			}
+		}
+	}
+	// B must be untouched.
+	rng = rand.New(rand.NewSource(4))
+	for i := 0; i < n; i++ {
+		for c := 0; c < k; c++ {
+			if b.At(i, c) != rng.NormFloat64() {
+				t.Fatal("SolveLowerMany/CholSolveMany modified B")
+			}
+		}
+	}
+}
+
+func TestSolveManySingular(t *testing.T) {
+	l := FromRows([][]float64{{1, 0}, {2, 0}})
+	b := NewMatrix(2, 3)
+	if err := SolveLowerManyInPlace(l, b.Clone()); err == nil {
+		t.Error("SolveLowerManyInPlace accepted singular L")
+	}
+	if _, err := CholSolveMany(l, b); err == nil {
+		t.Error("CholSolveMany accepted singular L")
+	}
+}
+
+func TestRawRowIsAView(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.RawRow(1)
+	r[0] = 9
+	if m.At(1, 0) != 9 {
+		t.Error("RawRow must alias matrix storage")
+	}
+}
+
 // Property: Dot(x, x) == Norm2(x)².
 func TestDotNormProperty(t *testing.T) {
 	f := func(v []float64) bool {

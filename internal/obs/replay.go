@@ -16,6 +16,7 @@ const (
 	EventCacheHit            = "cache_hit"
 	EventIncumbentImproved   = "incumbent_improved"
 	EventSurrogateFitted     = "surrogate_fitted"
+	EventSurrogateFitDetail  = "surrogate_fit_detail"
 	EventAcquisitionSolved   = "acquisition_solved"
 	EventCalibrationFinished = "calibration_finished"
 

@@ -132,19 +132,20 @@ func (b *BayesOpt) Optimize(ctx context.Context, prob *core.Problem) error {
 	}
 
 	observer := prob.Observer()
+	// One regressor instance is reused (re-seeded) across refits so
+	// incremental fitting state — the GP's cached distance matrix and
+	// Cholesky factors — stays warm; a fit failure discards it.
+	var reg surrogate.Regressor
 	for iter := 0; ; iter++ {
 		X, y, ok := b.trainingSet(prob, maxFit)
 		var next [][]float64
 		if ok {
-			next = b.proposeBatch(prob, observer, X, y, nCands, batch, xi)
+			next, reg = b.proposeBatch(prob, observer, reg, X, y, nCands, batch, xi)
 		}
 		if next == nil {
 			// Surrogate unavailable (too little data, a failed or
 			// panicking fit): fall back to random exploration.
-			next = make([][]float64, batch)
-			for i := range next {
-				next[i] = prob.Space.Sample(prob.RNG)
-			}
+			next = b.randomBatch(prob, batch)
 		}
 		if _, err := prob.Evaluate(ctx, next); err != nil {
 			if done(err) {
@@ -155,30 +156,51 @@ func (b *BayesOpt) Optimize(ctx context.Context, prob *core.Problem) error {
 	}
 }
 
-// proposeBatch fits a fresh surrogate and scores an acquisition batch.
-// Both stages run under panic isolation: a numerically degenerate
-// history can drive a surrogate into a panic (singular matrices,
-// division by zero in tree splits), which must degrade to a
-// random-exploration iteration — reported through the observer's
-// FaultObserver extension — rather than kill the calibration. A nil
-// return (any failure) triggers the caller's random fallback.
-func (b *BayesOpt) proposeBatch(prob *core.Problem, observer core.Observer, X [][]float64, y []float64, nCands, batch int, xi float64) (next [][]float64) {
-	reg := b.NewRegressor(prob.RNG.Int63())
+// randomBatch returns batch uniform-random points — the exploration
+// fallback used when no surrogate proposal is available.
+func (b *BayesOpt) randomBatch(prob *core.Problem, batch int) [][]float64 {
+	out := make([][]float64, batch)
+	for i := range out {
+		out[i] = prob.Space.Sample(prob.RNG)
+	}
+	return out
+}
+
+// proposeBatch refits the surrogate and scores an acquisition batch.
+// The caller's regressor is reused (re-seeded) when it supports
+// surrogate.Reseeder, preserving incremental fitting caches; otherwise a
+// fresh one is built. Both stages run under panic isolation: a
+// numerically degenerate history can drive a surrogate into a panic
+// (singular matrices, division by zero in tree splits), which must
+// degrade to a random-exploration iteration — reported through the
+// observer's FaultObserver extension — rather than kill the
+// calibration. A nil next (any failure) triggers the caller's random
+// fallback, and the failed regressor is dropped rather than reused.
+func (b *BayesOpt) proposeBatch(prob *core.Problem, observer core.Observer, prev surrogate.Regressor, X [][]float64, y []float64, nCands, batch int, xi float64) (next [][]float64, reg surrogate.Regressor) {
+	seed := prob.RNG.Int63()
+	if rs, ok := prev.(surrogate.Reseeder); ok {
+		rs.Reseed(seed)
+		reg = prev
+	} else {
+		reg = b.NewRegressor(seed)
+	}
 	fitStart := time.Now()
 	if err := resilience.Safely(func() error { return reg.Fit(X, y) }); err != nil {
 		notePanic(observer, err)
-		return nil
+		return nil, nil
 	}
+	fitDur := time.Since(fitStart)
 	if observer == nil {
 		if err := resilience.Safely(func() error {
 			next = b.proposeByEI(prob, reg, nCands, batch, xi)
 			return nil
 		}); err != nil {
-			return nil
+			return nil, nil
 		}
-		return next
+		return next, reg
 	}
-	observer.SurrogateFitted(len(X), time.Since(fitStart))
+	observer.SurrogateFitted(len(X), fitDur)
+	noteSurrogateDetail(observer, reg)
 	timed := &timedRegressor{Regressor: reg}
 	acqStart := time.Now()
 	if err := resilience.Safely(func() error {
@@ -186,10 +208,34 @@ func (b *BayesOpt) proposeBatch(prob *core.Problem, observer core.Observer, X []
 		return nil
 	}); err != nil {
 		notePanic(observer, err)
-		return nil
+		return nil, nil
 	}
 	observer.AcquisitionSolved(nCands, timed.predict, time.Since(acqStart))
-	return next
+	return next, reg
+}
+
+// noteSurrogateDetail forwards fit-time performance counters to the
+// observer's SurrogateDetailObserver extension when both sides support
+// it. The type assertion targets the raw regressor (not the timing
+// wrapper, whose embedded interface would hide the extension).
+func noteSurrogateDetail(observer core.Observer, reg surrogate.Regressor) {
+	fp, ok := reg.(surrogate.FitStatsProvider)
+	if !ok {
+		return
+	}
+	so, ok := observer.(core.SurrogateDetailObserver)
+	if !ok {
+		return
+	}
+	st := fp.FitStats()
+	so.SurrogateFitDetail(core.SurrogateDetail{
+		Points:          st.Points,
+		PrefixReused:    st.PrefixReused,
+		Incremental:     st.Incremental,
+		CholeskyRetries: st.CholeskyRetries,
+		Jitter:          st.Jitter,
+		BufferAllocs:    st.BufferAllocs,
+	})
 }
 
 // notePanic reports a recovered surrogate panic through the observer's
@@ -224,17 +270,38 @@ func (b *BayesOpt) trainingSet(prob *core.Problem, maxFit int) (X [][]float64, y
 	}
 	penalty := worst*2 + 1
 	if len(hist) > maxFit {
-		// Keep the best maxFit/2 and a deterministic stride sample of the
-		// rest, preserving coverage of the explored space.
-		sorted := append([]core.Sample(nil), hist...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Loss < sorted[j].Loss })
-		keep := sorted[:maxFit/2]
-		rest := sorted[maxFit/2:]
-		stride := len(rest)/(maxFit-len(keep)) + 1
-		for i := 0; i < len(rest); i += stride {
-			keep = append(keep, rest[i])
+		// Keep the best maxFit/2 and an evenly spaced sample of the rest,
+		// preserving coverage of the explored space. The sample picks
+		// exactly budget = maxFit − maxFit/2 indices via i·len(rest)/budget
+		// (distinct and increasing since len(rest) ≥ budget), so the
+		// training set always fills the MaxFitPoints budget — the previous
+		// ceil-stride loop under-filled it (e.g. 401 history rows with
+		// maxFit 400 yielded only 301 points). Kept rows are re-sorted
+		// into history order so consecutive refits share a long common
+		// prefix, which the GP's incremental fit exploits.
+		idx := make([]int, len(hist))
+		for i := range idx {
+			idx[i] = i
 		}
-		hist = keep
+		sort.Slice(idx, func(i, j int) bool {
+			if hist[idx[i]].Loss != hist[idx[j]].Loss {
+				return hist[idx[i]].Loss < hist[idx[j]].Loss
+			}
+			return idx[i] < idx[j]
+		})
+		keepN := maxFit / 2
+		kept := append([]int(nil), idx[:keepN]...)
+		rest := idx[keepN:]
+		budget := maxFit - keepN
+		for i := 0; i < budget; i++ {
+			kept = append(kept, rest[i*len(rest)/budget])
+		}
+		sort.Ints(kept)
+		sub := make([]core.Sample, len(kept))
+		for i, j := range kept {
+			sub[i] = hist[j]
+		}
+		hist = sub
 	}
 	for _, s := range hist {
 		loss := s.Loss
@@ -256,8 +323,12 @@ func (b *BayesOpt) trainingSet(prob *core.Problem, maxFit int) (X [][]float64, y
 // incumbent) with expected improvement and returns the top batch.
 func (b *BayesOpt) proposeByEI(prob *core.Problem, reg surrogate.Regressor, nCands, batch int, xi float64) [][]float64 {
 	best := prob.Best()
-	if best == nil {
-		return nil
+	if best == nil || math.IsInf(best.Loss, 1) {
+		// No finite incumbent means EI has no reference value and the
+		// incumbent-perturbation candidates have nothing to perturb:
+		// degrade to pure random exploration instead of returning nil
+		// (which would silently stall the proposal machinery).
+		return b.randomBatch(prob, batch)
 	}
 	d := prob.Space.Dim()
 	cands := make([][]float64, 0, nCands)
@@ -284,16 +355,19 @@ func (b *BayesOpt) proposeByEI(prob *core.Problem, reg surrogate.Regressor, nCan
 		ei, mean float64
 	}
 	ss := make([]scored, len(cands))
-	if math.IsInf(best.Loss, 1) {
-		return nil
-	}
 	fBest := math.Log1p(best.Loss) // surrogate space (see trainingSet)
 	kappa := b.Kappa
 	if kappa <= 0 {
 		kappa = 1.96
 	}
+	// Score the whole pool in one batched call: regressors parallelize
+	// it internally with output bitwise identical to per-candidate
+	// Predict calls, so the acquisition ranking below is unaffected.
+	means := make([]float64, len(cands))
+	stds := make([]float64, len(cands))
+	reg.PredictBatch(cands, means, stds)
 	for i, c := range cands {
-		mean, std := reg.Predict(c)
+		mean, std := means[i], stds[i]
 		var score float64
 		if b.Acq == LCB {
 			// Negated so that "higher is better" like EI.

@@ -35,6 +35,12 @@ func (p *panickingRegressor) Predict(x []float64) (float64, float64) {
 	return p.inner.Predict(x)
 }
 
+func (p *panickingRegressor) PredictBatch(X [][]float64, mean, std []float64) {
+	for i, x := range X {
+		mean[i], std[i] = p.Predict(x)
+	}
+}
+
 // surrogatePanicObserver records PanicRecovered sites; the remaining
 // Observer callbacks are no-ops.
 type surrogatePanicObserver struct {

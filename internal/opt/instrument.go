@@ -23,3 +23,14 @@ func (t *timedRegressor) Predict(x []float64) (mean, std float64) {
 	t.predict += time.Since(start)
 	return mean, std
 }
+
+// PredictBatch implements surrogate.Regressor, timing the delegate.
+// The override matters: the embedded interface would satisfy the method
+// set untimed, and the inner call may fan out across goroutines, so the
+// wrapper times the whole batched call from the outside rather than
+// instrumenting per prediction.
+func (t *timedRegressor) PredictBatch(X [][]float64, mean, std []float64) {
+	start := time.Now()
+	t.Regressor.PredictBatch(X, mean, std)
+	t.predict += time.Since(start)
+}

@@ -24,6 +24,9 @@ type Forest struct {
 	Extra bool
 	// Seed makes fitting deterministic.
 	Seed int64
+	// PredictWorkers bounds the goroutines used by PredictBatch
+	// (0 = GOMAXPROCS, 1 = serial). The output is identical either way.
+	PredictWorkers int
 
 	roots []*treeNode
 	xdata [][]float64
@@ -95,6 +98,9 @@ func (f *Forest) Fit(X [][]float64, y []float64) error {
 	return nil
 }
 
+// Reseed implements Reseeder: the next Fit uses the given seed.
+func (f *Forest) Reseed(seed int64) { f.Seed = seed }
+
 // Predict implements Regressor.
 func (f *Forest) Predict(x []float64) (mean, std float64) {
 	if len(f.roots) == 0 {
@@ -105,4 +111,27 @@ func (f *Forest) Predict(x []float64) (mean, std float64) {
 		preds[i] = r.predict(x)
 	}
 	return stats.Mean(preds), stats.StdDev(preds)
+}
+
+// PredictBatch implements Regressor. Each candidate's per-tree
+// prediction vector is accumulated in a per-worker buffer and reduced
+// with the same stats.Mean/stats.StdDev calls Predict uses, and every
+// write is index-addressed, so the output is bitwise identical to the
+// serial per-candidate loop.
+func (f *Forest) PredictBatch(X [][]float64, mean, std []float64) {
+	if len(f.roots) == 0 {
+		panic("surrogate: PredictBatch before Fit")
+	}
+	checkBatchArgs(X, mean, std)
+	batchLoop(len(X), f.PredictWorkers,
+		func() []float64 { return make([]float64, len(f.roots)) },
+		func(lo, hi int, preds []float64) {
+			for c := lo; c < hi; c++ {
+				for i, r := range f.roots {
+					preds[i] = r.predict(X[c])
+				}
+				mean[c] = stats.Mean(preds)
+				std[c] = stats.StdDev(preds)
+			}
+		})
 }

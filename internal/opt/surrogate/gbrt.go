@@ -20,6 +20,9 @@ type GBRT struct {
 	MinLeaf int
 	// Seed makes fitting deterministic.
 	Seed int64
+	// PredictWorkers bounds the goroutines used by PredictBatch
+	// (0 = GOMAXPROCS, 1 = serial). The output is identical either way.
+	PredictWorkers int
 
 	models [3]*boostedModel // q16, q50, q84
 }
@@ -97,6 +100,9 @@ func (m *boostedModel) predict(x []float64) float64 {
 	return v
 }
 
+// Reseed implements Reseeder: the next Fit uses the given seed.
+func (g *GBRT) Reseed(seed int64) { g.Seed = seed }
+
 // Predict implements Regressor.
 func (g *GBRT) Predict(x []float64) (mean, std float64) {
 	if g.models[1] == nil {
@@ -110,4 +116,21 @@ func (g *GBRT) Predict(x []float64) (mean, std float64) {
 		std = 0
 	}
 	return q50, std
+}
+
+// PredictBatch implements Regressor. Each candidate is scored with the
+// same per-quantile ensemble walk Predict performs, with index-addressed
+// writes, so the output is bitwise identical to the serial loop.
+func (g *GBRT) PredictBatch(X [][]float64, mean, std []float64) {
+	if g.models[1] == nil {
+		panic("surrogate: PredictBatch before Fit")
+	}
+	checkBatchArgs(X, mean, std)
+	batchLoop(len(X), g.PredictWorkers,
+		func() struct{} { return struct{}{} },
+		func(lo, hi int, _ struct{}) {
+			for c := lo; c < hi; c++ {
+				mean[c], std[c] = g.Predict(X[c])
+			}
+		})
 }

@@ -2,24 +2,53 @@ package surrogate
 
 import (
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"simcal/internal/la"
 	"simcal/internal/stats"
 )
+
+// gpJitterLadder is the sequence of shared diagonal jitters Fit tries.
+// Every length-scale candidate in a selection round uses the SAME
+// jitter, so their log marginal likelihoods are comparable; the ladder
+// is only climbed when some candidate fails to factorize at the
+// current level.
+var gpJitterLadder = [...]float64{0, 1e-6}
 
 // GP is a Gaussian-process regressor with a Matérn-5/2 kernel over the
 // unit cube (BO-GP). The length scale is selected from a small candidate
 // set by log marginal likelihood at Fit time; targets are standardized
 // internally. This mirrors scikit-optimize's default GP surrogate at the
 // fidelity the calibration experiments need.
+//
+// Fit is incremental: when the new training set extends the previous one
+// by appended rows (the common BO refit shape), the cached distance
+// matrix and each scale's Cholesky factor are extended in place instead
+// of recomputed, and buffers are reused across refits. The length-scale
+// grid is evaluated concurrently across FitWorkers goroutines. Both
+// optimizations are bitwise transparent: the selected scale, alpha,
+// factor, and all subsequent predictions are identical to a serial
+// from-scratch fit (la.CholeskyExtendInPlace performs the exact per-row
+// operation sequence of a full factorization, and the grid winner is
+// chosen by ascending candidate index regardless of which goroutine
+// finished first).
 type GP struct {
 	// LengthScales are the candidate kernel length scales; the one with
-	// the highest log marginal likelihood wins. Defaults to a small
-	// logarithmic grid.
+	// the highest log marginal likelihood wins (lowest index on ties).
+	// Defaults to a small logarithmic grid.
 	LengthScales []float64
 	// Noise is the observation-noise variance added to the kernel
 	// diagonal (relative to unit target variance). Default 1e-4.
 	Noise float64
+	// FitWorkers bounds the goroutines used to evaluate the length-scale
+	// grid (0 = GOMAXPROCS, 1 = serial). The fitted model is identical
+	// either way.
+	FitWorkers int
+	// PredictWorkers bounds the goroutines used by PredictBatch
+	// (0 = GOMAXPROCS, 1 = serial). The output is identical either way.
+	PredictWorkers int
 
 	x            [][]float64
 	alpha        []float64
@@ -27,6 +56,32 @@ type GP struct {
 	scale        float64 // chosen length scale
 	yMean, yStd  float64
 	signalStdDev float64
+
+	// Incremental-fit caches. prevX snapshots the row slices of the last
+	// fitted X so a later Fit can detect a shared prefix; dists holds
+	// pairwise distances for prevX; distsNext is the ping-pong buffer the
+	// next fit extends into. scaleState keeps one factored kernel per
+	// length-scale candidate so an appended-rows refit only factors the
+	// new rows.
+	prevX      [][]float64
+	dists      *la.Matrix
+	distsNext  *la.Matrix
+	scaleState []gpScaleState
+	yn         []float64
+	fitStats   FitStats
+}
+
+// gpScaleState caches per-length-scale fit state across refits.
+type gpScaleState struct {
+	cur      *la.Matrix // Cholesky factor from the last successful fit
+	next     *la.Matrix // ping-pong buffer the current fit factors into
+	alpha    []float64
+	n        int     // rows factored in cur
+	scaleVal float64 // length scale cur was factored with
+	noise    float64 // noise cur was factored with
+	jitter   float64 // jitter cur was factored with
+	lml      float64
+	ok       bool
 }
 
 // NewGP returns a GP regressor with default hyperparameter candidates.
@@ -34,6 +89,15 @@ func NewGP() *GP { return &GP{} }
 
 // Name implements Regressor.
 func (g *GP) Name() string { return "GP" }
+
+// Reseed implements Reseeder. The GP is deterministic and keeps no RNG,
+// so this is a no-op; it exists so BayesOpt can reuse one GP across
+// refits (keeping the incremental caches warm) through the same
+// interface it uses for the stochastic regressors.
+func (g *GP) Reseed(int64) {}
+
+// FitStats implements FitStatsProvider.
+func (g *GP) FitStats() FitStats { return g.fitStats }
 
 // matern52 evaluates the Matérn-5/2 kernel for distance r and length
 // scale l, with unit signal variance.
@@ -54,21 +118,91 @@ func dist(a, b []float64) float64 {
 	return math.Sqrt(s)
 }
 
+// commonPrefix reports how many leading rows of X are unchanged from
+// the previous fit. Rows are compared by pointer first (BO keeps stable
+// parameter-vector slices in its history) with a value-compare
+// fallback.
+func (g *GP) commonPrefix(X [][]float64) int {
+	if g.dists == nil {
+		return 0
+	}
+	max := len(g.prevX)
+	if len(X) < max {
+		max = len(X)
+	}
+	for i := 0; i < max; i++ {
+		a, b := g.prevX[i], X[i]
+		if len(a) != len(b) {
+			return i
+		}
+		if len(a) > 0 && &a[0] == &b[0] {
+			continue
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				return i
+			}
+		}
+	}
+	return max
+}
+
+// extendDists produces the n×n distance matrix for X, copying the
+// prefix×prefix block from the cached matrix and computing only the
+// rows involving new points. Buffers ping-pong between dists and
+// distsNext so steady-state refits (constant n once BO hits its
+// MaxFitPoints cap) allocate nothing.
+func (g *GP) extendDists(X [][]float64, prefix int) *la.Matrix {
+	n := len(X)
+	d := g.distsNext
+	if d == nil || d.Rows() != n {
+		d = la.NewMatrix(n, n)
+		g.fitStats.BufferAllocs++
+	}
+	for i := 0; i < prefix; i++ {
+		copy(d.RawRow(i)[:prefix], g.dists.RawRow(i)[:prefix])
+	}
+	for i := prefix; i < n; i++ {
+		ri := d.RawRow(i)
+		ri[i] = 0
+		for j := 0; j < i; j++ {
+			v := dist(X[i], X[j])
+			ri[j] = v
+			d.RawRow(j)[i] = v
+		}
+	}
+	g.distsNext = g.dists
+	g.dists = d
+	return d
+}
+
+// invalidate clears the fitted model after a failed fit so stale state
+// cannot be reused by Predict or a later incremental Fit.
+func (g *GP) invalidate() {
+	g.chol = nil
+	g.alpha = nil
+	g.x = nil
+	g.prevX = g.prevX[:0]
+}
+
 // Fit implements Regressor.
 func (g *GP) Fit(X [][]float64, y []float64) error {
 	if err := validateXY(X, y); err != nil {
 		return err
 	}
 	n := len(X)
-	g.x = X
-	g.yMean = stats.Mean(y)
-	g.yStd = stats.StdDev(y)
-	if g.yStd <= 0 {
-		g.yStd = 1
+	g.fitStats = FitStats{}
+	yMean := stats.Mean(y)
+	yStd := stats.StdDev(y)
+	if yStd <= 0 {
+		yStd = 1
 	}
-	yn := make([]float64, n)
+	if cap(g.yn) < n {
+		g.yn = make([]float64, n)
+	}
+	yn := g.yn[:n]
 	for i, v := range y {
-		yn[i] = (v - g.yMean) / g.yStd
+		yn[i] = (v - yMean) / yStd
 	}
 	noise := g.Noise
 	if noise <= 0 {
@@ -78,59 +212,184 @@ func (g *GP) Fit(X [][]float64, y []float64) error {
 	if len(scales) == 0 {
 		scales = []float64{0.1, 0.2, 0.5, 1.0}
 	}
-	// Precompute the distance matrix once.
-	dists := la.NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			d := dist(X[i], X[j])
-			dists.Set(i, j, d)
-			dists.Set(j, i, d)
-		}
+
+	prefix := g.commonPrefix(X)
+	dists := g.extendDists(X, prefix)
+	if len(g.scaleState) != len(scales) {
+		g.scaleState = make([]gpScaleState, len(scales))
 	}
-	bestLML := math.Inf(-1)
-	var bestChol *la.Matrix
-	var bestAlpha []float64
-	bestScale := scales[0]
-	for _, l := range scales {
-		k := la.NewMatrix(n, n)
-		for i := 0; i < n; i++ {
-			k.Set(i, i, 1+noise)
-			for j := i + 1; j < n; j++ {
-				v := matern52(dists.At(i, j), l)
-				k.Set(i, j, v)
-				k.Set(j, i, v)
+
+	// Climb the jitter ladder. Within one rung every scale shares the
+	// same diagonal jitter, so the LML comparison across scales is
+	// apples to apples; if any scale fails to factorize the whole grid
+	// is redone at the next rung, rather than silently comparing models
+	// with different diagonals.
+	fitted := false
+	var jitter float64
+	for rung, jit := range gpJitterLadder {
+		if rung > 0 {
+			g.fitStats.CholeskyRetries++
+		}
+		g.fitScales(scales, dists, yn, noise, jit, prefix, n)
+		allOK := true
+		anyOK := false
+		for i := range g.scaleState {
+			if g.scaleState[i].ok {
+				anyOK = true
+			} else {
+				allOK = false
 			}
 		}
-		chol, err := la.Cholesky(k)
-		if err != nil {
-			// Add jitter and retry once.
-			la.AddDiagonal(k, 1e-6)
-			chol, err = la.Cholesky(k)
-			if err != nil {
-				continue
-			}
-		}
-		alpha, err := la.CholSolve(chol, yn)
-		if err != nil {
-			continue
-		}
-		lml := -0.5 * la.Dot(yn, alpha)
-		for i := 0; i < n; i++ {
-			lml -= math.Log(chol.At(i, i))
-		}
-		lml -= float64(n) / 2 * math.Log(2*math.Pi)
-		if lml > bestLML {
-			bestLML, bestChol, bestAlpha, bestScale = lml, chol, alpha, l
+		if allOK || (anyOK && rung == len(gpJitterLadder)-1) {
+			fitted, jitter = true, jit
+			break
 		}
 	}
-	if bestChol == nil {
+	if !fitted {
+		g.invalidate()
 		return la.ErrNotPositiveDefinite
 	}
-	g.chol = bestChol
-	g.alpha = bestAlpha
-	g.scale = bestScale
+
+	// Deterministic winner: ascending index with strictly-greater LML,
+	// so ties go to the lowest index no matter which goroutine ran it.
+	best := -1
+	bestLML := math.Inf(-1)
+	for i := range g.scaleState {
+		st := &g.scaleState[i]
+		if st.ok && st.lml > bestLML {
+			best, bestLML = i, st.lml
+		}
+	}
+	if best < 0 {
+		g.invalidate()
+		return la.ErrNotPositiveDefinite
+	}
+
+	// Promote the freshly-factored buffers to "current" for the next
+	// incremental fit.
+	for i := range g.scaleState {
+		st := &g.scaleState[i]
+		if !st.ok {
+			st.n = 0
+			continue
+		}
+		st.cur, st.next = st.next, st.cur
+		st.n = n
+		st.scaleVal = scales[i]
+		st.noise = noise
+		st.jitter = jitter
+	}
+
+	g.x = X
+	g.prevX = append(g.prevX[:0], X...)
+	g.yMean, g.yStd = yMean, yStd
+	g.chol = g.scaleState[best].cur
+	g.alpha = g.scaleState[best].alpha
+	g.scale = scales[best]
 	g.signalStdDev = 1
+	g.fitStats.Points = n
+	g.fitStats.PrefixReused = prefix
+	g.fitStats.Incremental = prefix > 0
+	g.fitStats.Jitter = jitter
 	return nil
+}
+
+// fitScales evaluates every length-scale candidate at one jitter level,
+// writing results into g.scaleState by index. Candidates are claimed
+// from an atomic counter across up to FitWorkers goroutines; each
+// candidate's computation is independent and its result slot is
+// index-addressed, so the outcome is identical to a serial sweep.
+func (g *GP) fitScales(scales []float64, dists *la.Matrix, yn []float64, noise, jit float64, prefix, n int) {
+	workers := g.FitWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scales) {
+		workers = len(scales)
+	}
+	var allocs int32
+	if workers <= 1 {
+		for i, l := range scales {
+			g.fitOneScale(i, l, dists, yn, noise, jit, prefix, n, &allocs)
+		}
+	} else {
+		var next int32 = -1
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt32(&next, 1))
+					if i >= len(scales) {
+						return
+					}
+					g.fitOneScale(i, scales[i], dists, yn, noise, jit, prefix, n, &allocs)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	g.fitStats.BufferAllocs += int(allocs)
+}
+
+// fitOneScale builds (or extends) the kernel factor for one length
+// scale and computes its alpha and log marginal likelihood. When the
+// cached factor for this scale covers a prefix of the new rows under
+// the same kernel diagonal, only rows [start, n) are filled and
+// factored; the resulting factor is bitwise identical to a from-scratch
+// one (see la.CholeskyExtendInPlace).
+func (g *GP) fitOneScale(idx int, scale float64, dists *la.Matrix, yn []float64, noise, jit float64, prefix, n int, allocs *int32) {
+	st := &g.scaleState[idx]
+	st.ok = false
+
+	start := 0
+	if st.cur != nil && st.scaleVal == scale && st.noise == noise && st.jitter == jit {
+		start = st.n
+		if prefix < start {
+			start = prefix
+		}
+	}
+
+	l := st.next
+	if l == nil || l.Rows() != n {
+		l = la.NewMatrix(n, n)
+		st.next = l
+		atomic.AddInt32(allocs, 1)
+	}
+	// Reuse the already-factored rows (RawRow copies tolerate the old
+	// buffer having a different stride), then fill the kernel for the
+	// rest. Only the lower triangle is touched; CholeskyExtendInPlace
+	// never reads above the diagonal.
+	for i := 0; i < start; i++ {
+		copy(l.RawRow(i)[:i+1], st.cur.RawRow(i)[:i+1])
+	}
+	diag := 1 + noise + jit
+	for i := start; i < n; i++ {
+		ri := l.RawRow(i)
+		di := dists.RawRow(i)
+		for j := 0; j < i; j++ {
+			ri[j] = matern52(di[j], scale)
+		}
+		ri[i] = diag
+	}
+	if err := la.CholeskyExtendInPlace(l, start); err != nil {
+		return
+	}
+
+	alpha, err := la.CholSolve(l, yn)
+	if err != nil {
+		return
+	}
+	st.alpha = alpha
+
+	lml := -0.5 * la.Dot(yn, alpha)
+	for i := 0; i < n; i++ {
+		lml -= math.Log(l.At(i, i))
+	}
+	lml -= float64(n) / 2 * math.Log(2*math.Pi)
+	st.lml = lml
+	st.ok = true
 }
 
 // Predict implements Regressor.
@@ -155,6 +414,50 @@ func (g *GP) Predict(x []float64) (mean, std float64) {
 	mean = mn*g.yStd + g.yMean
 	std = math.Sqrt(variance) * g.yStd
 	return mean, std
+}
+
+// gpBatchScratch is the per-worker scratch for PredictBatch.
+type gpBatchScratch struct {
+	kstar []float64 // per-candidate kernel vector
+	v     []float64 // forward-substitution output
+}
+
+// PredictBatch implements Regressor. Candidates are scored in
+// predictChunk-sized chunks across up to PredictWorkers goroutines,
+// with per-worker scratch replacing Predict's per-call allocations.
+// Every arithmetic step mirrors Predict's exactly — same kernel
+// evaluations, la.Dot for the mean, la.SolveLowerInto with SolveLower's
+// exact operation order, la.Dot for the variance — and all writes are
+// index-addressed, so the output is bitwise identical to calling
+// Predict once per candidate, for any worker count.
+func (g *GP) PredictBatch(X [][]float64, mean, std []float64) {
+	if g.chol == nil {
+		panic("surrogate: PredictBatch before Fit")
+	}
+	checkBatchArgs(X, mean, std)
+	n := len(g.x)
+	batchLoop(len(X), g.PredictWorkers,
+		func() *gpBatchScratch {
+			return &gpBatchScratch{kstar: make([]float64, n), v: make([]float64, n)}
+		},
+		func(lo, hi int, s *gpBatchScratch) {
+			for c := lo; c < hi; c++ {
+				x := X[c]
+				for i := 0; i < n; i++ {
+					s.kstar[i] = matern52(dist(x, g.x[i]), g.scale)
+				}
+				mn := la.Dot(s.kstar, g.alpha)
+				variance := 1.0
+				if err := la.SolveLowerInto(g.chol, s.kstar, s.v); err == nil {
+					variance = 1 - la.Dot(s.v, s.v)
+				}
+				if variance < 0 {
+					variance = 0
+				}
+				mean[c] = mn*g.yStd + g.yMean
+				std[c] = math.Sqrt(variance) * g.yStd
+			}
+		})
 }
 
 // LengthScale returns the length scale selected during Fit.

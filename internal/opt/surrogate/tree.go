@@ -26,6 +26,14 @@ type Regressor interface {
 	// Predict returns the predictive mean and standard deviation at x.
 	// Predict must only be called after a successful Fit.
 	Predict(x []float64) (mean, std float64)
+	// PredictBatch scores every row of X, writing mean[i], std[i] for
+	// X[i]. Implementations may evaluate candidates concurrently but must
+	// produce output bitwise identical to calling Predict once per row —
+	// the acquisition optimizer relies on this to keep proposals
+	// reproducible (and checkpoint replay byte-stable) regardless of
+	// worker count. It panics if len(mean) or len(std) differs from
+	// len(X), and must only be called after a successful Fit.
+	PredictBatch(X [][]float64, mean, std []float64)
 }
 
 // ErrNoData is returned by Fit when given no training rows.
