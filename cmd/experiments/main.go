@@ -27,9 +27,11 @@ import (
 
 	"simcal/internal/cache"
 	"simcal/internal/core"
+	"simcal/internal/dist"
 	"simcal/internal/experiments"
 	"simcal/internal/obs"
 	"simcal/internal/resilience"
+	"simcal/internal/simspec"
 	"simcal/internal/wfgen"
 )
 
@@ -52,6 +54,9 @@ func main() {
 		tracePath = flag.String("trace", "", "write a structured JSONL trace of every calibration to this file")
 		metrics   = flag.Bool("metrics", false, "print the final metrics snapshot after all artifacts")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address (e.g. localhost:6060)")
+
+		listen      = flag.String("listen", "", "distribute loss evaluations: listen for simcal-worker processes on this address (spec-aware drivers only)")
+		distWorkers = flag.Int("dist-workers", 1, "with -listen: wait for this many connected workers before running")
 	)
 	flag.Parse()
 
@@ -129,6 +134,39 @@ func main() {
 	}
 	if tracer != nil || *metrics || *pprofAddr != "" {
 		o.Observer = core.NewObsObserver(obs.Default(), tracer)
+	}
+
+	if *listen != "" {
+		l, err := dist.TCP{}.Listen(*listen)
+		if err != nil {
+			logger.Printf("error: %v", err)
+			os.Exit(1)
+		}
+		coord := dist.NewCoordinator(dist.CoordinatorConfig{Name: "experiments", Registry: obs.Default()})
+		go func() {
+			if err := coord.Serve(l); err != nil {
+				logger.Printf("coordinator: %v", err)
+			}
+		}()
+		defer func() {
+			coord.Close()
+			l.Close()
+		}()
+		logger.Printf("coordinator listening on %s; waiting for %d worker(s)", l.Addr(), *distWorkers)
+		wctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		werr := coord.WaitForWorkers(wctx, *distWorkers)
+		cancel()
+		if werr != nil {
+			logger.Printf("error: %v", werr)
+			os.Exit(1)
+		}
+		o.Remote = func(sp simspec.Spec) (core.Simulator, error) {
+			b, err := sp.Canonical()
+			if err != nil {
+				return nil, err
+			}
+			return coord.Evaluator(b), nil
+		}
 	}
 
 	ids := strings.Split(*run, ",")

@@ -1,0 +1,75 @@
+// Command simcal-worker serves loss evaluations to a distributed
+// calibration coordinator (simcal -listen, or experiments -listen).
+// It dials the coordinator, rebuilds simulators from the specs carried
+// by each lease, and streams results back; the calibration trajectory
+// is bitwise identical to a serial run regardless of how many workers
+// participate (see internal/dist).
+//
+// Usage:
+//
+//	simcal-worker -connect host:9090
+//	simcal-worker -connect host:9090 -capacity 8 -connect-retries 40
+//
+// The process exits 0 when the coordinator closes the connection (the
+// calibration finished) and non-zero on dial or protocol errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"simcal/internal/dist"
+	"simcal/internal/simspec"
+)
+
+func main() {
+	var (
+		connect  = flag.String("connect", "", "coordinator address (host:port), required")
+		capacity = flag.Int("capacity", 0, "concurrent evaluation leases to accept (default GOMAXPROCS)")
+		name     = flag.String("name", "", "worker name reported to the coordinator (default host/pid)")
+		retries  = flag.Int("connect-retries", 0, "extra dial attempts for coordinators that are still starting")
+		delay    = flag.Duration("retry-delay", 250*time.Millisecond, "pause between dial attempts")
+		hbEvery  = flag.Duration("heartbeat", 0, "heartbeat interval (default 2s)")
+		hbDead   = flag.Duration("heartbeat-timeout", 0, "declare the coordinator dead after this much silence (default 10s)")
+	)
+	flag.Parse()
+
+	if *connect == "" {
+		fmt.Fprintln(os.Stderr, "simcal-worker: -connect is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	cap := *capacity
+	if cap <= 0 {
+		cap = runtime.GOMAXPROCS(0)
+	}
+	wname := *name
+	if wname == "" {
+		host, _ := os.Hostname()
+		wname = fmt.Sprintf("%s/%d", host, os.Getpid())
+	}
+	w, err := dist.NewWorker(dist.WorkerConfig{
+		Name:             wname,
+		Capacity:         cap,
+		Factory:          simspec.BuildSimulator,
+		HeartbeatEvery:   *hbEvery,
+		HeartbeatTimeout: *hbDead,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "simcal-worker %s connecting to %s (capacity %d)\n", wname, *connect, cap)
+	if err := w.RunDial(context.Background(), dist.TCP{}, *connect, *retries, *delay); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "simcal-worker: coordinator closed the connection; exiting")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simcal-worker:", err)
+	os.Exit(1)
+}

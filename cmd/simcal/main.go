@@ -14,6 +14,8 @@
 //	simcal -case wf  -eval-timeout 2s -eval-retries 5    # fault-tolerant executor
 //	simcal -case wf  -evals 500 -checkpoint ck.json      # periodic snapshots
 //	simcal -case wf  -evals 500 -checkpoint ck.json -resume  # continue a killed run
+//	simcal -case wf  -listen :9090 -dist-workers 2       # distribute evaluations
+//	simcal -connect host:9090                            # serve as a worker
 package main
 
 import (
@@ -25,19 +27,21 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
 	"simcal/internal/cache"
 	"simcal/internal/core"
+	"simcal/internal/dist"
 	"simcal/internal/experiments"
 	"simcal/internal/groundtruth"
-	"simcal/internal/loss"
 	"simcal/internal/mpi"
 	"simcal/internal/mpisim"
 	"simcal/internal/obs"
 	"simcal/internal/opt"
 	"simcal/internal/resilience"
+	"simcal/internal/simspec"
 	"simcal/internal/wfgen"
 	"simcal/internal/wfsim"
 )
@@ -73,8 +77,20 @@ func main() {
 		evalTimeout = flag.Duration("eval-timeout", 0, "per-evaluation timeout (enables the fault-tolerant executor)")
 		evalRetries = flag.Int("eval-retries", 0, "max attempts per evaluation for transient failures (enables the fault-tolerant executor)")
 		breakerN    = flag.Int("breaker", 0, "open the circuit breaker after this many consecutive evaluation failures (enables the fault-tolerant executor)")
+
+		listen         = flag.String("listen", "", "distribute loss evaluations: listen for workers on this address (host:port) and lease evaluations to them")
+		connect        = flag.String("connect", "", "serve as an evaluation worker for a coordinator at this address (most other flags are ignored)")
+		distWorkers    = flag.Int("dist-workers", 1, "with -listen: wait for this many connected workers before calibrating")
+		connectRetries = flag.Int("connect-retries", 0, "with -connect: extra dial attempts, 250ms apart, for coordinators that are still starting")
 	)
 	flag.Parse()
+
+	if *connect != "" {
+		if err := runWorker(*connect, *connectRetries, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *ckptPath != "" && *jobs > 1 {
 		fatal(fmt.Errorf("-checkpoint snapshots a single calibration; it cannot be combined with -jobs %d", *jobs))
@@ -131,14 +147,22 @@ func main() {
 		evalCache = cache.New(obs.Default())
 	}
 
+	if *listen != "" && *workers <= 0 {
+		// Let the remote pool's capacity set the batch parallelism (see
+		// core.ConcurrencyHinter) instead of the local GOMAXPROCS.
+		o.Workers = 0
+	}
+
 	rc := runCfg{
-		outPath:   *outPath,
-		jobs:      *jobs,
-		cache:     evalCache,
-		ckptPath:  *ckptPath,
-		ckptEvery: *ckptEvery,
-		resume:    *resume,
-		policy:    resiliencePolicy(*evalTimeout, *evalRetries, *breakerN),
+		outPath:     *outPath,
+		jobs:        *jobs,
+		cache:       evalCache,
+		ckptPath:    *ckptPath,
+		ckptEvery:   *ckptEvery,
+		resume:      *resume,
+		policy:      resiliencePolicy(*evalTimeout, *evalRetries, *breakerN),
+		listen:      *listen,
+		distWorkers: *distWorkers,
 	}
 
 	switch *study {
@@ -209,13 +233,73 @@ func runReplay(path string) error {
 
 // runCfg bundles the per-run flags shared by both case studies.
 type runCfg struct {
-	outPath   string
-	jobs      int
-	cache     *cache.Cache
-	ckptPath  string
-	ckptEvery int
-	resume    bool
-	policy    *resilience.Policy
+	outPath     string
+	jobs        int
+	cache       *cache.Cache
+	ckptPath    string
+	ckptEvery   int
+	resume      bool
+	policy      *resilience.Policy
+	listen      string
+	distWorkers int
+}
+
+// runWorker serves loss evaluations to a coordinator: dial, evaluate
+// leases (rebuilding simulators from the specs they carry), exit 0 when
+// the coordinator shuts the connection down.
+func runWorker(addr string, retries, capacity int) error {
+	if capacity <= 0 {
+		capacity = runtime.GOMAXPROCS(0)
+	}
+	host, _ := os.Hostname()
+	w, err := dist.NewWorker(dist.WorkerConfig{
+		Name:     fmt.Sprintf("%s/%d", host, os.Getpid()),
+		Capacity: capacity,
+		Factory:  simspec.BuildSimulator,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "worker connecting to %s (capacity %d)\n", addr, capacity)
+	return w.RunDial(context.Background(), dist.TCP{}, addr, retries, 250*time.Millisecond)
+}
+
+// simulator resolves the loss evaluator for a spec: built locally, or —
+// with -listen — leased to remote workers through a coordinator. The
+// returned shutdown func closes the coordinator (workers then exit
+// cleanly); it is a no-op for local evaluation.
+func (rc runCfg) simulator(sp simspec.Spec) (core.Simulator, func(), error) {
+	if rc.listen == "" {
+		sim, err := sp.Build()
+		return sim, func() {}, err
+	}
+	specBytes, err := sp.Canonical()
+	if err != nil {
+		return nil, nil, err
+	}
+	l, err := dist.TCP{}.Listen(rc.listen)
+	if err != nil {
+		return nil, nil, err
+	}
+	coord := dist.NewCoordinator(dist.CoordinatorConfig{Name: "simcal", Registry: obs.Default()})
+	go func() {
+		if err := coord.Serve(l); err != nil {
+			fmt.Fprintln(os.Stderr, "simcal: coordinator:", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "coordinator listening on %s; waiting for %d worker(s)\n", l.Addr(), rc.distWorkers)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if err := coord.WaitForWorkers(ctx, rc.distWorkers); err != nil {
+		coord.Close()
+		l.Close()
+		return nil, nil, err
+	}
+	shutdown := func() {
+		coord.Close()
+		l.Close()
+	}
+	return coord.Evaluator(specBytes), shutdown, nil
 }
 
 // resiliencePolicy builds the executor policy implied by the flags, or
@@ -309,27 +393,28 @@ func runWF(o experiments.Options, alg core.Algorithm, lossName, network, storage
 	v := wfsim.HighestDetail
 	if network != "" {
 		var err error
-		v, err = parseWFVersion(network, storage, compute)
+		v, err = simspec.ParseWFVersion(network, storage, compute)
 		if err != nil {
 			return err
 		}
 	}
-	kind, err := parseWFLoss(lossName)
+	kind, err := simspec.ParseWFLoss(lossName)
 	if err != nil {
 		return err
 	}
-	ds, err := groundtruth.GenerateWorkflowData(groundtruth.WFOptions{
+	sp := simspec.ForWF(v, kind, groundtruth.WFOptions{
 		Apps:    []wfgen.App{wfgen.Epigenomics},
 		SizeIdx: []int{1}, WorkIdx: []int{1, 3}, FootIdx: []int{1, 2},
 		Workers: []int{2}, Reps: 3, Seed: o.Seed,
-	})
+	}, false)
+	sim, shutdown, err := rc.simulator(sp)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("calibrating %s with %s/%s over %d ground-truth groups...\n",
-		v.Name(), alg.Name(), kind, len(ds.Groups))
+	defer shutdown()
+	fmt.Printf("calibrating %s with %s/%s...\n", v.Name(), alg.Name(), kind)
 	cal := core.Calibrator{
-		Space: v.Space(), Simulator: loss.WFEvaluator(v, kind, ds),
+		Space: v.Space(), Simulator: sim,
 		Algorithm: alg, MaxEvaluations: o.MaxEvals, Budget: o.Budget,
 		Workers: o.Workers, Seed: o.Seed, Observer: o.Observer,
 		Cache:    rc.cache,
@@ -354,26 +439,27 @@ func runMPI(o experiments.Options, alg core.Algorithm, lossName, network, node, 
 	v := mpisim.HighestDetail
 	if network != "" {
 		var err error
-		v, err = parseMPIVersion(network, node, proto)
+		v, err = simspec.ParseMPIVersion(network, node, proto)
 		if err != nil {
 			return err
 		}
 	}
-	kind, err := parseMPILoss(lossName)
+	kind, err := simspec.ParseMPILoss(lossName)
 	if err != nil {
 		return err
 	}
-	ds, err := groundtruth.GenerateMPIData(groundtruth.MPIOptions{
+	sp := simspec.ForMPI(v, kind, groundtruth.MPIOptions{
 		Benchmarks: []mpi.Benchmark{mpi.PingPong, mpi.PingPing, mpi.BiRandom},
 		Nodes:      []int{8}, MsgSizes: o.MPIMsgSizes, Rounds: 2, Reps: 3, Seed: o.Seed,
-	})
+	}, 2, false)
+	sim, shutdown, err := rc.simulator(sp)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("calibrating %s with %s/%s over %d measurements...\n",
-		v.Name(), alg.Name(), kind, len(ds.Measurements))
+	defer shutdown()
+	fmt.Printf("calibrating %s with %s/%s...\n", v.Name(), alg.Name(), kind)
 	cal := core.Calibrator{
-		Space: v.Space(), Simulator: loss.MPIEvaluator(v, kind, ds, 2),
+		Space: v.Space(), Simulator: sim,
 		Algorithm: alg, MaxEvaluations: o.MaxEvals, Budget: o.Budget,
 		Workers: o.Workers, Seed: o.Seed, Observer: o.Observer,
 		Cache:    rc.cache,
@@ -427,88 +513,6 @@ func parseAlg(name string) (core.Algorithm, error) {
 	default:
 		return nil, fmt.Errorf("unknown algorithm %q", name)
 	}
-}
-
-func parseWFLoss(name string) (loss.WFKind, error) {
-	for _, k := range loss.AllWFKinds {
-		if k.String() == name {
-			return k, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown workflow loss %q", name)
-}
-
-func parseMPILoss(name string) (loss.MPIKind, error) {
-	for _, k := range loss.AllMPIKinds {
-		if k.String() == name {
-			return k, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown MPI loss %q", name)
-}
-
-func parseWFVersion(network, storage, compute string) (wfsim.Version, error) {
-	var v wfsim.Version
-	switch network {
-	case "one-link":
-		v.Network = wfsim.OneLink
-	case "star":
-		v.Network = wfsim.Star
-	case "series":
-		v.Network = wfsim.Series
-	default:
-		return v, fmt.Errorf("unknown wf network %q", network)
-	}
-	switch storage {
-	case "submit":
-		v.Storage = wfsim.SubmitOnly
-	case "all":
-		v.Storage = wfsim.AllNodes
-	default:
-		return v, fmt.Errorf("unknown wf storage %q", storage)
-	}
-	switch compute {
-	case "direct":
-		v.Compute = wfsim.Direct
-	case "htcondor":
-		v.Compute = wfsim.HTCondor
-	default:
-		return v, fmt.Errorf("unknown wf compute %q", compute)
-	}
-	return v, nil
-}
-
-func parseMPIVersion(network, node, proto string) (mpisim.Version, error) {
-	var v mpisim.Version
-	switch network {
-	case "backbone":
-		v.Network = mpisim.Backbone
-	case "backbone-links":
-		v.Network = mpisim.BackboneLinks
-	case "tree4":
-		v.Network = mpisim.Tree4
-	case "fat-tree":
-		v.Network = mpisim.FatTree
-	default:
-		return v, fmt.Errorf("unknown mpi network %q", network)
-	}
-	switch node {
-	case "simple":
-		v.Node = mpisim.SimpleNode
-	case "complex":
-		v.Node = mpisim.ComplexNode
-	default:
-		return v, fmt.Errorf("unknown mpi node %q", node)
-	}
-	switch proto {
-	case "fixed":
-		v.Protocol = mpisim.FixedPoints
-	case "free":
-		v.Protocol = mpisim.FreePoints
-	default:
-		return v, fmt.Errorf("unknown mpi protocol %q", proto)
-	}
-	return v, nil
 }
 
 func fatal(err error) {

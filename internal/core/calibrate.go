@@ -23,6 +23,19 @@ type Simulator interface {
 	Run(ctx context.Context, p Point) (float64, error)
 }
 
+// ConcurrencyHinter is optionally implemented by simulators whose
+// useful evaluation parallelism is not bounded by local CPU — e.g. the
+// distributed evaluation plane, where a lease occupies a remote worker,
+// not a local core. When the Calibrator's Workers field is unset, a
+// positive hint replaces the GOMAXPROCS default so batches are wide
+// enough to keep the whole remote pool busy. An explicit Workers value
+// always wins; hints never lower the default.
+type ConcurrencyHinter interface {
+	// EvalConcurrency returns the number of loss evaluations the
+	// simulator can usefully run at once; values < 1 are ignored.
+	EvalConcurrency() int
+}
+
 // Evaluator is the functional form of Simulator.
 type Evaluator func(ctx context.Context, p Point) (float64, error)
 
@@ -554,6 +567,11 @@ func (c *Calibrator) Run(ctx context.Context) (*Result, error) {
 	workers := c.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+		if h, ok := c.Simulator.(ConcurrencyHinter); ok {
+			if hint := h.EvalConcurrency(); hint > workers {
+				workers = hint
+			}
+		}
 	}
 	now := c.Clock
 	if now == nil {

@@ -1,0 +1,62 @@
+package dist
+
+import (
+	"testing"
+	"time"
+)
+
+func TestManualClockAdvanceFiresDueTimers(t *testing.T) {
+	start := time.Unix(1000, 0)
+	c := NewManualClock(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", c.Now(), start)
+	}
+	early := c.After(2 * time.Second)
+	late := c.After(10 * time.Second)
+
+	c.Advance(1 * time.Second)
+	select {
+	case <-early:
+		t.Fatal("2s timer fired after 1s")
+	default:
+	}
+
+	c.Advance(1 * time.Second) // total 2s: early fires, late does not
+	select {
+	case at := <-early:
+		if !at.Equal(start.Add(2 * time.Second)) {
+			t.Errorf("fire time = %v, want %v", at, start.Add(2*time.Second))
+		}
+	default:
+		t.Fatal("2s timer did not fire at 2s")
+	}
+	select {
+	case <-late:
+		t.Fatal("10s timer fired at 2s")
+	default:
+	}
+
+	c.Advance(time.Hour) // one big jump fires everything overdue
+	select {
+	case <-late:
+	default:
+		t.Fatal("10s timer did not fire after 1h2s")
+	}
+	if want := start.Add(time.Hour + 2*time.Second); !c.Now().Equal(want) {
+		t.Errorf("Now = %v, want %v", c.Now(), want)
+	}
+}
+
+func TestManualClockImmediateTimer(t *testing.T) {
+	c := NewManualClock(time.Unix(0, 0))
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("non-positive After did not fire immediately")
+	}
+	select {
+	case <-c.After(-time.Second):
+	default:
+		t.Fatal("negative After did not fire immediately")
+	}
+}

@@ -1,0 +1,543 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"simcal/internal/core"
+	"simcal/internal/obs"
+	"simcal/internal/resilience"
+)
+
+// Default heartbeat cadence. The timeout spans several missed beats so
+// one delayed frame never kills a healthy worker.
+const (
+	DefaultHeartbeatEvery   = 2 * time.Second
+	DefaultHeartbeatTimeout = 10 * time.Second
+)
+
+// ErrCoordinatorClosed is returned by evaluations still pending when
+// the coordinator shuts down.
+var ErrCoordinatorClosed = errors.New("dist: coordinator closed")
+
+// CoordinatorConfig configures a Coordinator. The zero value works:
+// metrics and tracing are optional, the clock defaults to the wall
+// clock, and heartbeats default to the package cadence.
+type CoordinatorConfig struct {
+	// Name identifies the coordinator in the hello handshake.
+	Name string
+	// Registry, when non-nil, receives the dist.* counters and gauges.
+	Registry *obs.Registry
+	// Tracer, when non-nil, receives worker lifecycle and requeue
+	// events. Evaluation events are NOT emitted here — they belong to
+	// the calibration's own observer, which sees remote evaluations
+	// through the ordinary core.Simulator path. Keeping lifecycle
+	// events on a separate tracer is what lets a distributed run's
+	// calibration trace stay bitwise identical to a serial run's.
+	Tracer *obs.Tracer
+	// Clock is the time source for heartbeats; nil means RealClock.
+	// Tests inject a ManualClock so expiry tests never sleep.
+	Clock Clock
+	// HeartbeatEvery is how often idle connections are pinged.
+	HeartbeatEvery time.Duration
+	// HeartbeatTimeout is how long a silent worker is tolerated before
+	// it is declared dead and its leases re-queued.
+	HeartbeatTimeout time.Duration
+	// LeaseTimeout, when positive, is the per-evaluation deadline sent
+	// with every lease; the worker answers an expired lease with a
+	// transient failure. Zero sends no deadline.
+	LeaseTimeout time.Duration
+}
+
+// leaseOutcome is the terminal state of one lease.
+type leaseOutcome struct {
+	loss float64
+	err  error
+}
+
+// lease is one evaluation in flight through the distributed plane:
+// queued, then leased to a worker, then resolved — or re-queued as many
+// times as workers die holding it.
+type lease struct {
+	id       uint64
+	index    uint64
+	spec     json.RawMessage
+	point    map[string]WireFloat
+	done     chan leaseOutcome // buffered 1: resolution never blocks
+	canceled bool              // guarded by Coordinator.mu
+	requeues int               // guarded by Coordinator.mu
+}
+
+// remoteWorker is the coordinator's view of one connected worker.
+type remoteWorker struct {
+	id       uint64
+	name     string
+	capacity int
+	conn     Conn
+	// slots is a token semaphore bounding in-flight leases to capacity,
+	// which also guarantees the dispatcher can never deadlock a
+	// synchronous loopback pipe: the worker's reader always drains.
+	slots    chan struct{}
+	deadCh   chan struct{}
+	dead     bool              // guarded by Coordinator.mu
+	inflight map[uint64]*lease // guarded by Coordinator.mu
+	lastRecv atomic.Int64      // clock nanos of the last frame received
+}
+
+// Coordinator shards loss evaluations across remote workers. It owns a
+// FIFO lease queue fed by RemoteEvaluator.Run calls; per-worker
+// dispatchers pull from the queue, bounded by each worker's capacity.
+// Results resolve leases by ID; a dead worker's in-flight leases are
+// re-queued unconditionally, so — because the calibration core merges
+// samples index-addressed — the trajectory is identical no matter how
+// many workers serve it or die mid-batch.
+type Coordinator struct {
+	cfg   CoordinatorConfig
+	clock Clock
+
+	mu             sync.Mutex
+	cond           *sync.Cond
+	queue          []*lease
+	workers        map[uint64]*remoteWorker
+	workersChanged chan struct{}
+	closed         bool
+
+	closedCh   chan struct{}
+	nextLease  atomic.Uint64
+	nextWorker atomic.Uint64
+
+	workersConnected *obs.Counter
+	workersLost      *obs.Counter
+	leasesDispatched *obs.Counter
+	leasesRequeued   *obs.Counter
+	framesRx         *obs.Counter
+	framesTx         *obs.Counter
+	workersActive    *obs.Gauge
+}
+
+// NewCoordinator returns a Coordinator ready to Serve a listener.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	if cfg.Clock == nil {
+		cfg.Clock = RealClock{}
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = DefaultHeartbeatEvery
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = DefaultHeartbeatTimeout
+	}
+	c := &Coordinator{
+		cfg:            cfg,
+		clock:          cfg.Clock,
+		workers:        make(map[uint64]*remoteWorker),
+		workersChanged: make(chan struct{}),
+		closedCh:       make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	if reg := cfg.Registry; reg != nil {
+		c.workersConnected = reg.Counter("dist.workers_connected")
+		c.workersLost = reg.Counter("dist.workers_lost")
+		c.leasesDispatched = reg.Counter("dist.leases_dispatched")
+		c.leasesRequeued = reg.Counter("dist.leases_requeued")
+		c.framesRx = reg.Counter("dist.frames_rx")
+		c.framesTx = reg.Counter("dist.frames_tx")
+		c.workersActive = reg.Gauge("dist.workers_active")
+	} else {
+		c.workersConnected = new(obs.Counter)
+		c.workersLost = new(obs.Counter)
+		c.leasesDispatched = new(obs.Counter)
+		c.leasesRequeued = new(obs.Counter)
+		c.framesRx = new(obs.Counter)
+		c.framesTx = new(obs.Counter)
+		c.workersActive = new(obs.Gauge)
+	}
+	return c
+}
+
+// Serve accepts worker connections from l until the listener fails or
+// the coordinator closes. Run it in its own goroutine; it returns nil
+// on orderly shutdown.
+func (c *Coordinator) Serve(l Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-c.closedCh:
+				return nil
+			default:
+			}
+			return err
+		}
+		go c.handle(conn)
+	}
+}
+
+// handle performs the hello handshake and registers the worker.
+func (c *Coordinator) handle(conn Conn) {
+	f, err := conn.Recv()
+	if err != nil {
+		conn.Close()
+		return
+	}
+	c.framesRx.Inc()
+	if f.Type != TypeHello {
+		conn.Close()
+		return
+	}
+	if err := conn.Send(&Frame{Type: TypeHello, Hello: &HelloMsg{Name: c.cfg.Name}}); err != nil {
+		conn.Close()
+		return
+	}
+	c.framesTx.Inc()
+	capacity := f.Hello.Capacity
+	if capacity <= 0 {
+		capacity = 1
+	}
+	w := &remoteWorker{
+		id:       c.nextWorker.Add(1),
+		name:     f.Hello.Name,
+		capacity: capacity,
+		conn:     conn,
+		slots:    make(chan struct{}, capacity),
+		deadCh:   make(chan struct{}),
+		inflight: make(map[uint64]*lease),
+	}
+	if w.name == "" {
+		w.name = fmt.Sprintf("worker-%d", w.id)
+	}
+	for i := 0; i < capacity; i++ {
+		w.slots <- struct{}{}
+	}
+	w.lastRecv.Store(c.clock.Now().UnixNano())
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	c.workers[w.id] = w
+	active := len(c.workers)
+	close(c.workersChanged)
+	c.workersChanged = make(chan struct{})
+	c.mu.Unlock()
+	c.workersConnected.Inc()
+	c.workersActive.Set(float64(active))
+	if c.cfg.Tracer != nil {
+		c.cfg.Tracer.Emit(obs.EventDistWorkerConnected, obs.Fields{
+			"worker": w.name, "capacity": capacity, "active": active,
+		})
+	}
+	go c.readLoop(w)
+	go c.dispatchLoop(w)
+	go c.heartbeatLoop(w)
+}
+
+// readLoop is the worker connection's dedicated reader. Every inbound
+// frame refreshes the liveness stamp; results resolve their leases; any
+// read error declares the worker dead.
+func (c *Coordinator) readLoop(w *remoteWorker) {
+	for {
+		f, err := w.conn.Recv()
+		if err != nil {
+			c.workerDead(w, err)
+			return
+		}
+		c.framesRx.Inc()
+		w.lastRecv.Store(c.clock.Now().UnixNano())
+		switch f.Type {
+		case TypeHeartbeat:
+		case TypeResult:
+			c.resolve(w, f.Result)
+		default:
+			c.workerDead(w, fmt.Errorf("dist: protocol violation: %s frame from worker %s", f.Type, w.name))
+			return
+		}
+	}
+}
+
+// dispatchLoop pulls queued leases and sends them to w, holding one
+// capacity slot per in-flight lease.
+func (c *Coordinator) dispatchLoop(w *remoteWorker) {
+	for {
+		select {
+		case <-w.slots:
+		case <-w.deadCh:
+			return
+		case <-c.closedCh:
+			return
+		}
+		l := c.next(w)
+		if l == nil {
+			return
+		}
+		msg := &LeaseMsg{ID: l.id, Index: l.index, Spec: l.spec, Point: l.point}
+		if c.cfg.LeaseTimeout > 0 {
+			msg.TimeoutMS = c.cfg.LeaseTimeout.Milliseconds()
+		}
+		if err := w.conn.Send(&Frame{Type: TypeLease, Lease: msg}); err != nil {
+			// The lease is already registered in-flight, so workerDead
+			// re-queues it for another worker.
+			c.workerDead(w, err)
+			return
+		}
+		c.framesTx.Inc()
+		c.leasesDispatched.Inc()
+	}
+}
+
+// next blocks until a live lease is available for w and registers it
+// in-flight, or returns nil when w dies or the coordinator closes.
+func (c *Coordinator) next(w *remoteWorker) *lease {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if w.dead || c.closed {
+			return nil
+		}
+		for len(c.queue) > 0 && c.queue[0].canceled {
+			c.queue = c.queue[1:]
+		}
+		if len(c.queue) > 0 {
+			l := c.queue[0]
+			c.queue = c.queue[1:]
+			w.inflight[l.id] = l
+			return l
+		}
+		c.cond.Wait()
+	}
+}
+
+// resolve completes the lease a result answers. Results for unknown
+// lease IDs (e.g. from a worker declared dead between its send and our
+// receive) are dropped: the lease was already re-queued elsewhere.
+func (c *Coordinator) resolve(w *remoteWorker, res *ResultMsg) {
+	c.mu.Lock()
+	l, ok := w.inflight[res.ID]
+	if ok {
+		delete(w.inflight, res.ID)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	select {
+	case w.slots <- struct{}{}:
+	default:
+	}
+	out := leaseOutcome{loss: float64(res.Loss)}
+	if res.Err != "" {
+		err := fmt.Errorf("dist: worker %s: %s", w.name, res.Err)
+		if cls, known := resilience.ParseClass(res.Class); known && cls == resilience.Transient {
+			// Reconstruct the classification so the calibrator's retry
+			// machinery treats the remote failure like a local one.
+			err = resilience.MarkTransient(err)
+		}
+		out.err = err
+	}
+	l.done <- out
+}
+
+// heartbeatLoop pings w every HeartbeatEvery and declares it dead after
+// HeartbeatTimeout of silence.
+func (c *Coordinator) heartbeatLoop(w *remoteWorker) {
+	for {
+		select {
+		case <-c.clock.After(c.cfg.HeartbeatEvery):
+		case <-w.deadCh:
+			return
+		case <-c.closedCh:
+			return
+		}
+		silent := time.Duration(c.clock.Now().UnixNano() - w.lastRecv.Load())
+		if silent > c.cfg.HeartbeatTimeout {
+			c.workerDead(w, fmt.Errorf("dist: worker %s silent for %s (heartbeat timeout %s)",
+				w.name, silent, c.cfg.HeartbeatTimeout))
+			return
+		}
+		if err := w.conn.Send(&Frame{Type: TypeHeartbeat}); err != nil {
+			c.workerDead(w, err)
+			return
+		}
+		c.framesTx.Inc()
+	}
+}
+
+// workerDead removes w from the pool and re-queues its in-flight
+// leases. The requeue is unconditional — independent of any resilience
+// policy — because it is what makes a mid-batch worker kill invisible
+// to the calibration trajectory. Idempotent; safe from any goroutine.
+func (c *Coordinator) workerDead(w *remoteWorker, cause error) {
+	c.mu.Lock()
+	if w.dead {
+		c.mu.Unlock()
+		return
+	}
+	w.dead = true
+	close(w.deadCh)
+	delete(c.workers, w.id)
+	active := len(c.workers)
+	requeued := 0
+	for id, l := range w.inflight {
+		delete(w.inflight, id)
+		if c.closed || l.canceled {
+			continue
+		}
+		l.requeues++
+		c.queue = append(c.queue, l)
+		requeued++
+	}
+	close(c.workersChanged)
+	c.workersChanged = make(chan struct{})
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	w.conn.Close()
+	c.workersLost.Inc()
+	c.workersActive.Set(float64(active))
+	c.leasesRequeued.Add(int64(requeued))
+	if c.cfg.Tracer != nil {
+		c.cfg.Tracer.Emit(obs.EventDistWorkerDisconnected, obs.Fields{
+			"worker": w.name, "active": active, "requeued": requeued, "cause": cause.Error(),
+		})
+		if requeued > 0 {
+			c.cfg.Tracer.Emit(obs.EventDistLeaseRequeued, obs.Fields{
+				"worker": w.name, "count": requeued,
+			})
+		}
+	}
+}
+
+// Close shuts the coordinator down: all worker connections are closed
+// (workers observe io.EOF and exit cleanly), queued leases resolve with
+// ErrCoordinatorClosed, and pending RemoteEvaluator.Run calls return.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	workers := make([]*remoteWorker, 0, len(c.workers))
+	for _, w := range c.workers {
+		workers = append(workers, w)
+	}
+	queue := c.queue
+	c.queue = nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	close(c.closedCh)
+	for _, w := range workers {
+		w.conn.Close()
+	}
+	for _, l := range queue {
+		select {
+		case l.done <- leaseOutcome{err: ErrCoordinatorClosed}:
+		default:
+		}
+	}
+	return nil
+}
+
+// WorkerCount returns the number of currently connected workers.
+func (c *Coordinator) WorkerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// Capacity returns the total evaluation capacity across connected
+// workers.
+func (c *Coordinator) Capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, w := range c.workers {
+		total += w.capacity
+	}
+	return total
+}
+
+// WaitForWorkers blocks until at least n workers are connected, the
+// context expires, or the coordinator closes.
+func (c *Coordinator) WaitForWorkers(ctx context.Context, n int) error {
+	for {
+		c.mu.Lock()
+		count := len(c.workers)
+		changed := c.workersChanged
+		c.mu.Unlock()
+		if count >= n {
+			return nil
+		}
+		select {
+		case <-changed:
+		case <-ctx.Done():
+			return fmt.Errorf("dist: waiting for %d workers (have %d): %w", n, count, ctx.Err())
+		case <-c.closedCh:
+			return ErrCoordinatorClosed
+		}
+	}
+}
+
+// Evaluator returns a core.Simulator whose evaluations are leased to
+// this coordinator's workers. spec is the opaque simulator description
+// shipped with every lease; workers rebuild (and cache) the simulator
+// from it, so one worker pool serves many evaluators with different
+// specs. The returned evaluator plugs under the calibration core's
+// existing dispatch, cache, resilience, and observability layers
+// untouched — distribution is invisible above the Simulator interface.
+func (c *Coordinator) Evaluator(spec []byte) *RemoteEvaluator {
+	return &RemoteEvaluator{c: c, spec: append(json.RawMessage(nil), spec...)}
+}
+
+// RemoteEvaluator is a core.Simulator that evaluates points on the
+// coordinator's worker pool.
+type RemoteEvaluator struct {
+	c    *Coordinator
+	spec json.RawMessage
+	next atomic.Uint64
+}
+
+// Run implements core.Simulator: it enqueues one lease and blocks until
+// a worker resolves it, the context expires, or the coordinator closes.
+func (e *RemoteEvaluator) Run(ctx context.Context, p core.Point) (float64, error) {
+	c := e.c
+	pt := make(map[string]WireFloat, len(p))
+	for k, v := range p {
+		pt[k] = WireFloat(v)
+	}
+	l := &lease{
+		id:    c.nextLease.Add(1),
+		index: e.next.Add(1) - 1,
+		spec:  e.spec,
+		point: pt,
+		done:  make(chan leaseOutcome, 1),
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, ErrCoordinatorClosed
+	}
+	c.queue = append(c.queue, l)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	select {
+	case out := <-l.done:
+		return out.loss, out.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		l.canceled = true
+		c.mu.Unlock()
+		return 0, ctx.Err()
+	case <-c.closedCh:
+		return 0, ErrCoordinatorClosed
+	}
+}
+
+// EvalConcurrency reports the pool's current total capacity, letting
+// the calibration core widen its default batch parallelism to keep
+// every remote worker busy (see core.ConcurrencyHinter).
+func (e *RemoteEvaluator) EvalConcurrency() int { return e.c.Capacity() }

@@ -1,0 +1,276 @@
+// Package dist is the distributed evaluation plane: a coordinator that
+// shards loss evaluations from core.Calibrator batches across remote
+// workers, and the worker runtime that executes them. The two halves
+// speak a length-prefixed JSON frame protocol (hello / lease / result /
+// heartbeat) over any Transport — TCP for real deployments, an
+// in-process loopback for hermetic tests — and are built so that a
+// distributed calibration is bitwise identical to a serial one:
+//
+//   - the coordinator implements core.Simulator, so every evaluation
+//     flows through the existing dispatch, cache, resilience, and
+//     observability layers unchanged;
+//   - results merge index-addressed (core.Problem.Evaluate already
+//     records samples in proposal order), so worker count, arrival
+//     order, and scheduling never reorder the trajectory;
+//   - a lease held by a dead worker is re-queued and evaluated
+//     elsewhere; deterministic simulators return the same loss, so a
+//     mid-batch kill is invisible to the search;
+//   - worker-reported failures cross the wire with their
+//     resilience.Class, so the calibrator's retry/classification
+//     machinery treats a remote failure exactly like a local one.
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ProtocolVersion is the wire protocol version carried as the first
+// byte of every frame. A peer speaking a different version is rejected
+// at the first frame, before any JSON is parsed.
+const ProtocolVersion = 1
+
+// MaxFramePayload bounds the JSON payload of one frame. The decoder
+// rejects larger length prefixes before allocating, so a corrupt or
+// hostile peer cannot make the receiver allocate unbounded memory.
+const MaxFramePayload = 1 << 20
+
+// frameHeaderLen is the version byte plus the 4-byte big-endian payload
+// length.
+const frameHeaderLen = 5
+
+// Frame types.
+const (
+	// TypeHello opens a connection: the worker sends its name and
+	// capacity, the coordinator replies with its own hello.
+	TypeHello = "hello"
+	// TypeLease assigns one evaluation (coordinator → worker).
+	TypeLease = "lease"
+	// TypeResult reports one finished evaluation (worker → coordinator).
+	TypeResult = "result"
+	// TypeHeartbeat is the keep-alive either side sends while idle.
+	TypeHeartbeat = "heartbeat"
+)
+
+// WireFloat is a float64 whose JSON form survives non-finite values:
+// failed evaluations are memoized as +Inf losses and quietly broken
+// simulators return NaN, but encoding/json rejects both. The wire uses
+// the same string sentinels as the obs tracer and core checkpoints
+// ("Inf", "-Inf", "NaN"); finite values use Go's shortest round-trip
+// encoding, so losses and parameter values cross the wire bitwise.
+type WireFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (v WireFloat) MarshalJSON() ([]byte, error) {
+	f := float64(v)
+	switch {
+	case math.IsInf(f, 1):
+		return []byte(`"Inf"`), nil
+	case math.IsInf(f, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(f):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(f)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *WireFloat) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "Inf", "+Inf":
+			*v = WireFloat(math.Inf(1))
+		case "-Inf":
+			*v = WireFloat(math.Inf(-1))
+		case "NaN":
+			*v = WireFloat(math.NaN())
+		default:
+			return fmt.Errorf("dist: invalid float sentinel %q", s)
+		}
+		return nil
+	}
+	var f float64
+	if err := json.Unmarshal(b, &f); err != nil {
+		return err
+	}
+	*v = WireFloat(f)
+	return nil
+}
+
+// HelloMsg opens a connection in either direction. The worker's hello
+// declares its evaluation capacity; the coordinator's reply confirms
+// the session (its capacity is 0).
+type HelloMsg struct {
+	// Name identifies the peer in logs and trace events.
+	Name string `json:"name,omitempty"`
+	// Capacity is the number of evaluations the worker runs at once.
+	Capacity int `json:"capacity,omitempty"`
+}
+
+// LeaseMsg assigns one loss evaluation to a worker. The coordinator
+// keeps the lease open until a result for its ID arrives or the worker
+// dies, in which case the lease is re-queued to another worker.
+type LeaseMsg struct {
+	// ID is the coordinator-unique lease identifier results answer to.
+	ID uint64 `json:"id"`
+	// Index is the evaluation's position in its evaluator's proposal
+	// order (informational: merging is ID-addressed, and the calibration
+	// core already records samples index-addressed per batch).
+	Index uint64 `json:"index"`
+	// Spec tells the worker which simulator to (re)build; workers cache
+	// built simulators keyed by the canonical spec bytes.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Point is the parameter assignment to evaluate.
+	Point map[string]WireFloat `json:"point"`
+	// TimeoutMS is the evaluation deadline in milliseconds; 0 means no
+	// deadline. An expired lease is answered with a transient failure.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ResultMsg reports one finished evaluation.
+type ResultMsg struct {
+	// ID echoes the lease ID.
+	ID uint64 `json:"id"`
+	// Index echoes the lease index.
+	Index uint64 `json:"index"`
+	// Loss is the evaluated loss (meaningful only when Err is empty).
+	Loss WireFloat `json:"loss"`
+	// Err is the failure message; empty means success.
+	Err string `json:"err,omitempty"`
+	// Class is the resilience classification of Err ("deterministic" or
+	// "transient"), so the coordinator can reconstruct an equivalently
+	// classified error for the calibrator's retry machinery. Aborted
+	// evaluations never produce a result frame.
+	Class string `json:"class,omitempty"`
+}
+
+// Frame is one protocol message: a type tag plus the payload matching
+// it. Exactly the payload named by Type must be non-nil (heartbeats
+// carry none).
+type Frame struct {
+	Type   string     `json:"type"`
+	Hello  *HelloMsg  `json:"hello,omitempty"`
+	Lease  *LeaseMsg  `json:"lease,omitempty"`
+	Result *ResultMsg `json:"result,omitempty"`
+}
+
+// Validate checks the type tag and that the payload shape matches it.
+func (f *Frame) Validate() error {
+	var want, got int
+	if f.Hello != nil {
+		got++
+	}
+	if f.Lease != nil {
+		got++
+	}
+	if f.Result != nil {
+		got++
+	}
+	switch f.Type {
+	case TypeHello:
+		if f.Hello == nil {
+			return fmt.Errorf("dist: hello frame without hello payload")
+		}
+		want = 1
+	case TypeLease:
+		if f.Lease == nil {
+			return fmt.Errorf("dist: lease frame without lease payload")
+		}
+		if f.Lease.Point == nil {
+			return fmt.Errorf("dist: lease %d without a point", f.Lease.ID)
+		}
+		if f.Lease.TimeoutMS < 0 {
+			return fmt.Errorf("dist: lease %d with negative timeout", f.Lease.ID)
+		}
+		want = 1
+	case TypeResult:
+		if f.Result == nil {
+			return fmt.Errorf("dist: result frame without result payload")
+		}
+		switch f.Result.Class {
+		case "", "deterministic", "transient":
+		default:
+			return fmt.Errorf("dist: result %d with unknown error class %q", f.Result.ID, f.Result.Class)
+		}
+		if f.Result.Err == "" && f.Result.Class != "" {
+			return fmt.Errorf("dist: result %d classifies an absent error", f.Result.ID)
+		}
+		want = 1
+	case TypeHeartbeat:
+		want = 0
+	default:
+		return fmt.Errorf("dist: unknown frame type %q", f.Type)
+	}
+	if got != want {
+		return fmt.Errorf("dist: %s frame with %d payloads (want %d)", f.Type, got, want)
+	}
+	return nil
+}
+
+// EncodeFrame renders f as one wire frame: the protocol version byte, a
+// 4-byte big-endian payload length, and the JSON payload.
+func EncodeFrame(f *Frame) ([]byte, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return nil, fmt.Errorf("dist: encoding %s frame: %w", f.Type, err)
+	}
+	if len(payload) > MaxFramePayload {
+		return nil, fmt.Errorf("dist: %s frame payload is %d bytes (max %d)", f.Type, len(payload), MaxFramePayload)
+	}
+	buf := make([]byte, frameHeaderLen, frameHeaderLen+len(payload))
+	buf[0] = ProtocolVersion
+	binary.BigEndian.PutUint32(buf[1:5], uint32(len(payload)))
+	return append(buf, payload...), nil
+}
+
+// DecodeFrame reads one frame from r. Truncated input, a foreign
+// version byte, an oversize or zero length prefix, malformed JSON, an
+// unknown frame type, a payload mismatching the type, and invalid
+// non-finite sentinels all return an error; the decoder never panics
+// and never allocates more than MaxFramePayload for one frame.
+func DecodeFrame(r io.Reader) (*Frame, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		// Propagate a clean EOF at a frame boundary unchanged so peers
+		// can distinguish an orderly close from a torn frame.
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("dist: reading frame header: %w", err)
+	}
+	if hdr[0] != ProtocolVersion {
+		return nil, fmt.Errorf("dist: unsupported protocol version %d (want %d)", hdr[0], ProtocolVersion)
+	}
+	n := binary.BigEndian.Uint32(hdr[1:5])
+	if n == 0 {
+		return nil, fmt.Errorf("dist: zero-length frame payload")
+	}
+	if n > MaxFramePayload {
+		return nil, fmt.Errorf("dist: frame payload of %d bytes exceeds the %d-byte bound", n, MaxFramePayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("dist: reading %d-byte frame payload: %w", n, err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	var f Frame
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("dist: decoding frame payload: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}

@@ -1,0 +1,218 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+// testFrames is one valid frame of every type, with non-finite floats
+// where the protocol must carry them.
+func testFrames() []*Frame {
+	return []*Frame{
+		{Type: TypeHello, Hello: &HelloMsg{Name: "w1", Capacity: 4}},
+		{Type: TypeLease, Lease: &LeaseMsg{
+			ID: 7, Index: 3,
+			Spec:      json.RawMessage(`{"case":"wf"}`),
+			Point:     map[string]WireFloat{"x": 0.1234567890123456, "y": WireFloat(math.Inf(1))},
+			TimeoutMS: 1500,
+		}},
+		{Type: TypeResult, Result: &ResultMsg{ID: 7, Index: 3, Loss: 42.5}},
+		{Type: TypeResult, Result: &ResultMsg{ID: 8, Index: 4, Loss: WireFloat(math.Inf(1)), Err: "boom", Class: "transient"}},
+		{Type: TypeHeartbeat},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, f := range testFrames() {
+		buf, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatalf("encode %s: %v", f.Type, err)
+		}
+		got, err := DecodeFrame(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("decode %s: %v", f.Type, err)
+		}
+		if got.Type != f.Type {
+			t.Fatalf("round-trip type = %q, want %q", got.Type, f.Type)
+		}
+		switch f.Type {
+		case TypeHello:
+			if *got.Hello != *f.Hello {
+				t.Errorf("hello round-trip = %+v, want %+v", got.Hello, f.Hello)
+			}
+		case TypeLease:
+			if got.Lease.ID != f.Lease.ID || got.Lease.Index != f.Lease.Index || got.Lease.TimeoutMS != f.Lease.TimeoutMS {
+				t.Errorf("lease round-trip = %+v, want %+v", got.Lease, f.Lease)
+			}
+			for k, v := range f.Lease.Point {
+				g := got.Lease.Point[k]
+				if float64(g) != float64(v) && !(math.IsNaN(float64(g)) && math.IsNaN(float64(v))) {
+					t.Errorf("lease point %s = %v, want %v", k, g, v)
+				}
+			}
+		case TypeResult:
+			if got.Result.ID != f.Result.ID || got.Result.Err != f.Result.Err || got.Result.Class != f.Result.Class {
+				t.Errorf("result round-trip = %+v, want %+v", got.Result, f.Result)
+			}
+			if float64(got.Result.Loss) != float64(f.Result.Loss) {
+				t.Errorf("result loss = %v, want %v", got.Result.Loss, f.Result.Loss)
+			}
+		}
+	}
+}
+
+// TestWireFloatBitwise checks every float64 crosses the wire bitwise —
+// the property the distributed determinism guarantee rests on.
+func TestWireFloatBitwise(t *testing.T) {
+	vals := []float64{
+		0, 1, -1, 0.1, 1.0 / 3.0, math.Pi, 1e-300, 1e300,
+		math.SmallestNonzeroFloat64, math.MaxFloat64,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+		math.Nextafter(1, 2),
+	}
+	for _, v := range vals {
+		b, err := json.Marshal(WireFloat(v))
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var got WireFloat
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if math.IsNaN(v) {
+			if !math.IsNaN(float64(got)) {
+				t.Errorf("NaN round-trip = %v", got)
+			}
+			continue
+		}
+		if math.Float64bits(float64(got)) != math.Float64bits(v) {
+			t.Errorf("%v round-trip = %v (bits differ)", v, got)
+		}
+	}
+	var g WireFloat
+	if err := json.Unmarshal([]byte(`"+Inf"`), &g); err != nil || !math.IsInf(float64(g), 1) {
+		t.Errorf(`"+Inf" alias: %v, %v`, g, err)
+	}
+	if err := json.Unmarshal([]byte(`"bogus"`), &g); err == nil {
+		t.Error("invalid sentinel accepted")
+	}
+}
+
+func TestDecodeFrameRejectsMalformed(t *testing.T) {
+	valid, err := EncodeFrame(&Frame{Type: TypeHeartbeat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := func(version byte, n uint32) []byte {
+		b := make([]byte, frameHeaderLen)
+		b[0] = version
+		binary.BigEndian.PutUint32(b[1:5], n)
+		return b
+	}
+	cases := []struct {
+		name string
+		in   []byte
+		want string // substring of the error, or "" for any error
+	}{
+		{"empty", nil, "EOF"},
+		{"truncated header", valid[:3], "frame header"},
+		{"truncated payload", valid[:len(valid)-1], "frame payload"},
+		{"bad version", append(header(9, 2), '{', '}'), "protocol version"},
+		{"zero length", header(ProtocolVersion, 0), "zero-length"},
+		{"oversize length", header(ProtocolVersion, MaxFramePayload+1), "exceeds"},
+		{"garbage json", append(header(ProtocolVersion, 3), 'x', 'y', 'z'), "decoding"},
+		{"unknown type", mustFramePayload(t, `{"type":"gossip"}`), "unknown frame type"},
+		{"unknown field", mustFramePayload(t, `{"type":"heartbeat","extra":1}`), ""},
+		{"payload mismatch", mustFramePayload(t, `{"type":"hello"}`), "hello"},
+		{"extra payload", mustFramePayload(t, `{"type":"heartbeat","hello":{"name":"x"}}`), "payloads"},
+		{"lease without point", mustFramePayload(t, `{"type":"lease","lease":{"id":1}}`), "point"},
+		{"negative timeout", mustFramePayload(t, `{"type":"lease","lease":{"id":1,"point":{},"timeout_ms":-5}}`), "negative timeout"},
+		{"bad result class", mustFramePayload(t, `{"type":"result","result":{"id":1,"loss":0,"err":"x","class":"weird"}}`), "error class"},
+		{"classified non-error", mustFramePayload(t, `{"type":"result","result":{"id":1,"loss":0,"class":"transient"}}`), "absent error"},
+		{"bad sentinel", mustFramePayload(t, `{"type":"result","result":{"id":1,"loss":"huge"}}`), "sentinel"},
+	}
+	for _, tc := range cases {
+		_, err := DecodeFrame(bytes.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: decoded successfully, want error", tc.name)
+			continue
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// mustFramePayload wraps a raw JSON payload in a valid frame header.
+func mustFramePayload(t *testing.T, payload string) []byte {
+	t.Helper()
+	b := make([]byte, frameHeaderLen, frameHeaderLen+len(payload))
+	b[0] = ProtocolVersion
+	binary.BigEndian.PutUint32(b[1:5], uint32(len(payload)))
+	return append(b, payload...)
+}
+
+func TestDecodeFrameCleanEOFAtBoundary(t *testing.T) {
+	// An orderly close between frames must surface as a bare io.EOF so
+	// workers can tell coordinator shutdown from a torn frame.
+	f1, err := EncodeFrame(&Frame{Type: TypeHeartbeat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(f1)
+	if _, err := DecodeFrame(r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFrame(r); err != io.EOF {
+		t.Fatalf("EOF at frame boundary = %v, want io.EOF", err)
+	}
+}
+
+func TestEncodeFrameRejectsOversizePayload(t *testing.T) {
+	big := &Frame{Type: TypeResult, Result: &ResultMsg{ID: 1, Err: strings.Repeat("x", MaxFramePayload), Class: "transient"}}
+	if _, err := EncodeFrame(big); err == nil {
+		t.Fatal("oversize frame encoded successfully")
+	}
+}
+
+// FuzzDecodeFrame feeds arbitrary bytes to the decoder: it must never
+// panic, never allocate beyond MaxFramePayload for one frame, and any
+// frame that decodes must re-encode.
+func FuzzDecodeFrame(f *testing.F) {
+	for _, fr := range testFrames() {
+		buf, err := EncodeFrame(fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{ProtocolVersion})
+	f.Add([]byte{ProtocolVersion, 0xff, 0xff, 0xff, 0xff})
+	f.Add(mustFramePayloadFuzz(`{"type":"heartbeat"}`))
+	f.Add(mustFramePayloadFuzz(`{"type":"lease","lease":{"id":1,"point":{"x":"NaN"}}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := fr.Validate(); err != nil {
+			t.Fatalf("decoded frame fails validation: %v", err)
+		}
+		if _, err := EncodeFrame(fr); err != nil {
+			t.Fatalf("decoded frame does not re-encode: %v", err)
+		}
+	})
+}
+
+func mustFramePayloadFuzz(payload string) []byte {
+	b := make([]byte, frameHeaderLen, frameHeaderLen+len(payload))
+	b[0] = ProtocolVersion
+	binary.BigEndian.PutUint32(b[1:5], uint32(len(payload)))
+	return append(b, payload...)
+}

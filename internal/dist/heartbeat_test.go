@@ -1,0 +1,289 @@
+package dist
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// These tests drive heartbeat expiry and lease deadlines entirely
+// through a ManualClock: the configured intervals are seconds to
+// minutes, but no test goroutine ever sleeps them in real time.
+
+// drainFrames discards inbound frames so the peer's synchronous sends
+// never block, and reports each received frame on got (if non-nil).
+func drainFrames(conn Conn, got chan<- *Frame) {
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if got != nil {
+			select {
+			case got <- f:
+			default:
+			}
+		}
+	}
+}
+
+// advanceUntil repeatedly advances the manual clock by step until cond
+// holds, failing the test after a generous number of rounds. The tiny
+// real-time sleep between rounds only yields to the goroutines woken by
+// the fired timers — total real time stays in milliseconds.
+func advanceUntil(t *testing.T, mc *ManualClock, step time.Duration, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 500; i++ {
+		if cond() {
+			return
+		}
+		mc.Advance(step)
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("condition not reached after 500 advances of %s", step)
+}
+
+// TestCoordinatorDeclaresSilentWorkerDead connects a fake worker that
+// completes the handshake and then never sends another frame. Advancing
+// the injected clock past HeartbeatTimeout must evict it.
+func TestCoordinatorDeclaresSilentWorkerDead(t *testing.T) {
+	mc := NewManualClock(time.Unix(0, 0))
+	coord := NewCoordinator(CoordinatorConfig{
+		Name:             "test",
+		Clock:            mc,
+		HeartbeatEvery:   2 * time.Second,
+		HeartbeatTimeout: 10 * time.Second,
+	})
+	defer coord.Close()
+	lb := NewLoopback()
+	l, err := lb.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go coord.Serve(l)
+
+	conn, err := lb.Dial("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(&Frame{Type: TypeHello, Hello: &HelloMsg{Name: "mute", Capacity: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Recv(); err != nil { // coordinator hello
+		t.Fatal(err)
+	}
+	go drainFrames(conn, nil) // keep coordinator pings from blocking
+
+	wctx, wcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer wcancel()
+	if err := coord.WaitForWorkers(wctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	advanceUntil(t, mc, 3*time.Second, func() bool { return coord.WorkerCount() == 0 })
+}
+
+// TestCoordinatorKeepsHeartbeatingWorkerAlive is the inverse: a worker
+// that answers every ping stays registered no matter how far the clock
+// advances.
+func TestCoordinatorKeepsHeartbeatingWorkerAlive(t *testing.T) {
+	mc := NewManualClock(time.Unix(0, 0))
+	coord := NewCoordinator(CoordinatorConfig{
+		Name:             "test",
+		Clock:            mc,
+		HeartbeatEvery:   2 * time.Second,
+		HeartbeatTimeout: 10 * time.Second,
+	})
+	defer coord.Close()
+	lb := NewLoopback()
+	l, err := lb.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go coord.Serve(l)
+
+	conn, err := lb.Dial("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(&Frame{Type: TypeHello, Hello: &HelloMsg{Name: "alive", Capacity: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	// Echo a heartbeat for every frame the coordinator sends.
+	go func() {
+		for {
+			if _, err := conn.Recv(); err != nil {
+				return
+			}
+			if conn.Send(&Frame{Type: TypeHeartbeat}) != nil {
+				return
+			}
+		}
+	}()
+
+	wctx, wcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer wcancel()
+	if err := coord.WaitForWorkers(wctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		mc.Advance(3 * time.Second)
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := coord.WorkerCount(); got != 1 {
+		t.Fatalf("WorkerCount = %d after 90s of answered pings, want 1", got)
+	}
+}
+
+// TestWorkerDropsSilentCoordinator checks the worker-side symmetry: a
+// coordinator that stops sending frames is abandoned after
+// HeartbeatTimeout on the injected clock, without real-time sleeping.
+func TestWorkerDropsSilentCoordinator(t *testing.T) {
+	mc := NewManualClock(time.Unix(0, 0))
+	w, err := NewWorker(WorkerConfig{
+		Name:             "w",
+		Factory:          sameFactory,
+		Clock:            mc,
+		HeartbeatEvery:   2 * time.Second,
+		HeartbeatTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := NewLoopback()
+	l, err := lb.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	serverCh := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		serverCh <- c
+	}()
+	conn, err := lb.Dial("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-serverCh
+	defer server.Close()
+
+	runErr := make(chan error, 1)
+	go func() { runErr <- w.Run(context.Background(), conn) }()
+
+	if f, err := server.Recv(); err != nil || f.Type != TypeHello {
+		t.Fatalf("worker hello: %+v, %v", f, err)
+	}
+	if err := server.Send(&Frame{Type: TypeHello, Hello: &HelloMsg{Name: "coord"}}); err != nil {
+		t.Fatal(err)
+	}
+	go drainFrames(server, nil) // absorb worker heartbeats, send nothing
+
+	done := func() bool {
+		select {
+		case err := <-runErr:
+			if err == nil {
+				t.Fatal("worker Run returned nil for a silent coordinator, want an error")
+			}
+			return true
+		default:
+			return false
+		}
+	}
+	advanceUntil(t, mc, 3*time.Second, done)
+}
+
+// TestLeaseDeadlineExpiresOnManualClock sends a lease with a deadline
+// to a worker whose simulator hangs; advancing the injected clock past
+// the deadline must produce a transient timeout result — no real-time
+// sleeping, mirroring the local executor's abandonment semantics.
+func TestLeaseDeadlineExpiresOnManualClock(t *testing.T) {
+	mc := NewManualClock(time.Unix(0, 0))
+	evalStarted := make(chan struct{}, 1)
+	w, err := NewWorker(WorkerConfig{
+		Name:             "w",
+		Factory:          stallingFactory(evalStarted),
+		Clock:            mc,
+		HeartbeatEvery:   2 * time.Second,
+		HeartbeatTimeout: time.Hour, // the silent test coordinator must not get dropped
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := NewLoopback()
+	l, err := lb.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	serverCh := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		serverCh <- c
+	}()
+	conn, err := lb.Dial("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-serverCh
+	defer server.Close()
+	defer conn.Close()
+
+	go w.Run(context.Background(), conn)
+	if f, err := server.Recv(); err != nil || f.Type != TypeHello {
+		t.Fatalf("worker hello: %+v, %v", f, err)
+	}
+	if err := server.Send(&Frame{Type: TypeHello, Hello: &HelloMsg{Name: "coord"}}); err != nil {
+		t.Fatal(err)
+	}
+	frames := make(chan *Frame, 16)
+	go drainFrames(server, frames)
+
+	if err := server.Send(&Frame{Type: TypeLease, Lease: &LeaseMsg{
+		ID: 1, Index: 0, Point: map[string]WireFloat{"x": 0.5}, TimeoutMS: 5000,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-evalStarted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("lease evaluation never started")
+	}
+
+	var result *ResultMsg
+	advanceUntil(t, mc, 3*time.Second, func() bool {
+		for {
+			select {
+			case f := <-frames:
+				if f.Type == TypeResult {
+					result = f.Result
+					return true
+				}
+			default:
+				return false
+			}
+		}
+	})
+	if result.ID != 1 {
+		t.Fatalf("result ID = %d, want 1", result.ID)
+	}
+	if result.Err == "" || !strings.Contains(result.Err, "timeout") {
+		t.Fatalf("result err = %q, want a timeout", result.Err)
+	}
+	if result.Class != "transient" {
+		t.Fatalf("result class = %q, want transient (timeouts are retryable)", result.Class)
+	}
+}

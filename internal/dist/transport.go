@@ -1,0 +1,200 @@
+package dist
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn is one frame-oriented connection between a coordinator and a
+// worker. Send and Recv are each safe for one goroutine at a time
+// (both sides of the protocol keep a dedicated reader and serialize
+// writes); Close unblocks a pending Recv on the same connection.
+type Conn interface {
+	// Send writes one frame.
+	Send(f *Frame) error
+	// Recv reads the next frame. It returns io.EOF on an orderly close
+	// at a frame boundary.
+	Recv() (*Frame, error)
+	// Close tears the connection down; both sides observe an error (or
+	// io.EOF) from pending and future Send/Recv calls.
+	Close() error
+}
+
+// Listener accepts inbound worker connections on the coordinator side.
+type Listener interface {
+	// Accept blocks for the next worker connection.
+	Accept() (Conn, error)
+	// Close stops accepting; a blocked Accept returns an error.
+	Close() error
+	// Addr describes the listen endpoint (for logs and worker flags).
+	Addr() string
+}
+
+// Transport binds the two connection directions together: coordinators
+// listen, workers dial. TCP and the in-process loopback implement it;
+// everything above this interface is transport-agnostic, so every
+// integration test can run on the loopback with full wire fidelity (the
+// loopback still encodes and decodes real frames).
+type Transport interface {
+	// Listen opens a coordinator endpoint. The TCP transport interprets
+	// addr as host:port; the loopback ignores it.
+	Listen(addr string) (Listener, error)
+	// Dial connects a worker to a coordinator endpoint.
+	Dial(addr string) (Conn, error)
+}
+
+// frameConn adapts any byte stream to Conn using the wire codec, so the
+// TCP and loopback transports share one encode/decode path.
+type frameConn struct {
+	raw net.Conn
+	br  *bufio.Reader
+
+	sendMu sync.Mutex
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// newFrameConn wraps a byte stream in the frame codec.
+func newFrameConn(raw net.Conn) *frameConn {
+	return &frameConn{raw: raw, br: bufio.NewReader(raw)}
+}
+
+// Send implements Conn.
+func (c *frameConn) Send(f *Frame) error {
+	buf, err := EncodeFrame(f)
+	if err != nil {
+		return err
+	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if _, err := c.raw.Write(buf); err != nil {
+		return fmt.Errorf("dist: sending %s frame: %w", f.Type, err)
+	}
+	return nil
+}
+
+// Recv implements Conn.
+func (c *frameConn) Recv() (*Frame, error) {
+	return DecodeFrame(c.br)
+}
+
+// Close implements Conn.
+func (c *frameConn) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.raw.Close() })
+	return c.closeErr
+}
+
+// TCP is the production Transport over TCP sockets.
+type TCP struct{}
+
+// tcpListener adapts net.Listener to Listener.
+type tcpListener struct{ l net.Listener }
+
+// Listen implements Transport.
+func (TCP) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: listening on %s: %w", addr, err)
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Dial implements Transport.
+func (TCP) Dial(addr string) (Conn, error) {
+	raw, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("dist: dialing %s: %w", addr, err)
+	}
+	if tc, ok := raw.(*net.TCPConn); ok {
+		// Frames are small and latency-sensitive (a lease blocks one
+		// calibration evaluation); never batch them.
+		_ = tc.SetNoDelay(true)
+	}
+	return newFrameConn(raw), nil
+}
+
+// Accept implements Listener.
+func (l *tcpListener) Accept() (Conn, error) {
+	raw, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := raw.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return newFrameConn(raw), nil
+}
+
+// Close implements Listener.
+func (l *tcpListener) Close() error { return l.l.Close() }
+
+// Addr implements Listener. It reports the bound address, so listening
+// on ":0" yields the actual port.
+func (l *tcpListener) Addr() string { return l.l.Addr().String() }
+
+// Loopback is an in-process Transport over synchronous net.Pipe pairs.
+// It exists so integration tests exercise the full protocol — real
+// frame encoding, the same coordinator and worker goroutine structure —
+// hermetically, with no sockets, ports, or firewall dependencies.
+// Connection kills (Close) behave like a TCP RST: the peer's blocked
+// Recv fails immediately, which is what the chaos tests lean on.
+type Loopback struct {
+	pending   chan net.Conn
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewLoopback returns an empty loopback transport. Dial and Listen only
+// connect within the same Loopback instance.
+func NewLoopback() *Loopback {
+	return &Loopback{pending: make(chan net.Conn), done: make(chan struct{})}
+}
+
+// loopbackListener hands dialed pipe ends to Accept.
+type loopbackListener struct{ t *Loopback }
+
+// Listen implements Transport. Only one listener is supported (the
+// coordinator); addr is ignored.
+func (t *Loopback) Listen(string) (Listener, error) {
+	return &loopbackListener{t: t}, nil
+}
+
+// Dial implements Transport.
+func (t *Loopback) Dial(string) (Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case t.pending <- server:
+		return newFrameConn(client), nil
+	case <-t.done:
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("dist: loopback transport closed")
+	case <-time.After(10 * time.Second):
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("dist: loopback dial: no listener accepted within 10s")
+	}
+}
+
+// Accept implements Listener.
+func (l *loopbackListener) Accept() (Conn, error) {
+	select {
+	case raw := <-l.t.pending:
+		return newFrameConn(raw), nil
+	case <-l.t.done:
+		return nil, fmt.Errorf("dist: loopback listener closed")
+	}
+}
+
+// Close implements Listener.
+func (l *loopbackListener) Close() error {
+	l.t.closeOnce.Do(func() { close(l.t.done) })
+	return nil
+}
+
+// Addr implements Listener.
+func (l *loopbackListener) Addr() string { return "loopback" }

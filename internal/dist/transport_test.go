@@ -1,0 +1,203 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// transports lists the two Transport implementations with a listen
+// address each; every test below runs against both.
+func transports() []struct {
+	name string
+	tr   Transport
+	addr string
+} {
+	return []struct {
+		name string
+		tr   Transport
+		addr string
+	}{
+		{"tcp", TCP{}, "127.0.0.1:0"},
+		{"loopback", NewLoopback(), ""},
+	}
+}
+
+// connect listens, dials, and returns both connection ends.
+func connect(t *testing.T, tr Transport, addr string) (client, server Conn, l Listener) {
+	t.Helper()
+	l, err := tr.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan Conn, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		accepted <- c
+	}()
+	client, err = tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case server = <-accepted:
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept timed out")
+	}
+	return client, server, l
+}
+
+func TestTransportFrameExchange(t *testing.T) {
+	for _, tc := range transports() {
+		t.Run(tc.name, func(t *testing.T) {
+			client, server, l := connect(t, tc.tr, tc.addr)
+			defer l.Close()
+			defer client.Close()
+			defer server.Close()
+
+			// Both directions, interleaved. The loopback pipe is
+			// synchronous, so reads must be concurrent with writes.
+			go func() {
+				client.Send(&Frame{Type: TypeHello, Hello: &HelloMsg{Name: "w", Capacity: 2}})
+			}()
+			f, err := server.Recv()
+			if err != nil {
+				t.Fatalf("server recv: %v", err)
+			}
+			if f.Type != TypeHello || f.Hello.Name != "w" || f.Hello.Capacity != 2 {
+				t.Fatalf("server got %+v", f)
+			}
+			go func() {
+				server.Send(&Frame{Type: TypeHeartbeat})
+			}()
+			f, err = client.Recv()
+			if err != nil {
+				t.Fatalf("client recv: %v", err)
+			}
+			if f.Type != TypeHeartbeat {
+				t.Fatalf("client got %+v", f)
+			}
+		})
+	}
+}
+
+func TestTransportPeerCloseYieldsEOF(t *testing.T) {
+	for _, tc := range transports() {
+		t.Run(tc.name, func(t *testing.T) {
+			client, server, l := connect(t, tc.tr, tc.addr)
+			defer l.Close()
+			defer server.Close()
+			client.Close()
+			if _, err := server.Recv(); err != io.EOF {
+				t.Fatalf("Recv after peer close = %v, want io.EOF", err)
+			}
+		})
+	}
+}
+
+// TestTransportConcurrentSends drives many goroutines through one
+// connection's Send path: frames must never interleave (the reader
+// decodes every frame cleanly). Run under -race this also proves the
+// send path is data-race free.
+func TestTransportConcurrentSends(t *testing.T) {
+	for _, tc := range transports() {
+		t.Run(tc.name, func(t *testing.T) {
+			client, server, l := connect(t, tc.tr, tc.addr)
+			defer l.Close()
+			defer client.Close()
+			defer server.Close()
+
+			const senders, per = 8, 25
+			var wg sync.WaitGroup
+			for s := 0; s < senders; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						err := client.Send(&Frame{Type: TypeResult, Result: &ResultMsg{
+							ID: uint64(s*per + i), Loss: WireFloat(float64(s) + float64(i)/100),
+						}})
+						if err != nil {
+							t.Errorf("send: %v", err)
+							return
+						}
+					}
+				}(s)
+			}
+			seen := make(map[uint64]bool)
+			for n := 0; n < senders*per; n++ {
+				f, err := server.Recv()
+				if err != nil {
+					t.Fatalf("recv after %d frames: %v", n, err)
+				}
+				if f.Type != TypeResult {
+					t.Fatalf("frame %d type = %s", n, f.Type)
+				}
+				if seen[f.Result.ID] {
+					t.Fatalf("duplicate frame id %d", f.Result.ID)
+				}
+				seen[f.Result.ID] = true
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func TestLoopbackListenerClose(t *testing.T) {
+	lb := NewLoopback()
+	l, err := lb.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acceptErr := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		acceptErr <- err
+	}()
+	l.Close()
+	select {
+	case err := <-acceptErr:
+		if err == nil {
+			t.Fatal("Accept returned nil after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Accept not unblocked by Close")
+	}
+	if _, err := lb.Dial(""); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("Dial after Close = %v, want closed error", err)
+	}
+}
+
+func TestTCPListenerReportsBoundPort(t *testing.T) {
+	l, err := TCP{}.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	addr := l.Addr()
+	if strings.HasSuffix(addr, ":0") {
+		t.Fatalf("Addr = %q still reports port 0", addr)
+	}
+	var host, port string
+	if i := strings.LastIndex(addr, ":"); i < 0 {
+		t.Fatalf("Addr = %q has no port", addr)
+	} else {
+		host, port = addr[:i], addr[i+1:]
+	}
+	if host != "127.0.0.1" || port == "" {
+		t.Fatalf("Addr = %q", addr)
+	}
+	if _, err := fmt.Sscanf(port, "%d", new(int)); err != nil {
+		t.Fatalf("Addr port %q is not numeric", port)
+	}
+}

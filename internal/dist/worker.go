@@ -1,0 +1,268 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"simcal/internal/core"
+	"simcal/internal/resilience"
+)
+
+// Factory builds a simulator from the opaque spec carried by a lease.
+// Workers cache built simulators keyed by the spec bytes, so a factory
+// is invoked once per distinct spec per connection, not per lease.
+type Factory func(spec []byte) (core.Simulator, error)
+
+// WorkerConfig configures a Worker.
+type WorkerConfig struct {
+	// Name identifies the worker in the hello handshake and in
+	// coordinator-side logs and trace events.
+	Name string
+	// Capacity is the number of leases evaluated concurrently; the
+	// coordinator never holds more than Capacity leases in flight on
+	// this worker. Zero means 1.
+	Capacity int
+	// Factory builds simulators from lease specs. Required.
+	Factory Factory
+	// Clock is the time source for heartbeats and lease deadlines; nil
+	// means RealClock. Tests inject a ManualClock so lease-expiry and
+	// heartbeat-timeout tests never sleep real time.
+	Clock Clock
+	// HeartbeatEvery is how often the worker pings the coordinator.
+	HeartbeatEvery time.Duration
+	// HeartbeatTimeout is how long a silent coordinator is tolerated
+	// before the worker drops the connection.
+	HeartbeatTimeout time.Duration
+}
+
+// Worker executes leases for one coordinator. It is the library behind
+// cmd/simcal-worker, and what the hermetic loopback tests run in-process.
+type Worker struct {
+	cfg   WorkerConfig
+	clock Clock
+
+	simsMu sync.Mutex
+	sims   map[string]core.Simulator
+}
+
+// NewWorker validates cfg and returns a Worker.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Factory == nil {
+		return nil, errors.New("dist: WorkerConfig requires a Factory")
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = RealClock{}
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = DefaultHeartbeatEvery
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = DefaultHeartbeatTimeout
+	}
+	return &Worker{cfg: cfg, clock: cfg.Clock, sims: make(map[string]core.Simulator)}, nil
+}
+
+// Run serves one coordinator connection until it closes. An orderly
+// coordinator shutdown (io.EOF at a frame boundary) returns nil — the
+// worker process can exit 0; anything else returns the error. Run
+// always closes conn before returning.
+func (w *Worker) Run(ctx context.Context, conn Conn) error {
+	defer conn.Close()
+	if err := conn.Send(&Frame{Type: TypeHello, Hello: &HelloMsg{Name: w.cfg.Name, Capacity: w.cfg.Capacity}}); err != nil {
+		return err
+	}
+	f, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("dist: waiting for coordinator hello: %w", err)
+	}
+	if f.Type != TypeHello {
+		return fmt.Errorf("dist: coordinator opened with a %s frame, want hello", f.Type)
+	}
+
+	// evalCtx cancels every in-flight evaluation the moment the
+	// connection dies, so abandoned leases stop burning CPU.
+	evalCtx, cancelEvals := context.WithCancel(ctx)
+	defer cancelEvals()
+	var evals sync.WaitGroup
+	defer evals.Wait()
+
+	var lastRecv atomic.Int64
+	lastRecv.Store(w.clock.Now().UnixNano())
+	hbDone := make(chan struct{})
+	defer close(hbDone)
+	go w.heartbeatLoop(conn, &lastRecv, hbDone)
+
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			if err == io.EOF {
+				return nil // orderly coordinator shutdown
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+			return err
+		}
+		lastRecv.Store(w.clock.Now().UnixNano())
+		switch f.Type {
+		case TypeHeartbeat:
+		case TypeLease:
+			msg := f.Lease
+			evals.Add(1)
+			go func() {
+				defer evals.Done()
+				w.evaluate(evalCtx, conn, msg)
+			}()
+		default:
+			return fmt.Errorf("dist: protocol violation: %s frame from coordinator", f.Type)
+		}
+	}
+}
+
+// heartbeatLoop pings the coordinator every HeartbeatEvery and drops
+// the connection after HeartbeatTimeout of silence, which unblocks the
+// read loop in Run.
+func (w *Worker) heartbeatLoop(conn Conn, lastRecv *atomic.Int64, done <-chan struct{}) {
+	for {
+		select {
+		case <-w.clock.After(w.cfg.HeartbeatEvery):
+		case <-done:
+			return
+		}
+		silent := time.Duration(w.clock.Now().UnixNano() - lastRecv.Load())
+		if silent > w.cfg.HeartbeatTimeout {
+			conn.Close()
+			return
+		}
+		if conn.Send(&Frame{Type: TypeHeartbeat}) != nil {
+			return // the read loop observes the dead connection
+		}
+	}
+}
+
+// simulator returns the cached simulator for spec, building it on first
+// use.
+func (w *Worker) simulator(spec []byte) (core.Simulator, error) {
+	key := string(spec)
+	w.simsMu.Lock()
+	defer w.simsMu.Unlock()
+	if sim, ok := w.sims[key]; ok {
+		return sim, nil
+	}
+	sim, err := w.cfg.Factory(spec)
+	if err != nil {
+		return nil, err
+	}
+	w.sims[key] = sim
+	return sim, nil
+}
+
+// evaluate runs one lease and reports its result. Failures cross the
+// wire with their resilience class so the coordinator reconstructs an
+// equivalently classified error; evaluations aborted by connection
+// teardown report nothing (the coordinator re-queues the lease when it
+// declares this worker dead).
+func (w *Worker) evaluate(ctx context.Context, conn Conn, msg *LeaseMsg) {
+	pt := make(core.Point, len(msg.Point))
+	for k, v := range msg.Point {
+		pt[k] = float64(v)
+	}
+	var loss float64
+	var err error
+	sim, err := w.simulator(msg.Spec)
+	if err == nil {
+		loss, err = w.runLease(ctx, sim, pt, time.Duration(msg.TimeoutMS)*time.Millisecond)
+	}
+	res := &ResultMsg{ID: msg.ID, Index: msg.Index, Loss: WireFloat(loss)}
+	if err != nil {
+		if ctx.Err() != nil {
+			return // connection teardown: the lease is being re-queued
+		}
+		switch resilience.Classify(err) {
+		case resilience.Deterministic:
+			res.Class = "deterministic"
+		default:
+			// Transient — and Aborted with a live connection, which can
+			// only come from a simulator canceling itself: worth a retry.
+			res.Class = "transient"
+		}
+		res.Loss = 0
+		res.Err = err.Error()
+	}
+	// A send failure means the connection died; the coordinator
+	// re-queues the lease, so there is nothing to recover here.
+	_ = conn.Send(&Frame{Type: TypeResult, Result: res})
+}
+
+// runLease evaluates one point under panic isolation and the lease
+// deadline. An expired deadline cancels (abandons) the evaluation and
+// reports a transient timeout, mirroring the local resilience
+// executor's per-attempt timeout semantics.
+func (w *Worker) runLease(ctx context.Context, sim core.Simulator, pt core.Point, timeout time.Duration) (float64, error) {
+	evalCtx := ctx
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		evalCtx, cancel = context.WithCancel(ctx)
+		defer cancel()
+	}
+	type res struct {
+		loss float64
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		var loss float64
+		err := resilience.Safely(func() error {
+			var e error
+			loss, e = sim.Run(evalCtx, pt)
+			return e
+		})
+		ch <- res{loss: loss, err: err}
+	}()
+	if timeout <= 0 {
+		r := <-ch
+		return r.loss, r.err
+	}
+	select {
+	case r := <-ch:
+		return r.loss, r.err
+	case <-w.clock.After(timeout):
+		cancel() // abandon the hung evaluation; the goroutine drains into the buffered channel
+		return 0, &resilience.TimeoutError{Timeout: timeout}
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// RunDial dials the coordinator (with retries, for workers started
+// before the coordinator listens) and serves the connection. retries
+// counts additional dial attempts after the first, spaced by delay.
+func (w *Worker) RunDial(ctx context.Context, t Transport, addr string, retries int, delay time.Duration) error {
+	var conn Conn
+	var err error
+	for attempt := 0; ; attempt++ {
+		conn, err = t.Dial(addr)
+		if err == nil {
+			break
+		}
+		if attempt >= retries {
+			return err
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return w.Run(ctx, conn)
+}

@@ -9,6 +9,7 @@ import (
 	"simcal/internal/core"
 	"simcal/internal/groundtruth"
 	"simcal/internal/loss"
+	"simcal/internal/simspec"
 	"simcal/internal/stats"
 	"simcal/internal/wfgen"
 	"simcal/internal/wfsim"
@@ -32,14 +33,20 @@ type Table3Result struct {
 // pair, and report the calibration errors.
 func Table3(ctx context.Context, o Options) (*Table3Result, error) {
 	v := wfsim.HighestDetail
-	template, err := trainingDataset(o)
-	if err != nil {
-		return nil, err
-	}
+	gt := trainingWFOptions(o)
 	planted := groundtruth.WorkflowTruthPoint(v)
-	syn, err := groundtruth.SyntheticWorkflowData(v, planted, template)
-	if err != nil {
-		return nil, err
+	// With a Remote hook the workers build the synthetic dataset from
+	// the spec; only local evaluation needs it in this process.
+	var syn *groundtruth.WFDataset
+	if o.Remote == nil {
+		template, err := groundtruth.GenerateWorkflowData(gt)
+		if err != nil {
+			return nil, err
+		}
+		syn, err = groundtruth.SyntheticWorkflowData(v, planted, template)
+		if err != nil {
+			return nil, err
+		}
 	}
 	res := &Table3Result{Errors: make(map[string]map[string]float64)}
 	for _, kind := range loss.AllWFKinds {
@@ -57,10 +64,15 @@ func Table3(ctx context.Context, o Options) (*Table3Result, error) {
 		// internal state and cells run concurrently.
 		alg := algorithms()[ai]
 		kind := loss.AllWFKinds[ki]
+		sim, err := o.simulator(simspec.ForWF(v, kind, gt, true),
+			func() (core.Simulator, error) { return loss.WFEvaluator(v, kind, syn), nil })
+		if err != nil {
+			return 0, fmt.Errorf("table3 %s/%s: %w", alg.Name(), kind, err)
+		}
 		// Distinct seed per cell: with a shared seed, RAND would
 		// evaluate the identical point sequence for every loss and
 		// the whole row would collapse to one value.
-		cal := o.calibrator(v.Space(), loss.WFEvaluator(v, kind, syn), alg,
+		cal := o.calibrator(v.Space(), sim, alg,
 			o.Seed+int64(100*ai+ki+1), o.cacheKey("table3/wf/"+kind.String()))
 		r, err := cal.Run(ctx)
 		if err != nil {
@@ -104,16 +116,24 @@ func Figure1(ctx context.Context, o Options) (*Figure1Result, error) {
 	if len(o.WFApps) > 0 {
 		app = o.WFApps[0]
 	}
-	ds, err := groundtruth.GenerateWorkflowData(groundtruth.WFOptions{
+	gt := groundtruth.WFOptions{
 		Apps:    []wfgen.App{app},
 		SizeIdx: o.WFSizeIdx, WorkIdx: o.WFWorkIdx, FootIdx: o.WFFootIdx,
 		Workers: o.WFWorkers, Reps: o.Reps, Seed: o.Seed,
-	})
+	}
+	v := wfsim.HighestDetail
+	sim, err := o.simulator(simspec.ForWF(v, loss.WFL1, gt, false),
+		func() (core.Simulator, error) {
+			ds, err := groundtruth.GenerateWorkflowData(gt)
+			if err != nil {
+				return nil, err
+			}
+			return loss.WFEvaluator(v, loss.WFL1, ds), nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	v := wfsim.HighestDetail
-	cal := o.calibrator(v.Space(), loss.WFEvaluator(v, loss.WFL1, ds), algorithms()[1],
+	cal := o.calibrator(v.Space(), sim, algorithms()[1],
 		o.Seed, o.cacheKey("figure1/wf/L1"))
 	r, err := cal.Run(ctx)
 	if err != nil {
@@ -272,13 +292,15 @@ func Baseline1(ctx context.Context, o Options) (*Baseline1Result, error) {
 	return out, nil
 }
 
-// trainingDataset builds the default training dataset: per app, the
-// second-largest worker count and second-largest size (Section 5.4).
-func trainingDataset(o Options) (*groundtruth.WFDataset, error) {
+// trainingWFOptions resolves the generation options of the default
+// training dataset: per app, the second-largest worker count and
+// second-largest size (Section 5.4). The resolved options double as the
+// dataset description shipped to remote workers inside simulator specs.
+func trainingWFOptions(o Options) groundtruth.WFOptions {
 	sizeIdx := secondLargestIdx(o.WFSizeIdx, len(wfgen.Table1[wfgen.Epigenomics].Sizes))
 	workerIdx := secondLargestIdx(nil, len(defaultWorkers(o)))
 	workers := defaultWorkers(o)
-	return groundtruth.GenerateWorkflowData(groundtruth.WFOptions{
+	return groundtruth.WFOptions{
 		Apps:    o.WFApps,
 		SizeIdx: []int{sizeIdx},
 		WorkIdx: o.WFWorkIdx,
@@ -286,7 +308,13 @@ func trainingDataset(o Options) (*groundtruth.WFDataset, error) {
 		Workers: []int{workers[workerIdx]},
 		Reps:    o.Reps,
 		Seed:    o.Seed,
-	})
+	}
+}
+
+// trainingDataset builds the default training dataset (see
+// trainingWFOptions).
+func trainingDataset(o Options) (*groundtruth.WFDataset, error) {
+	return groundtruth.GenerateWorkflowData(trainingWFOptions(o))
 }
 
 // fullDataset generates the complete ground-truth grid for the options.

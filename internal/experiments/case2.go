@@ -10,6 +10,7 @@ import (
 	"simcal/internal/loss"
 	"simcal/internal/mpi"
 	"simcal/internal/mpisim"
+	"simcal/internal/simspec"
 	"simcal/internal/stats"
 )
 
@@ -123,11 +124,22 @@ type Figure4Result struct {
 func Figure4(ctx context.Context, o Options) (*Figure4Result, error) {
 	v := mpisim.HighestDetail
 	nodes := o.MPINodes[:1]
-	ds, err := mpiTrainData(o, p2pBenchmarks, nodes)
+	gt := groundtruth.MPIOptions{
+		Benchmarks: p2pBenchmarks, Nodes: nodes, MsgSizes: o.MPIMsgSizes,
+		Rounds: o.MPIRounds, Reps: o.Reps, Seed: o.Seed,
+	}
+	sim, err := o.simulator(simspec.ForMPI(v, loss.MPIL1, gt, o.MPIRounds, false),
+		func() (core.Simulator, error) {
+			ds, err := groundtruth.GenerateMPIData(gt)
+			if err != nil {
+				return nil, err
+			}
+			return loss.MPIEvaluator(v, loss.MPIL1, ds, o.MPIRounds), nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	cal := o.calibrator(v.Space(), loss.MPIEvaluator(v, loss.MPIL1, ds, o.MPIRounds), algorithms()[1],
+	cal := o.calibrator(v.Space(), sim, algorithms()[1],
 		o.Seed, o.cacheKey("figure4/mpi/L1"))
 	r, err := cal.Run(ctx)
 	if err != nil {

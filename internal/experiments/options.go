@@ -15,6 +15,7 @@ import (
 	"simcal/internal/core"
 	"simcal/internal/opt"
 	"simcal/internal/resilience"
+	"simcal/internal/simspec"
 	"simcal/internal/wfgen"
 )
 
@@ -83,6 +84,25 @@ type Options struct {
 	// results are identical to uninterrupted ones because cell seeds
 	// derive from Seed, never from scheduling order.
 	RunLog *RunLog
+
+	// Remote, when non-nil, supplies the loss evaluator for a simulator
+	// spec instead of building it in-process — the hook the distributed
+	// evaluation plane plugs in (a dist.Coordinator's Evaluator). The
+	// spec-aware drivers (Table3, Figure1, Figure4) route their
+	// evaluations through it; the remaining drivers always evaluate
+	// locally. Because specs are self-describing and workers rebuild
+	// simulators from the same code, results are bitwise identical to
+	// local evaluation.
+	Remote func(spec simspec.Spec) (core.Simulator, error)
+}
+
+// simulator resolves the loss evaluator for one calibration cell: the
+// Remote hook when set, otherwise the lazily built local evaluator.
+func (o Options) simulator(sp simspec.Spec, local func() (core.Simulator, error)) (core.Simulator, error) {
+	if o.Remote != nil {
+		return o.Remote(sp)
+	}
+	return local()
 }
 
 // sched returns the experiment-wide scheduler implied by Jobs (nil for

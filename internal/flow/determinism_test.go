@@ -1,0 +1,71 @@
+package flow
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"simcal/internal/des"
+)
+
+// irregularSolve sets up a contended system whose max-min solution is
+// full of irrational shares (irregular weights and capacities), runs it
+// to completion, and returns every activity's first allocated rate plus
+// its completion time. Any dependence of the solver on map iteration
+// order shows up here as last-ULP differences between invocations.
+func irregularSolve() (rates, doneAt []float64) {
+	eng := des.NewEngine()
+	sys := NewSystem(eng)
+	res := make([]*Resource, 5)
+	for i := range res {
+		res[i] = NewResource(fmt.Sprintf("r%d", i), 100+float64(i)*17.3)
+	}
+	const n = 40
+	rates = make([]float64, n)
+	doneAt = make([]float64, n)
+	acts := make([]*Activity, n)
+	sys.Batch(func() {
+		for i := 0; i < n; i++ {
+			i := i
+			usage := []Usage{
+				{res[i%5], 1 + float64(i%3)*0.7},
+				{res[(i*7+2)%5], 1.3},
+			}
+			var bound float64
+			if i%4 == 0 {
+				bound = 3.1 + float64(i)/13
+			}
+			acts[i] = sys.StartActivity(fmt.Sprintf("a%02d", i),
+				1000+float64(i)*3.77, bound, usage,
+				func() { doneAt[i] = eng.Now() })
+		}
+	})
+	for i, a := range acts {
+		rates[i] = a.Rate()
+	}
+	if _, err := eng.Run(1e12); err != nil {
+		panic(err)
+	}
+	return rates, doneAt
+}
+
+// TestSolveBitwiseRepeatable: the max-min solver must produce bitwise
+// identical rates and completion times on every run — the foundation of
+// the repo-wide guarantee that serial, parallel, resumed, and
+// distributed calibrations of the same seed are byte-identical. (The
+// active set once lived in a pointer-keyed map; iterating it made
+// weight sums accumulate in address order, which varied per process.)
+func TestSolveBitwiseRepeatable(t *testing.T) {
+	r1, d1 := irregularSolve()
+	for trial := 0; trial < 10; trial++ {
+		r2, d2 := irregularSolve()
+		for i := range r1 {
+			if math.Float64bits(r1[i]) != math.Float64bits(r2[i]) {
+				t.Fatalf("trial %d: rate[%d] = %v vs %v (differs in last ULPs)", trial, i, r1[i], r2[i])
+			}
+			if math.Float64bits(d1[i]) != math.Float64bits(d2[i]) {
+				t.Fatalf("trial %d: doneAt[%d] = %v vs %v", trial, i, d1[i], d2[i])
+			}
+		}
+	}
+}

@@ -61,6 +61,7 @@ type Activity struct {
 	bound     float64 // max rate; 0 means unbounded
 	usage     []Usage
 	uidx      []int // resource indices, parallel to usage
+	idx       int   // position in System.active (-1 once removed)
 	onDone    func()
 	rate      float64
 	done      bool
@@ -89,9 +90,15 @@ func (a *Activity) Cancel() {
 }
 
 // System manages the set of active fluid activities over an engine.
+//
+// The active set is an insertion-ordered slice, not a map: the solver
+// accumulates floating-point weight sums while iterating it, so the
+// iteration order must be a pure function of the simulation's operation
+// sequence. A pointer-keyed map would iterate in address order and make
+// the last ULPs of every rate vary from process to process.
 type System struct {
 	eng        *des.Engine
-	active     map[*Activity]struct{}
+	active     []*Activity
 	lastUpdate float64
 	completion *des.Event
 	inUpdate   bool
@@ -118,7 +125,6 @@ type System struct {
 func NewSystem(eng *des.Engine) *System {
 	s := &System{
 		eng:    eng,
-		active: make(map[*Activity]struct{}),
 		resIdx: make(map[*Resource]int),
 	}
 	eng.OnRunEnd(s.flushStats)
@@ -185,9 +191,28 @@ func (s *System) StartActivity(name string, work, bound float64, usage []Usage, 
 		a.uidx[i] = s.register(u.Res)
 	}
 	s.advance()
-	s.active[a] = struct{}{}
+	s.addActive(a)
 	s.reschedule()
 	return a
+}
+
+// addActive appends a to the insertion-ordered active list.
+func (s *System) addActive(a *Activity) {
+	a.idx = len(s.active)
+	s.active = append(s.active, a)
+}
+
+// removeActive deletes a while preserving the insertion order of the
+// rest, keeping solver iteration a pure function of the operation
+// sequence.
+func (s *System) removeActive(a *Activity) {
+	i := a.idx
+	copy(s.active[i:], s.active[i+1:])
+	s.active = s.active[:len(s.active)-1]
+	for ; i < len(s.active); i++ {
+		s.active[i].idx = i
+	}
+	a.idx = -1
 }
 
 // Batch runs fn, deferring rate recomputation until fn returns, so that
@@ -210,7 +235,7 @@ func (s *System) Batch(fn func()) {
 // schedule.
 func (s *System) remove(a *Activity) {
 	s.advance()
-	delete(s.active, a)
+	s.removeActive(a)
 	s.reschedule()
 }
 
@@ -222,7 +247,7 @@ func (s *System) advance() {
 	if dt <= 0 {
 		return
 	}
-	for a := range s.active {
+	for _, a := range s.active {
 		if math.IsInf(a.rate, 1) {
 			a.remaining = 0
 			continue
@@ -280,7 +305,7 @@ func (s *System) reschedule() {
 	}
 	te := s.timeEps()
 	dt := math.Inf(1)
-	for a := range s.active {
+	for _, a := range s.active {
 		var d float64
 		switch {
 		case a.effectivelyDone(te):
@@ -313,19 +338,18 @@ func (s *System) onCompletion() {
 	s.advance()
 	te := s.timeEps()
 	var finished []*Activity
-	for a := range s.active {
+	for _, a := range s.active {
 		if a.effectivelyDone(te) {
 			finished = append(finished, a)
 		}
 	}
-	// Deterministic callback order: by name, then pointer identity is
-	// avoided entirely by sorting on insertion order via names. Ties keep
-	// map order out of the picture for simulators that name activities
-	// uniquely.
+	// Callbacks fire in name order (finished is collected in insertion
+	// order, so ties between identically named activities stay
+	// deterministic too).
 	sortActivities(finished)
 	s.inUpdate = true
 	for _, a := range finished {
-		delete(s.active, a)
+		s.removeActive(a)
 		a.done = true
 		a.remaining = 0
 	}
@@ -373,7 +397,7 @@ func (s *System) solve() {
 	touched := make([]int, 0, 16)
 	var bounded []*Activity
 	unfixed := 0
-	for a := range s.active {
+	for _, a := range s.active {
 		a.rate = 0
 		a.fixedGen = 0
 		unfixed++
@@ -383,7 +407,7 @@ func (s *System) solve() {
 	}
 	// Init per-resource state exactly once per solve using generation
 	// stamps, then accumulate weights and user lists.
-	for a := range s.active {
+	for _, a := range s.active {
 		for _, ri := range a.uidx {
 			if s.resetGen[ri] != gen {
 				s.resetGen[ri] = gen
@@ -394,7 +418,7 @@ func (s *System) solve() {
 			}
 		}
 	}
-	for a := range s.active {
+	for _, a := range s.active {
 		for i, ri := range a.uidx {
 			s.weightSum[ri] += a.usage[i].Weight
 			s.users[ri] = append(s.users[ri], a)
@@ -443,7 +467,7 @@ func (s *System) solve() {
 		}
 		if math.IsInf(best, 1) {
 			// No constraints left: remaining activities finish instantly.
-			for a := range s.active {
+			for _, a := range s.active {
 				if a.fixedGen != gen {
 					a.rate = math.Inf(1)
 					a.fixedGen = gen
@@ -473,7 +497,7 @@ func (s *System) solve() {
 		}
 		if !fixedAny {
 			// Defensive: numerically stuck — freeze everything left.
-			for a := range s.active {
+			for _, a := range s.active {
 				if a.fixedGen != gen {
 					fix(a, best)
 				}

@@ -28,6 +28,14 @@ const (
 	EventBreakerState      = "breaker_state"
 	EventCheckpointWritten = "checkpoint_written"
 	EventCheckpointFailed  = "checkpoint_failed"
+
+	// Distributed-evaluation lifecycle events (see the dist package).
+	// They are emitted on the coordinator's own tracer, never on the
+	// calibration trace — a distributed calibration trace must stay
+	// bitwise identical to a serial one.
+	EventDistWorkerConnected    = "dist_worker_connected"
+	EventDistWorkerDisconnected = "dist_worker_disconnected"
+	EventDistLeaseRequeued      = "dist_lease_requeued"
 )
 
 // ConvergencePoint is one point of a replayed best-loss-vs-time curve.

@@ -62,6 +62,21 @@ func (c Class) String() string {
 	return fmt.Sprintf("Class(%d)", int(c))
 }
 
+// ParseClass is the inverse of Class.String: it maps a class name (as
+// carried on the distributed evaluation wire) back to its Class. The
+// second result reports whether the name was recognized.
+func ParseClass(s string) (Class, bool) {
+	switch s {
+	case "deterministic":
+		return Deterministic, true
+	case "transient":
+		return Transient, true
+	case "aborted":
+		return Aborted, true
+	}
+	return Deterministic, false
+}
+
 // PanicError is a recovered panic converted into an error. It classifies
 // as Deterministic: a panicking simulator configuration panics again on
 // retry, so the point is memoized as +Inf instead of re-executed.

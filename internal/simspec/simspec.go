@@ -1,0 +1,374 @@
+// Package simspec gives every calibratable simulator configuration a
+// canonical, serializable description. A Spec names the case study, the
+// level-of-detail version, the loss function, and the ground-truth
+// dataset scale — everything needed to rebuild the exact loss evaluator
+// anywhere: locally in cmd/simcal, or on a remote worker that received
+// the spec inside a distributed evaluation lease (see internal/dist).
+//
+// Because both sides build the simulator from the same spec through the
+// same code, a remote evaluation computes bitwise the same loss as a
+// local one — the property the distributed plane's determinism
+// guarantee rests on.
+package simspec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"simcal/internal/core"
+	"simcal/internal/groundtruth"
+	"simcal/internal/loss"
+	"simcal/internal/mpi"
+	"simcal/internal/mpisim"
+	"simcal/internal/wfgen"
+	"simcal/internal/wfsim"
+)
+
+// Spec describes one (simulator version, loss function, dataset)
+// configuration. All fields are resolved, explicit values — a spec
+// never depends on defaults of the process that interprets it.
+type Spec struct {
+	// Case selects the case study: "wf" (workflows) or "mpi".
+	Case string `json:"case"`
+	// Synthetic plants the version's hidden truth point and generates
+	// synthetic ground truth from it (the paper's Section 5.3.2
+	// benchmark methodology) instead of using the standard dataset.
+	Synthetic bool `json:"synthetic,omitempty"`
+	// Seed drives ground-truth generation.
+	Seed int64 `json:"seed"`
+	// Loss names the loss function (L1..L6 for wf, L1..L4 for mpi).
+	Loss string `json:"loss"`
+
+	// Workflow simulator version (Case == "wf").
+	WFNetwork string `json:"wf_network,omitempty"` // one-link|star|series
+	WFStorage string `json:"wf_storage,omitempty"` // submit|all
+	WFCompute string `json:"wf_compute,omitempty"` // direct|htcondor
+	// Workflow ground-truth scale.
+	WFApps    []string `json:"wf_apps,omitempty"`
+	WFSizeIdx []int    `json:"wf_size_idx,omitempty"`
+	WFWorkIdx []int    `json:"wf_work_idx,omitempty"`
+	WFFootIdx []int    `json:"wf_foot_idx,omitempty"`
+	WFWorkers []int    `json:"wf_workers,omitempty"`
+	WFReps    int      `json:"wf_reps,omitempty"`
+
+	// MPI simulator version (Case == "mpi").
+	MPINetwork  string `json:"mpi_network,omitempty"`  // backbone|backbone-links|tree4|fat-tree
+	MPINode     string `json:"mpi_node,omitempty"`     // simple|complex
+	MPIProtocol string `json:"mpi_protocol,omitempty"` // fixed|free
+	// MPI ground-truth scale.
+	MPIBenchmarks []string  `json:"mpi_benchmarks,omitempty"`
+	MPINodes      []int     `json:"mpi_nodes,omitempty"`
+	MPIMsgSizes   []float64 `json:"mpi_msg_sizes,omitempty"`
+	MPIRounds     int       `json:"mpi_rounds,omitempty"`
+	MPIReps       int       `json:"mpi_reps,omitempty"`
+	// EvalRounds is the rounds parameter of the MPI loss evaluator.
+	EvalRounds int `json:"eval_rounds,omitempty"`
+}
+
+// Canonical returns the spec's canonical JSON encoding — the bytes
+// shipped in distributed leases and used as the worker-side simulator
+// cache key.
+func (s Spec) Canonical() ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// Parse decodes a canonical spec. Unknown fields are rejected so a
+// version-skewed coordinator/worker pair fails loudly instead of
+// silently evaluating a different configuration.
+func Parse(b []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("simspec: %w", err)
+	}
+	switch s.Case {
+	case "wf", "mpi":
+	default:
+		return Spec{}, fmt.Errorf("simspec: unknown case study %q", s.Case)
+	}
+	return s, nil
+}
+
+// Build constructs the loss evaluator the spec describes, generating
+// its ground-truth dataset from the spec's own scale fields.
+func (s Spec) Build() (core.Simulator, error) {
+	switch s.Case {
+	case "wf":
+		return s.buildWF()
+	case "mpi":
+		return s.buildMPI()
+	}
+	return nil, fmt.Errorf("simspec: unknown case study %q", s.Case)
+}
+
+// Space returns the parameter space of the spec's simulator version.
+func (s Spec) Space() (core.Space, error) {
+	switch s.Case {
+	case "wf":
+		v, err := ParseWFVersion(s.WFNetwork, s.WFStorage, s.WFCompute)
+		if err != nil {
+			return nil, err
+		}
+		return v.Space(), nil
+	case "mpi":
+		v, err := ParseMPIVersion(s.MPINetwork, s.MPINode, s.MPIProtocol)
+		if err != nil {
+			return nil, err
+		}
+		return v.Space(), nil
+	}
+	return nil, fmt.Errorf("simspec: unknown case study %q", s.Case)
+}
+
+func (s Spec) buildWF() (core.Simulator, error) {
+	v, err := ParseWFVersion(s.WFNetwork, s.WFStorage, s.WFCompute)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := ParseWFLoss(s.Loss)
+	if err != nil {
+		return nil, err
+	}
+	apps := make([]wfgen.App, len(s.WFApps))
+	for i, a := range s.WFApps {
+		apps[i] = wfgen.App(a)
+	}
+	ds, err := groundtruth.GenerateWorkflowData(groundtruth.WFOptions{
+		Apps:    apps,
+		SizeIdx: s.WFSizeIdx, WorkIdx: s.WFWorkIdx, FootIdx: s.WFFootIdx,
+		Workers: s.WFWorkers, Reps: s.WFReps, Seed: s.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if s.Synthetic {
+		ds, err = groundtruth.SyntheticWorkflowData(v, groundtruth.WorkflowTruthPoint(v), ds)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return loss.WFEvaluator(v, kind, ds), nil
+}
+
+func (s Spec) buildMPI() (core.Simulator, error) {
+	v, err := ParseMPIVersion(s.MPINetwork, s.MPINode, s.MPIProtocol)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := ParseMPILoss(s.Loss)
+	if err != nil {
+		return nil, err
+	}
+	benches := make([]mpi.Benchmark, len(s.MPIBenchmarks))
+	for i, b := range s.MPIBenchmarks {
+		benches[i] = mpi.Benchmark(b)
+	}
+	ds, err := groundtruth.GenerateMPIData(groundtruth.MPIOptions{
+		Benchmarks: benches,
+		Nodes:      s.MPINodes, MsgSizes: s.MPIMsgSizes,
+		Rounds: s.MPIRounds, Reps: s.MPIReps, Seed: s.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if s.Synthetic {
+		ds, err = groundtruth.SyntheticMPIData(v, groundtruth.MPITruthPoint(v), ds, s.MPIRounds)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rounds := s.EvalRounds
+	if rounds <= 0 {
+		rounds = 1
+	}
+	return loss.MPIEvaluator(v, kind, ds, rounds), nil
+}
+
+// ForWF assembles the spec for a workflow calibration: version v, loss
+// kind, and the ground-truth generation options gt. synthetic selects
+// the planted-truth synthetic dataset built from gt as template.
+func ForWF(v wfsim.Version, kind loss.WFKind, gt groundtruth.WFOptions, synthetic bool) Spec {
+	network, storage, compute := WFVersionFields(v)
+	apps := make([]string, len(gt.Apps))
+	for i, a := range gt.Apps {
+		apps[i] = string(a)
+	}
+	return Spec{
+		Case: "wf", Synthetic: synthetic, Seed: gt.Seed, Loss: kind.String(),
+		WFNetwork: network, WFStorage: storage, WFCompute: compute,
+		WFApps:    apps,
+		WFSizeIdx: gt.SizeIdx, WFWorkIdx: gt.WorkIdx, WFFootIdx: gt.FootIdx,
+		WFWorkers: gt.Workers, WFReps: gt.Reps,
+	}
+}
+
+// ForMPI assembles the spec for an MPI calibration: version v, loss
+// kind, ground-truth options gt, and the loss evaluator's rounds.
+func ForMPI(v mpisim.Version, kind loss.MPIKind, gt groundtruth.MPIOptions, evalRounds int, synthetic bool) Spec {
+	network, node, proto := MPIVersionFields(v)
+	benches := make([]string, len(gt.Benchmarks))
+	for i, b := range gt.Benchmarks {
+		benches[i] = string(b)
+	}
+	return Spec{
+		Case: "mpi", Synthetic: synthetic, Seed: gt.Seed, Loss: kind.String(),
+		MPINetwork: network, MPINode: node, MPIProtocol: proto,
+		MPIBenchmarks: benches,
+		MPINodes:      gt.Nodes, MPIMsgSizes: gt.MsgSizes,
+		MPIRounds: gt.Rounds, MPIReps: gt.Reps,
+		EvalRounds: evalRounds,
+	}
+}
+
+// BuildSimulator is a dist-compatible factory (assignable to
+// dist.Factory): it parses a canonical spec and builds its evaluator.
+func BuildSimulator(spec []byte) (core.Simulator, error) {
+	s, err := Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.Build()
+}
+
+// ParseWFVersion maps the CLI component names to a workflow simulator
+// version.
+func ParseWFVersion(network, storage, compute string) (wfsim.Version, error) {
+	var v wfsim.Version
+	switch network {
+	case "one-link":
+		v.Network = wfsim.OneLink
+	case "star":
+		v.Network = wfsim.Star
+	case "series":
+		v.Network = wfsim.Series
+	default:
+		return v, fmt.Errorf("simspec: unknown wf network %q", network)
+	}
+	switch storage {
+	case "submit":
+		v.Storage = wfsim.SubmitOnly
+	case "all":
+		v.Storage = wfsim.AllNodes
+	default:
+		return v, fmt.Errorf("simspec: unknown wf storage %q", storage)
+	}
+	switch compute {
+	case "direct":
+		v.Compute = wfsim.Direct
+	case "htcondor":
+		v.Compute = wfsim.HTCondor
+	default:
+		return v, fmt.Errorf("simspec: unknown wf compute %q", compute)
+	}
+	return v, nil
+}
+
+// WFVersionFields is the inverse of ParseWFVersion: the CLI component
+// names for a workflow simulator version.
+func WFVersionFields(v wfsim.Version) (network, storage, compute string) {
+	switch v.Network {
+	case wfsim.OneLink:
+		network = "one-link"
+	case wfsim.Star:
+		network = "star"
+	case wfsim.Series:
+		network = "series"
+	}
+	switch v.Storage {
+	case wfsim.SubmitOnly:
+		storage = "submit"
+	case wfsim.AllNodes:
+		storage = "all"
+	}
+	switch v.Compute {
+	case wfsim.Direct:
+		compute = "direct"
+	case wfsim.HTCondor:
+		compute = "htcondor"
+	}
+	return network, storage, compute
+}
+
+// ParseMPIVersion maps the CLI component names to an MPI simulator
+// version.
+func ParseMPIVersion(network, node, proto string) (mpisim.Version, error) {
+	var v mpisim.Version
+	switch network {
+	case "backbone":
+		v.Network = mpisim.Backbone
+	case "backbone-links":
+		v.Network = mpisim.BackboneLinks
+	case "tree4":
+		v.Network = mpisim.Tree4
+	case "fat-tree":
+		v.Network = mpisim.FatTree
+	default:
+		return v, fmt.Errorf("simspec: unknown mpi network %q", network)
+	}
+	switch node {
+	case "simple":
+		v.Node = mpisim.SimpleNode
+	case "complex":
+		v.Node = mpisim.ComplexNode
+	default:
+		return v, fmt.Errorf("simspec: unknown mpi node %q", node)
+	}
+	switch proto {
+	case "fixed":
+		v.Protocol = mpisim.FixedPoints
+	case "free":
+		v.Protocol = mpisim.FreePoints
+	default:
+		return v, fmt.Errorf("simspec: unknown mpi protocol %q", proto)
+	}
+	return v, nil
+}
+
+// MPIVersionFields is the inverse of ParseMPIVersion.
+func MPIVersionFields(v mpisim.Version) (network, node, proto string) {
+	switch v.Network {
+	case mpisim.Backbone:
+		network = "backbone"
+	case mpisim.BackboneLinks:
+		network = "backbone-links"
+	case mpisim.Tree4:
+		network = "tree4"
+	case mpisim.FatTree:
+		network = "fat-tree"
+	}
+	switch v.Node {
+	case mpisim.SimpleNode:
+		node = "simple"
+	case mpisim.ComplexNode:
+		node = "complex"
+	}
+	switch v.Protocol {
+	case mpisim.FixedPoints:
+		proto = "fixed"
+	case mpisim.FreePoints:
+		proto = "free"
+	}
+	return network, node, proto
+}
+
+// ParseWFLoss resolves a workflow loss-function name.
+func ParseWFLoss(name string) (loss.WFKind, error) {
+	for _, k := range loss.AllWFKinds {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("simspec: unknown workflow loss %q", name)
+}
+
+// ParseMPILoss resolves an MPI loss-function name.
+func ParseMPILoss(name string) (loss.MPIKind, error) {
+	for _, k := range loss.AllMPIKinds {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("simspec: unknown MPI loss %q", name)
+}

@@ -1,0 +1,163 @@
+package simspec
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"simcal/internal/groundtruth"
+	"simcal/internal/loss"
+	"simcal/internal/mpi"
+	"simcal/internal/mpisim"
+	"simcal/internal/wfgen"
+	"simcal/internal/wfsim"
+)
+
+func wfTestSpec() Spec {
+	return ForWF(wfsim.HighestDetail, loss.WFL1, groundtruth.WFOptions{
+		Apps:    []wfgen.App{wfgen.Epigenomics},
+		SizeIdx: []int{1}, WorkIdx: []int{1}, FootIdx: []int{1},
+		Workers: []int{2}, Reps: 2, Seed: 3,
+	}, false)
+}
+
+func mpiTestSpec() Spec {
+	return ForMPI(mpisim.HighestDetail, loss.MPIL1, groundtruth.MPIOptions{
+		Benchmarks: []mpi.Benchmark{mpi.PingPong},
+		Nodes:      []int{4}, MsgSizes: []float64{1 << 10, 1 << 16},
+		Rounds: 2, Reps: 2, Seed: 3,
+	}, 2, false)
+}
+
+func TestSpecCanonicalParseRoundTrip(t *testing.T) {
+	for _, sp := range []Spec{wfTestSpec(), mpiTestSpec()} {
+		b, err := sp.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Parse(b)
+		if err != nil {
+			t.Fatalf("parse %s: %v", b, err)
+		}
+		b2, err := got.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != string(b2) {
+			t.Errorf("canonical round-trip changed:\n%s\n%s", b, b2)
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []string{
+		``,
+		`{`,
+		`{"case":"quantum"}`,                     // unknown case study
+		`{"case":"wf","seed":1,"surprise":true}`, // unknown field
+		`{"case":"wf","seed":"one","loss":"L1"}`, // wrong type
+	}
+	for _, c := range cases {
+		if _, err := Parse([]byte(c)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", c)
+		}
+	}
+}
+
+// TestBuildSimulatorMatchesLocalBuild is the determinism contract the
+// distributed plane depends on: the factory-built evaluator (what a
+// remote worker runs) must compute bitwise the same loss as the
+// locally built one for the same spec and point.
+func TestBuildSimulatorMatchesLocalBuild(t *testing.T) {
+	for _, sp := range []Spec{wfTestSpec(), mpiTestSpec()} {
+		space, err := sp.Space()
+		if err != nil {
+			t.Fatal(err)
+		}
+		local, err := sp.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := sp.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote, err := BuildSimulator(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mid-range point of the version's space.
+		u := make([]float64, len(space))
+		for i := range u {
+			u[i] = 0.5
+		}
+		pt := space.Decode(u)
+		l1, err := local.Run(context.Background(), pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2, err := remote.Run(context.Background(), pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(l1) != math.Float64bits(l2) {
+			t.Errorf("case %s: local loss %v != factory loss %v", sp.Case, l1, l2)
+		}
+	}
+}
+
+func TestBuildSimulatorRejectsBadSpec(t *testing.T) {
+	if _, err := BuildSimulator([]byte(`{"case":"wf","seed":1,"loss":"L9","wf_network":"star","wf_storage":"all","wf_compute":"direct"}`)); err == nil {
+		t.Error("unknown loss accepted")
+	}
+	if _, err := BuildSimulator([]byte(`not json`)); err == nil {
+		t.Error("garbage spec accepted")
+	}
+}
+
+func TestVersionFieldsRoundTrip(t *testing.T) {
+	for _, v := range wfsim.AllVersions() {
+		n, s, c := WFVersionFields(v)
+		got, err := ParseWFVersion(n, s, c)
+		if err != nil {
+			t.Fatalf("%s: %v", v.Name(), err)
+		}
+		if got != v {
+			t.Errorf("wf round-trip %s -> (%s,%s,%s) -> %s", v.Name(), n, s, c, got.Name())
+		}
+	}
+	for _, v := range mpisim.AllVersions() {
+		n, nd, p := MPIVersionFields(v)
+		got, err := ParseMPIVersion(n, nd, p)
+		if err != nil {
+			t.Fatalf("%s: %v", v.Name(), err)
+		}
+		if got != v {
+			t.Errorf("mpi round-trip %s -> (%s,%s,%s) -> %s", v.Name(), n, nd, p, got.Name())
+		}
+	}
+	if _, err := ParseWFVersion("mesh", "all", "direct"); err == nil {
+		t.Error("unknown wf network accepted")
+	}
+	if _, err := ParseMPIVersion("backbone", "simple", "floating"); err == nil {
+		t.Error("unknown mpi protocol accepted")
+	}
+}
+
+func TestSyntheticSpecBuilds(t *testing.T) {
+	sp := wfTestSpec()
+	sp.Synthetic = true
+	sim, err := sp.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := groundtruth.WorkflowTruthPoint(wfsim.HighestDetail)
+	l, err := sim.Run(context.Background(), truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the planted truth the synthetic loss is (near) zero.
+	if l > 1e-9 {
+		t.Errorf("loss at the planted truth = %v, want ~0", l)
+	}
+}
