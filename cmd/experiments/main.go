@@ -17,12 +17,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"simcal/internal/cache"
@@ -62,14 +61,40 @@ func main() {
 
 	logger := obs.NewLogger(os.Stderr)
 
+	// The observability server starts before any coordinator exists;
+	// these closures read whichever coordinator a -listen run sets.
+	var coordMu sync.Mutex
+	var coordPtr *dist.Coordinator
+	getCoord := func() *dist.Coordinator {
+		coordMu.Lock()
+		defer coordMu.Unlock()
+		return coordPtr
+	}
 	if *pprofAddr != "" {
 		obs.Default().PublishExpvar("experiments")
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				logger.Printf("pprof server: %v", err)
-			}
+		srv, err := obs.StartServer(*pprofAddr, obs.ServerConfig{
+			Refresh: func() {
+				if c := getCoord(); c != nil {
+					c.RefreshFleetGauges()
+				}
+			},
+			Status: func() any {
+				if c := getCoord(); c != nil {
+					return c.Status()
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			logger.Printf("error: observability server: %v", err)
+			os.Exit(1)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
 		}()
-		logger.Printf("pprof/expvar server on http://%s/debug/pprof", *pprofAddr)
+		logger.Printf("observability server on http://%s (/metrics /statusz /healthz /debug/pprof)", srv.Addr())
 	}
 
 	o := experiments.Default()
@@ -142,7 +167,15 @@ func main() {
 			logger.Printf("error: %v", err)
 			os.Exit(1)
 		}
-		coord := dist.NewCoordinator(dist.CoordinatorConfig{Name: "experiments", Registry: obs.Default()})
+		coord := dist.NewCoordinator(dist.CoordinatorConfig{
+			Name:     "experiments",
+			Registry: obs.Default(),
+			Tracer:   tracer,
+			TraceID:  fmt.Sprintf("experiments-%s-seed%d", *run, o.Seed),
+		})
+		coordMu.Lock()
+		coordPtr = coord
+		coordMu.Unlock()
 		go func() {
 			if err := coord.Serve(l); err != nil {
 				logger.Printf("coordinator: %v", err)

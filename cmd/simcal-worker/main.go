@@ -9,6 +9,13 @@
 //
 //	simcal-worker -connect host:9090
 //	simcal-worker -connect host:9090 -capacity 8 -connect-retries 40
+//	simcal-worker -connect host:9090 -pprof localhost:6061 -metrics
+//
+// Besides streaming results, the worker piggybacks telemetry frames on
+// the coordinator connection: its metric deltas and evaluation trace
+// events appear in the coordinator's /metrics and JSONL trace labeled
+// with this worker's name. -pprof additionally serves the worker's own
+// /metrics, /statusz, and pprof endpoints.
 //
 // The process exits 0 when the coordinator closes the connection (the
 // calibration finished) and non-zero on dial or protocol errors.
@@ -23,6 +30,7 @@ import (
 	"time"
 
 	"simcal/internal/dist"
+	"simcal/internal/obs"
 	"simcal/internal/simspec"
 )
 
@@ -35,6 +43,10 @@ func main() {
 		delay    = flag.Duration("retry-delay", 250*time.Millisecond, "pause between dial attempts")
 		hbEvery  = flag.Duration("heartbeat", 0, "heartbeat interval (default 2s)")
 		hbDead   = flag.Duration("heartbeat-timeout", 0, "declare the coordinator dead after this much silence (default 10s)")
+
+		pprofAddr = flag.String("pprof", "", "serve /metrics, /statusz, and /debug/pprof on this address (e.g. localhost:6061)")
+		metrics   = flag.Bool("metrics", false, "print the final metrics snapshot on exit")
+		telEvery  = flag.Duration("telemetry-every", 0, "how often metric deltas and trace events are shipped to the coordinator (default 500ms; negative disables)")
 	)
 	flag.Parse()
 
@@ -58,15 +70,40 @@ func main() {
 		Factory:          simspec.BuildSimulator,
 		HeartbeatEvery:   *hbEvery,
 		HeartbeatTimeout: *hbDead,
+		Registry:         obs.Default(),
+		TelemetryEvery:   *telEvery,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *pprofAddr != "" {
+		obs.Default().PublishExpvar("simcal-worker")
+		srv, err := obs.StartServer(*pprofAddr, obs.ServerConfig{
+			Status: func() any {
+				return map[string]any{"worker": wname, "capacity": cap, "coordinator": *connect}
+			},
+		})
+		if err != nil {
+			fatal(fmt.Errorf("observability server: %w", err))
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+		fmt.Fprintf(os.Stderr, "simcal-worker: observability server on http://%s\n", srv.Addr())
 	}
 	fmt.Fprintf(os.Stderr, "simcal-worker %s connecting to %s (capacity %d)\n", wname, *connect, cap)
 	if err := w.RunDial(context.Background(), dist.TCP{}, *connect, *retries, *delay); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr, "simcal-worker: coordinator closed the connection; exiting")
+	if *metrics {
+		fmt.Println("metrics:")
+		if err := obs.Default().Snapshot().WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

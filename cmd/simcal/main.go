@@ -24,11 +24,10 @@ import (
 	"flag"
 	"fmt"
 	"io/fs"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"simcal/internal/cache"
@@ -67,7 +66,7 @@ func main() {
 
 		tracePath  = flag.String("trace", "", "write a structured JSONL trace of the calibration to this file")
 		metrics    = flag.Bool("metrics", false, "print the final metrics snapshot after the calibration")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address (e.g. localhost:6060)")
+		pprofAddr  = flag.String("pprof", "", "serve /metrics, /statusz, /healthz, and /debug/pprof on this address (e.g. localhost:6060)")
 		replayPath = flag.String("replay", "", "replay a JSONL trace: print its convergence curve and exit")
 
 		ckptPath  = flag.String("checkpoint", "", "periodically snapshot the calibration to this file (atomic write-then-rename; see -resume)")
@@ -106,14 +105,22 @@ func main() {
 		return
 	}
 
+	holder := &statusHolder{}
 	if *pprofAddr != "" {
 		obs.Default().PublishExpvar("simcal")
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "simcal: pprof server:", err)
-			}
+		srv, err := obs.StartServer(*pprofAddr, obs.ServerConfig{
+			Refresh: holder.refresh,
+			Status:  holder.status,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("observability server: %w", err))
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
 		}()
-		fmt.Fprintf(os.Stderr, "pprof/expvar server on http://%s/debug/pprof\n", *pprofAddr)
+		fmt.Fprintf(os.Stderr, "observability server on http://%s (/metrics /statusz /healthz /debug/pprof)\n", srv.Addr())
 	}
 
 	var tracer *obs.Tracer
@@ -163,6 +170,9 @@ func main() {
 		policy:      resiliencePolicy(*evalTimeout, *evalRetries, *breakerN),
 		listen:      *listen,
 		distWorkers: *distWorkers,
+		tracer:      tracer,
+		traceID:     fmt.Sprintf("%s-%s-%s-seed%d", *study, *algName, *lossName, *seed),
+		status:      holder,
 	}
 
 	switch *study {
@@ -242,6 +252,46 @@ type runCfg struct {
 	policy      *resilience.Policy
 	listen      string
 	distWorkers int
+	tracer      *obs.Tracer
+	traceID     string
+	status      *statusHolder
+}
+
+// statusHolder bridges the observability server (started before any
+// coordinator exists) to the coordinator of a distributed run: /statusz
+// and /metrics read whatever coordinator is currently set, if any.
+type statusHolder struct {
+	mu    sync.Mutex
+	coord *dist.Coordinator
+}
+
+func (h *statusHolder) set(c *dist.Coordinator) {
+	h.mu.Lock()
+	h.coord = c
+	h.mu.Unlock()
+}
+
+func (h *statusHolder) get() *dist.Coordinator {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.coord
+}
+
+// refresh is the obs.ServerConfig.Refresh hook: it updates the
+// coordinator's per-worker fleet gauges before a /metrics scrape.
+func (h *statusHolder) refresh() {
+	if c := h.get(); c != nil {
+		c.RefreshFleetGauges()
+	}
+}
+
+// status is the obs.ServerConfig.Status hook contributing the fleet
+// view to /statusz.
+func (h *statusHolder) status() any {
+	if c := h.get(); c != nil {
+		return c.Status()
+	}
+	return nil
 }
 
 // runWorker serves loss evaluations to a coordinator: dial, evaluate
@@ -256,6 +306,7 @@ func runWorker(addr string, retries, capacity int) error {
 		Name:     fmt.Sprintf("%s/%d", host, os.Getpid()),
 		Capacity: capacity,
 		Factory:  simspec.BuildSimulator,
+		Registry: obs.Default(),
 	})
 	if err != nil {
 		return err
@@ -281,7 +332,15 @@ func (rc runCfg) simulator(sp simspec.Spec) (core.Simulator, func(), error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	coord := dist.NewCoordinator(dist.CoordinatorConfig{Name: "simcal", Registry: obs.Default()})
+	coord := dist.NewCoordinator(dist.CoordinatorConfig{
+		Name:     "simcal",
+		Registry: obs.Default(),
+		Tracer:   rc.tracer,
+		TraceID:  rc.traceID,
+	})
+	if rc.status != nil {
+		rc.status.set(coord)
+	}
 	go func() {
 		if err := coord.Serve(l); err != nil {
 			fmt.Fprintln(os.Stderr, "simcal: coordinator:", err)

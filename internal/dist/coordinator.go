@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,12 +35,18 @@ type CoordinatorConfig struct {
 	// Registry, when non-nil, receives the dist.* counters and gauges.
 	Registry *obs.Registry
 	// Tracer, when non-nil, receives worker lifecycle and requeue
-	// events. Evaluation events are NOT emitted here — they belong to
-	// the calibration's own observer, which sees remote evaluations
-	// through the ordinary core.Simulator path. Keeping lifecycle
-	// events on a separate tracer is what lets a distributed run's
-	// calibration trace stay bitwise identical to a serial run's.
+	// events, plus the worker-side evaluation events shipped over
+	// telemetry frames (re-emitted with worker, source, and
+	// clock-offset fields — see absorbTelemetry). All of these are
+	// additions to the trace, never reorderings of calibration events:
+	// the calibration's own observer still sees remote evaluations
+	// through the ordinary core.Simulator path, which is what lets a
+	// distributed run's calibration trajectory stay bitwise identical
+	// to a serial run's.
 	Tracer *obs.Tracer
+	// TraceID, when non-empty, is stamped on every lease so worker-side
+	// trace events carry the run they belong to.
+	TraceID string
 	// Clock is the time source for heartbeats; nil means RealClock.
 	// Tests inject a ManualClock so expiry tests never sleep.
 	Clock Clock
@@ -71,6 +78,9 @@ type lease struct {
 	done     chan leaseOutcome // buffered 1: resolution never blocks
 	canceled bool              // guarded by Coordinator.mu
 	requeues int               // guarded by Coordinator.mu
+
+	enqueuedNS int64 // guarded by Coordinator.mu; reset on requeue
+	sentNS     int64 // guarded by Coordinator.mu; stamped at dispatch
 }
 
 // remoteWorker is the coordinator's view of one connected worker.
@@ -87,6 +97,20 @@ type remoteWorker struct {
 	dead     bool              // guarded by Coordinator.mu
 	inflight map[uint64]*lease // guarded by Coordinator.mu
 	lastRecv atomic.Int64      // clock nanos of the last frame received
+
+	// Clock-offset estimate (worker clock minus coordinator clock),
+	// derived from heartbeat pings echoed in telemetry frames. The
+	// estimate with the smallest round trip wins — the standard NTP
+	// argument: less queueing delay, tighter bound. Guarded by
+	// Coordinator.mu.
+	offsetNS  int64
+	offsetRTT int64
+	hasOffset bool
+
+	// Per-worker fleet gauges; nil without a Registry.
+	gInflight *obs.Gauge
+	gHbAge    *obs.Gauge
+	gOffset   *obs.Gauge
 }
 
 // Coordinator shards loss evaluations across remote workers. It owns a
@@ -118,6 +142,8 @@ type Coordinator struct {
 	framesRx         *obs.Counter
 	framesTx         *obs.Counter
 	workersActive    *obs.Gauge
+	queueWait        *obs.Histogram
+	wireRTT          *obs.Histogram
 }
 
 // NewCoordinator returns a Coordinator ready to Serve a listener.
@@ -147,6 +173,8 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		c.framesRx = reg.Counter("dist.frames_rx")
 		c.framesTx = reg.Counter("dist.frames_tx")
 		c.workersActive = reg.Gauge("dist.workers_active")
+		c.queueWait = reg.Histogram("dist.lease_queue_wait_ns")
+		c.wireRTT = reg.Histogram("dist.wire_rtt_ns")
 	} else {
 		c.workersConnected = new(obs.Counter)
 		c.workersLost = new(obs.Counter)
@@ -155,6 +183,8 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		c.framesRx = new(obs.Counter)
 		c.framesTx = new(obs.Counter)
 		c.workersActive = new(obs.Gauge)
+		c.queueWait = new(obs.Histogram)
+		c.wireRTT = new(obs.Histogram)
 	}
 	return c
 }
@@ -210,6 +240,11 @@ func (c *Coordinator) handle(conn Conn) {
 	if w.name == "" {
 		w.name = fmt.Sprintf("worker-%d", w.id)
 	}
+	if reg := c.cfg.Registry; reg != nil {
+		w.gInflight = reg.Gauge(obs.LabeledName("dist.worker_inflight", "worker", w.name))
+		w.gHbAge = reg.Gauge(obs.LabeledName("dist.worker_heartbeat_age_ns", "worker", w.name))
+		w.gOffset = reg.Gauge(obs.LabeledName("dist.worker_clock_offset_ns", "worker", w.name))
+	}
 	for i := 0; i < capacity; i++ {
 		w.slots <- struct{}{}
 	}
@@ -251,6 +286,8 @@ func (c *Coordinator) readLoop(w *remoteWorker) {
 		w.lastRecv.Store(c.clock.Now().UnixNano())
 		switch f.Type {
 		case TypeHeartbeat:
+		case TypeTelemetry:
+			c.absorbTelemetry(w, f.Telemetry)
 		case TypeResult:
 			c.resolve(w, f.Result)
 		default:
@@ -275,7 +312,7 @@ func (c *Coordinator) dispatchLoop(w *remoteWorker) {
 		if l == nil {
 			return
 		}
-		msg := &LeaseMsg{ID: l.id, Index: l.index, Spec: l.spec, Point: l.point}
+		msg := &LeaseMsg{ID: l.id, Index: l.index, Spec: l.spec, Point: l.point, TraceID: c.cfg.TraceID}
 		if c.cfg.LeaseTimeout > 0 {
 			msg.TimeoutMS = c.cfg.LeaseTimeout.Milliseconds()
 		}
@@ -306,6 +343,11 @@ func (c *Coordinator) next(w *remoteWorker) *lease {
 			l := c.queue[0]
 			c.queue = c.queue[1:]
 			w.inflight[l.id] = l
+			now := c.clock.Now().UnixNano()
+			if l.enqueuedNS != 0 {
+				c.queueWait.Observe(now - l.enqueuedNS)
+			}
+			l.sentNS = now
 			return l
 		}
 		c.cond.Wait()
@@ -320,6 +362,9 @@ func (c *Coordinator) resolve(w *remoteWorker, res *ResultMsg) {
 	l, ok := w.inflight[res.ID]
 	if ok {
 		delete(w.inflight, res.ID)
+		if l.sentNS != 0 {
+			c.wireRTT.Observe(c.clock.Now().UnixNano() - l.sentNS)
+		}
 	}
 	c.mu.Unlock()
 	if !ok {
@@ -359,12 +404,90 @@ func (c *Coordinator) heartbeatLoop(w *remoteWorker) {
 				w.name, silent, c.cfg.HeartbeatTimeout))
 			return
 		}
-		if err := w.conn.Send(&Frame{Type: TypeHeartbeat}); err != nil {
+		// The heartbeat doubles as a clock-sync ping: the worker echoes
+		// the stamp (plus its own receive and send times) in its next
+		// telemetry frame, and absorbTelemetry closes the NTP loop.
+		hb := &HeartbeatMsg{PingUnixNS: c.clock.Now().UnixNano()}
+		if err := w.conn.Send(&Frame{Type: TypeHeartbeat, Heartbeat: hb}); err != nil {
 			c.workerDead(w, err)
 			return
 		}
 		c.framesTx.Inc()
 	}
+}
+
+// absorbTelemetry merges one worker telemetry frame into the
+// coordinator's registry and trace. Metric names gain a worker label
+// (worker.eval_ns becomes `worker.eval_ns{worker="w1"}`): counters and
+// histograms arrive as deltas and are added, gauges arrive absolute
+// and are set. If the frame echoes a heartbeat ping, the NTP-style
+// clock offset is computed — offset = ((t2-t1)+(t3-t4))/2, rtt =
+// (t4-t1)-(t3-t2) — and the estimate with the smallest RTT is kept.
+// Trace events are re-emitted into the run's trace tagged with the
+// worker name, source="worker", the raw worker timestamp, and (once an
+// offset exists) the coordinator-clock translation.
+func (c *Coordinator) absorbTelemetry(w *remoteWorker, t *TelemetryMsg) {
+	now := c.clock.Now().UnixNano()
+	if reg := c.cfg.Registry; reg != nil {
+		for name, d := range t.Counters {
+			reg.Counter(obs.LabeledName(name, "worker", w.name)).Add(d)
+		}
+		for name, v := range t.Gauges {
+			reg.Gauge(obs.LabeledName(name, "worker", w.name)).Set(float64(v))
+		}
+		for name, d := range t.Hists {
+			reg.Histogram(obs.LabeledName(name, "worker", w.name)).AbsorbDelta(d)
+		}
+	}
+	var offset int64
+	var haveOffset bool
+	if t.EchoPingUnixNS != 0 && t.EchoRecvUnixNS != 0 && t.SentUnixNS != 0 {
+		t1, t2, t3, t4 := t.EchoPingUnixNS, t.EchoRecvUnixNS, t.SentUnixNS, now
+		off, rtt := ClockOffset(t1, t2, t3, t4)
+		if rtt >= 0 {
+			c.mu.Lock()
+			if !w.hasOffset || rtt < w.offsetRTT {
+				w.offsetNS, w.offsetRTT, w.hasOffset = off, rtt, true
+			}
+			offset, haveOffset = w.offsetNS, true
+			c.mu.Unlock()
+			if w.gOffset != nil {
+				w.gOffset.Set(float64(offset))
+			}
+		}
+	}
+	if !haveOffset {
+		c.mu.Lock()
+		offset, haveOffset = w.offsetNS, w.hasOffset
+		c.mu.Unlock()
+	}
+	if c.cfg.Tracer == nil {
+		return
+	}
+	for _, ev := range t.Events {
+		fields := make(obs.Fields, len(ev.Fields)+5)
+		for k, v := range ev.Fields {
+			fields[k] = v
+		}
+		fields["worker"] = w.name
+		fields["source"] = "worker"
+		fields["t_worker_unix_ns"] = ev.TUnixNS
+		if haveOffset {
+			fields["clock_offset_ns"] = offset
+			fields["t_unix_ns"] = ev.TUnixNS - offset
+		}
+		c.cfg.Tracer.Emit(ev.Name, fields)
+	}
+}
+
+// ClockOffset computes the NTP-style offset (worker clock minus
+// coordinator clock) and round trip from one ping exchange: t1 is the
+// coordinator's send stamp, t2 the worker's receive stamp, t3 the
+// worker's reply-send stamp, t4 the coordinator's receive stamp.
+func ClockOffset(t1, t2, t3, t4 int64) (offset, rtt int64) {
+	offset = ((t2 - t1) + (t3 - t4)) / 2
+	rtt = (t4 - t1) - (t3 - t2)
+	return offset, rtt
 }
 
 // workerDead removes w from the pool and re-queues its in-flight
@@ -382,12 +505,15 @@ func (c *Coordinator) workerDead(w *remoteWorker, cause error) {
 	delete(c.workers, w.id)
 	active := len(c.workers)
 	requeued := 0
+	requeueNS := c.clock.Now().UnixNano()
 	for id, l := range w.inflight {
 		delete(w.inflight, id)
 		if c.closed || l.canceled {
 			continue
 		}
 		l.requeues++
+		l.enqueuedNS = requeueNS // queue wait restarts at the requeue
+		l.sentNS = 0
 		c.queue = append(c.queue, l)
 		requeued++
 	}
@@ -461,6 +587,69 @@ func (c *Coordinator) Capacity() int {
 	return total
 }
 
+// WorkerStatus is one connected worker's row in CoordinatorStatus.
+type WorkerStatus struct {
+	Name         string  `json:"name"`
+	Capacity     int     `json:"capacity"`
+	Inflight     int     `json:"inflight"`
+	LastRecvAgeS float64 `json:"last_recv_age_s"`
+	// ClockOffsetNS is the worker-minus-coordinator clock offset and
+	// RTTNS the round trip of the exchange that produced it; both zero
+	// until the first ping echo arrives.
+	ClockOffsetNS int64 `json:"clock_offset_ns,omitempty"`
+	RTTNS         int64 `json:"rtt_ns,omitempty"`
+}
+
+// CoordinatorStatus is the /statusz view of the fleet: connected
+// workers (sorted by name), lease queue depth, and total capacity.
+type CoordinatorStatus struct {
+	Workers    []WorkerStatus `json:"workers"`
+	QueueDepth int            `json:"queue_depth"`
+	Capacity   int            `json:"capacity"`
+}
+
+// Status reports a consistent snapshot of the fleet for /statusz.
+func (c *Coordinator) Status() CoordinatorStatus {
+	now := c.clock.Now().UnixNano()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CoordinatorStatus{QueueDepth: len(c.queue), Workers: []WorkerStatus{}}
+	for _, w := range c.workers {
+		st.Capacity += w.capacity
+		ws := WorkerStatus{
+			Name:         w.name,
+			Capacity:     w.capacity,
+			Inflight:     len(w.inflight),
+			LastRecvAgeS: float64(now-w.lastRecv.Load()) / 1e9,
+		}
+		if w.hasOffset {
+			ws.ClockOffsetNS = w.offsetNS
+			ws.RTTNS = w.offsetRTT
+		}
+		st.Workers = append(st.Workers, ws)
+	}
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].Name < st.Workers[j].Name })
+	return st
+}
+
+// RefreshFleetGauges brings the coordinator-owned per-worker gauges
+// (in-flight leases, heartbeat age) up to date. It is the Refresh hook
+// a /metrics endpoint calls before every scrape — these gauges describe
+// passage of time, so they go stale without a poke.
+func (c *Coordinator) RefreshFleetGauges() {
+	now := c.clock.Now().UnixNano()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		if w.gInflight != nil {
+			w.gInflight.Set(float64(len(w.inflight)))
+		}
+		if w.gHbAge != nil {
+			w.gHbAge.Set(float64(now - w.lastRecv.Load()))
+		}
+	}
+}
+
 // WaitForWorkers blocks until at least n workers are connected, the
 // context expires, or the coordinator closes.
 func (c *Coordinator) WaitForWorkers(ctx context.Context, n int) error {
@@ -510,11 +699,12 @@ func (e *RemoteEvaluator) Run(ctx context.Context, p core.Point) (float64, error
 		pt[k] = WireFloat(v)
 	}
 	l := &lease{
-		id:    c.nextLease.Add(1),
-		index: e.next.Add(1) - 1,
-		spec:  e.spec,
-		point: pt,
-		done:  make(chan leaseOutcome, 1),
+		id:         c.nextLease.Add(1),
+		index:      e.next.Add(1) - 1,
+		spec:       e.spec,
+		point:      pt,
+		done:       make(chan leaseOutcome, 1),
+		enqueuedNS: c.clock.Now().UnixNano(),
 	}
 	c.mu.Lock()
 	if c.closed {

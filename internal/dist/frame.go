@@ -27,12 +27,16 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"simcal/internal/obs"
 )
 
 // ProtocolVersion is the wire protocol version carried as the first
 // byte of every frame. A peer speaking a different version is rejected
-// at the first frame, before any JSON is parsed.
-const ProtocolVersion = 1
+// at the first frame, before any JSON is parsed. Version 2 added the
+// telemetry frame, the heartbeat ping timestamp, and the lease trace
+// ID.
+const ProtocolVersion = 2
 
 // MaxFramePayload bounds the JSON payload of one frame. The decoder
 // rejects larger length prefixes before allocating, so a corrupt or
@@ -53,7 +57,15 @@ const (
 	// TypeResult reports one finished evaluation (worker → coordinator).
 	TypeResult = "result"
 	// TypeHeartbeat is the keep-alive either side sends while idle.
+	// Coordinator-sent heartbeats carry a ping timestamp the worker
+	// echoes in its next telemetry frame, which is what the clock-offset
+	// estimate is derived from.
 	TypeHeartbeat = "heartbeat"
+	// TypeTelemetry piggybacks worker-side observability onto the
+	// connection (worker → coordinator): metric-snapshot deltas, buffered
+	// trace events, and the heartbeat-ping echo for clock-offset
+	// estimation.
+	TypeTelemetry = "telemetry"
 )
 
 // WireFloat is a float64 whose JSON form survives non-finite values:
@@ -133,6 +145,10 @@ type LeaseMsg struct {
 	// TimeoutMS is the evaluation deadline in milliseconds; 0 means no
 	// deadline. An expired lease is answered with a transient failure.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// TraceID identifies the calibration run this lease belongs to. The
+	// worker echoes it in the telemetry eval events it buffers for this
+	// lease, so a merged cross-process trace is keyed by (trace, lease).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ResultMsg reports one finished evaluation.
@@ -152,14 +168,63 @@ type ResultMsg struct {
 	Class string `json:"class,omitempty"`
 }
 
+// HeartbeatMsg is the optional heartbeat payload. The coordinator
+// stamps its pings so workers can echo them back in telemetry frames;
+// worker-sent heartbeats stay empty.
+type HeartbeatMsg struct {
+	// PingUnixNS is the sender's wall clock (UnixNano) at send time.
+	PingUnixNS int64 `json:"ping_unix_ns,omitempty"`
+}
+
+// TelemetryEvent is one worker-side trace event buffered into a
+// telemetry frame. The coordinator re-emits it into the run's JSONL
+// trace tagged with the worker name, a source tag, and the clock-offset
+// estimate.
+type TelemetryEvent struct {
+	// Name is the trace event name (e.g. obs.EventDistWorkerEval).
+	Name string `json:"name"`
+	// TUnixNS is the worker's wall clock (UnixNano) at emission.
+	TUnixNS int64 `json:"t_unix_ns"`
+	// Fields is the event payload. Non-finite floats must be encoded as
+	// WireFloat (or the string sentinels) by the producer.
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// TelemetryMsg piggybacks worker observability onto the connection.
+// Counters and histograms carry deltas since the previous telemetry
+// frame (merging is additive on the coordinator); gauges carry absolute
+// values. The echo fields implement the NTP-style clock-offset
+// exchange: t1 = EchoPingUnixNS (coordinator send), t2 = EchoRecvUnixNS
+// (worker receive), t3 = SentUnixNS (worker send), t4 = coordinator
+// receive.
+type TelemetryMsg struct {
+	// SentUnixNS is the worker's wall clock at frame send time (t3).
+	SentUnixNS int64 `json:"sent_unix_ns"`
+	// EchoPingUnixNS echoes the most recent heartbeat ping (t1); 0 when
+	// no ping has been received yet.
+	EchoPingUnixNS int64 `json:"echo_ping_unix_ns,omitempty"`
+	// EchoRecvUnixNS is the worker clock when that ping arrived (t2).
+	EchoRecvUnixNS int64 `json:"echo_recv_unix_ns,omitempty"`
+	// Counters holds counter increments since the last telemetry frame.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Gauges holds absolute gauge values.
+	Gauges map[string]WireFloat `json:"gauges,omitempty"`
+	// Hists holds histogram bucket-count deltas since the last frame.
+	Hists map[string]obs.HistDump `json:"hists,omitempty"`
+	// Events is the worker's buffered trace events, in emission order.
+	Events []TelemetryEvent `json:"events,omitempty"`
+}
+
 // Frame is one protocol message: a type tag plus the payload matching
-// it. Exactly the payload named by Type must be non-nil (heartbeats
-// carry none).
+// it. Exactly the payload named by Type must be non-nil — except
+// heartbeats, whose ping payload is optional.
 type Frame struct {
-	Type   string     `json:"type"`
-	Hello  *HelloMsg  `json:"hello,omitempty"`
-	Lease  *LeaseMsg  `json:"lease,omitempty"`
-	Result *ResultMsg `json:"result,omitempty"`
+	Type      string        `json:"type"`
+	Hello     *HelloMsg     `json:"hello,omitempty"`
+	Lease     *LeaseMsg     `json:"lease,omitempty"`
+	Result    *ResultMsg    `json:"result,omitempty"`
+	Heartbeat *HeartbeatMsg `json:"heartbeat,omitempty"`
+	Telemetry *TelemetryMsg `json:"telemetry,omitempty"`
 }
 
 // Validate checks the type tag and that the payload shape matches it.
@@ -172,6 +237,12 @@ func (f *Frame) Validate() error {
 		got++
 	}
 	if f.Result != nil {
+		got++
+	}
+	if f.Heartbeat != nil {
+		got++
+	}
+	if f.Telemetry != nil {
 		got++
 	}
 	switch f.Type {
@@ -205,7 +276,22 @@ func (f *Frame) Validate() error {
 		}
 		want = 1
 	case TypeHeartbeat:
+		// The ping payload is optional: worker heartbeats are empty,
+		// coordinator heartbeats carry the clock-offset ping.
 		want = 0
+		if f.Heartbeat != nil {
+			want = 1
+		}
+	case TypeTelemetry:
+		if f.Telemetry == nil {
+			return fmt.Errorf("dist: telemetry frame without telemetry payload")
+		}
+		for i, ev := range f.Telemetry.Events {
+			if ev.Name == "" {
+				return fmt.Errorf("dist: telemetry event %d without a name", i)
+			}
+		}
+		want = 1
 	default:
 		return fmt.Errorf("dist: unknown frame type %q", f.Type)
 	}

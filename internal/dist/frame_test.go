@@ -8,6 +8,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"simcal/internal/obs"
 )
 
 // testFrames is one valid frame of every type, with non-finite floats
@@ -24,6 +26,22 @@ func testFrames() []*Frame {
 		{Type: TypeResult, Result: &ResultMsg{ID: 7, Index: 3, Loss: 42.5}},
 		{Type: TypeResult, Result: &ResultMsg{ID: 8, Index: 4, Loss: WireFloat(math.Inf(1)), Err: "boom", Class: "transient"}},
 		{Type: TypeHeartbeat},
+		{Type: TypeHeartbeat, Heartbeat: &HeartbeatMsg{PingUnixNS: 123456789}},
+		{Type: TypeTelemetry, Telemetry: &TelemetryMsg{
+			SentUnixNS:     1000,
+			EchoPingUnixNS: 900,
+			EchoRecvUnixNS: 950,
+			Counters:       map[string]int64{"worker.evals_ok": 3},
+			Gauges:         map[string]WireFloat{"worker.inflight_leases": 2, "weird": WireFloat(math.NaN())},
+			Hists: map[string]obs.HistDump{
+				"worker.eval_ns": {Count: 3, Sum: 300, Min: 50, Max: 150, Buckets: map[int]int64{6: 1, 7: 2}},
+			},
+			Events: []TelemetryEvent{{
+				Name:    "dist_worker_eval",
+				TUnixNS: 999,
+				Fields:  map[string]any{"lease": float64(7), "loss": "Inf"},
+			}},
+		}},
 	}
 }
 
@@ -61,6 +79,28 @@ func TestFrameRoundTrip(t *testing.T) {
 			}
 			if float64(got.Result.Loss) != float64(f.Result.Loss) {
 				t.Errorf("result loss = %v, want %v", got.Result.Loss, f.Result.Loss)
+			}
+		case TypeHeartbeat:
+			if f.Heartbeat != nil && got.Heartbeat.PingUnixNS != f.Heartbeat.PingUnixNS {
+				t.Errorf("heartbeat round-trip = %+v, want %+v", got.Heartbeat, f.Heartbeat)
+			}
+		case TypeTelemetry:
+			tm, want := got.Telemetry, f.Telemetry
+			if tm.SentUnixNS != want.SentUnixNS || tm.EchoPingUnixNS != want.EchoPingUnixNS || tm.EchoRecvUnixNS != want.EchoRecvUnixNS {
+				t.Errorf("telemetry stamps round-trip = %+v, want %+v", tm, want)
+			}
+			if tm.Counters["worker.evals_ok"] != 3 {
+				t.Errorf("telemetry counters = %v", tm.Counters)
+			}
+			if !math.IsNaN(float64(tm.Gauges["weird"])) {
+				t.Errorf("telemetry NaN gauge = %v", tm.Gauges["weird"])
+			}
+			h := tm.Hists["worker.eval_ns"]
+			if h.Count != 3 || h.Buckets[7] != 2 {
+				t.Errorf("telemetry hist round-trip = %+v", h)
+			}
+			if len(tm.Events) != 1 || tm.Events[0].Name != "dist_worker_eval" || tm.Events[0].Fields["lease"] != float64(7) {
+				t.Errorf("telemetry events round-trip = %+v", tm.Events)
 			}
 		}
 	}
@@ -135,6 +175,10 @@ func TestDecodeFrameRejectsMalformed(t *testing.T) {
 		{"bad result class", mustFramePayload(t, `{"type":"result","result":{"id":1,"loss":0,"err":"x","class":"weird"}}`), "error class"},
 		{"classified non-error", mustFramePayload(t, `{"type":"result","result":{"id":1,"loss":0,"class":"transient"}}`), "absent error"},
 		{"bad sentinel", mustFramePayload(t, `{"type":"result","result":{"id":1,"loss":"huge"}}`), "sentinel"},
+		{"telemetry without payload", mustFramePayload(t, `{"type":"telemetry"}`), "telemetry frame without telemetry payload"},
+		{"telemetry extra payload", mustFramePayload(t, `{"type":"telemetry","telemetry":{"sent_unix_ns":1},"hello":{"name":"x"}}`), "payloads"},
+		{"telemetry unnamed event", mustFramePayload(t, `{"type":"telemetry","telemetry":{"sent_unix_ns":1,"events":[{"name":"","t_unix_ns":2}]}}`), "without a name"},
+		{"heartbeat extra payload", mustFramePayload(t, `{"type":"heartbeat","heartbeat":{"ping_unix_ns":1},"result":{"id":1,"loss":0}}`), "payloads"},
 	}
 	for _, tc := range cases {
 		_, err := DecodeFrame(bytes.NewReader(tc.in))
@@ -196,6 +240,8 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{ProtocolVersion, 0xff, 0xff, 0xff, 0xff})
 	f.Add(mustFramePayloadFuzz(`{"type":"heartbeat"}`))
 	f.Add(mustFramePayloadFuzz(`{"type":"lease","lease":{"id":1,"point":{"x":"NaN"}}}`))
+	f.Add(mustFramePayloadFuzz(`{"type":"telemetry","telemetry":{"sent_unix_ns":1,"hists":{"h":{"count":1,"sum":2,"min":2,"max":2,"buckets":{"2":1}}}}}`))
+	f.Add(mustFramePayloadFuzz(`{"type":"heartbeat","heartbeat":{"ping_unix_ns":5}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := DecodeFrame(bytes.NewReader(data))
 		if err != nil {

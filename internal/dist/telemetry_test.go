@@ -1,0 +1,267 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"simcal/internal/core"
+	"simcal/internal/obs"
+)
+
+// syncBuffer is a bytes.Buffer safe for concurrent Write (tracer) and
+// Bytes (test polling).
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+// TestTelemetryEndToEnd runs evaluations through a loopback cluster and
+// asserts the tentpole contract: worker metrics appear in the
+// coordinator registry under worker-labeled names, and worker eval
+// trace events are re-emitted into the coordinator's trace tagged with
+// the worker name, the lease ID, and the run's trace ID.
+func TestTelemetryEndToEnd(t *testing.T) {
+	const evals = 5
+	reg := obs.NewRegistry()
+	var traceBuf syncBuffer
+	tracer := obs.NewTracer(&traceBuf)
+
+	lb := NewLoopback()
+	l, err := lb.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewCoordinator(CoordinatorConfig{
+		Name:           "coord",
+		Registry:       reg,
+		Tracer:         tracer,
+		TraceID:        "run-1",
+		HeartbeatEvery: 5 * time.Millisecond,
+	})
+	go coord.Serve(l)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w, err := NewWorker(WorkerConfig{
+		Name:           "w1",
+		Capacity:       2,
+		Factory:        sameFactory,
+		TelemetryEvery: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := lb.Dial("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = w.Run(ctx, conn)
+	}()
+	defer func() {
+		coord.Close()
+		l.Close()
+		cancel()
+		wg.Wait()
+	}()
+
+	wctx, wcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer wcancel()
+	if err := coord.WaitForWorkers(wctx, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	ev := coord.Evaluator([]byte(`{"test":true}`))
+	for i := 0; i < evals; i++ {
+		if _, err := ev.Run(context.Background(), core.Point{"x": float64(i), "y": 1}); err != nil {
+			t.Fatalf("eval %d: %v", i, err)
+		}
+	}
+
+	// Telemetry is asynchronous: poll until the fleet registry carries
+	// all evaluations and the trace carries all re-emitted events.
+	histName := obs.LabeledName("worker.eval_ns", "worker", "w1")
+	okName := obs.LabeledName("worker.evals_ok", "worker", "w1")
+	var evRecs []obs.Record
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		evRecs = evRecs[:0]
+		if err := tracer.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := obs.ReadTrace(bytes.NewReader(traceBuf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if r.Name == obs.EventDistWorkerEval {
+				evRecs = append(evRecs, r)
+			}
+		}
+		snap := coord.cfg.Registry.Snapshot()
+		if snap.Histograms[histName].Count >= evals &&
+			snap.Counters[okName] >= evals && len(evRecs) >= evals {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("telemetry did not converge: hist count %d, ok %d, events %d (want %d each)",
+				snap.Histograms[histName].Count, snap.Counters[okName], len(evRecs), evals)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	seenLeases := make(map[float64]bool)
+	for _, r := range evRecs {
+		if r.Fields["worker"] != "w1" {
+			t.Errorf("event worker = %v, want w1", r.Fields["worker"])
+		}
+		if r.Fields["source"] != "worker" {
+			t.Errorf("event source = %v, want worker", r.Fields["source"])
+		}
+		if r.Fields["trace_id"] != "run-1" {
+			t.Errorf("event trace_id = %v, want run-1", r.Fields["trace_id"])
+		}
+		lease, ok := r.Fields["lease"].(float64)
+		if !ok {
+			t.Fatalf("event lease field = %v (%T)", r.Fields["lease"], r.Fields["lease"])
+		}
+		seenLeases[lease] = true
+		if _, ok := r.Fields["t_worker_unix_ns"]; !ok {
+			t.Error("event lacks t_worker_unix_ns")
+		}
+		if _, ok := r.Fields["dur_ns"]; !ok {
+			t.Error("event lacks dur_ns")
+		}
+	}
+	if len(seenLeases) < evals {
+		t.Errorf("distinct lease IDs in events = %d, want %d", len(seenLeases), evals)
+	}
+
+	// The clock-offset estimate needs a full ping/echo exchange; with
+	// the 5ms heartbeat it converges quickly. Same-process clocks make
+	// the offset near zero, but the round trip is strictly positive.
+	for {
+		st := coord.Status()
+		if len(st.Workers) == 1 && st.Workers[0].RTTNS > 0 {
+			if st.Workers[0].Name != "w1" {
+				t.Errorf("status worker = %q, want w1", st.Workers[0].Name)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no clock-offset estimate: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The per-worker fleet gauges exist once refreshed.
+	coord.RefreshFleetGauges()
+	snap := reg.Snapshot()
+	for _, g := range []string{
+		obs.LabeledName("dist.worker_inflight", "worker", "w1"),
+		obs.LabeledName("dist.worker_heartbeat_age_ns", "worker", "w1"),
+		obs.LabeledName("dist.worker_clock_offset_ns", "worker", "w1"),
+	} {
+		if _, ok := snap.Gauges[g]; !ok {
+			t.Errorf("fleet gauge %s missing from snapshot", g)
+		}
+	}
+	if snap.Histograms[histName].Sum <= 0 {
+		t.Errorf("fleet eval histogram sum = %d, want > 0", snap.Histograms[histName].Sum)
+	}
+}
+
+// TestClockOffset checks the NTP arithmetic against a hand-computed
+// exchange with a known skew and asymmetric delays.
+func TestClockOffset(t *testing.T) {
+	// Coordinator clock at 0; worker clock 1000ns ahead. Outbound delay
+	// 40ns, return delay 60ns.
+	const skew, out, back = 1000, 40, 60
+	t1 := int64(0)
+	t2 := t1 + out + skew  // worker receive, worker clock
+	t3 := t2 + 10          // worker replies 10ns later, worker clock
+	t4 := t3 - skew + back // coordinator receive, coordinator clock
+	off, rtt := ClockOffset(t1, t2, t3, t4)
+	if rtt != out+back {
+		t.Errorf("rtt = %d, want %d", rtt, out+back)
+	}
+	// The estimate absorbs half the delay asymmetry: off = skew + (out-back)/2.
+	if want := int64(skew + (out-back)/2); off != want {
+		t.Errorf("offset = %d, want %d", off, want)
+	}
+
+	// Symmetric delays recover the skew exactly.
+	off, rtt = ClockOffset(0, 50+skew, 60+skew, 110)
+	if off != skew || rtt != 100 {
+		t.Errorf("symmetric exchange: offset = %d rtt = %d, want %d and 100", off, rtt, skew)
+	}
+}
+
+// TestTelemetryDisabled checks a negative TelemetryEvery produces a
+// v1-style worker: evaluations still resolve, no telemetry arrives.
+func TestTelemetryDisabled(t *testing.T) {
+	reg := obs.NewRegistry()
+	lb := NewLoopback()
+	l, err := lb.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewCoordinator(CoordinatorConfig{Name: "coord", Registry: reg})
+	go coord.Serve(l)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w, err := NewWorker(WorkerConfig{
+		Name: "w1", Capacity: 1, Factory: sameFactory, TelemetryEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := lb.Dial("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = w.Run(ctx, conn)
+	}()
+	defer func() {
+		coord.Close()
+		l.Close()
+		cancel()
+		wg.Wait()
+	}()
+
+	wctx, wcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer wcancel()
+	if err := coord.WaitForWorkers(wctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	ev := coord.Evaluator([]byte(`{"test":true}`))
+	if _, err := ev.Run(context.Background(), core.Point{"x": 1, "y": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Snapshot().Histograms[obs.LabeledName("worker.eval_ns", "worker", "w1")].Count; n != 0 {
+		t.Errorf("fleet histogram count = %d with telemetry disabled, want 0", n)
+	}
+}

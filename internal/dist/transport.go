@@ -6,6 +6,18 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"simcal/internal/obs"
+)
+
+// Frame codec latency, process-wide: every transport connection funnels
+// through EncodeFrame/DecodeFrame, so one pair of histograms on the
+// default registry covers them all. Decode is timed from the first byte
+// of a frame, not from when Recv starts blocking — idle wire time is
+// not codec time.
+var (
+	frameEncodeHist = obs.Default().Histogram("dist.frame_encode_ns")
+	frameDecodeHist = obs.Default().Histogram("dist.frame_decode_ns")
 )
 
 // Conn is one frame-oriented connection between a coordinator and a
@@ -65,7 +77,9 @@ func newFrameConn(raw net.Conn) *frameConn {
 
 // Send implements Conn.
 func (c *frameConn) Send(f *Frame) error {
+	start := time.Now()
 	buf, err := EncodeFrame(f)
+	frameEncodeHist.ObserveDuration(time.Since(start))
 	if err != nil {
 		return err
 	}
@@ -79,7 +93,14 @@ func (c *frameConn) Send(f *Frame) error {
 
 // Recv implements Conn.
 func (c *frameConn) Recv() (*Frame, error) {
-	return DecodeFrame(c.br)
+	// Block until the frame's first byte is buffered before starting
+	// the decode timer; a Peek error falls through to DecodeFrame,
+	// which reports it properly.
+	_, _ = c.br.Peek(1)
+	start := time.Now()
+	f, err := DecodeFrame(c.br)
+	frameDecodeHist.ObserveDuration(time.Since(start))
+	return f, err
 }
 
 // Close implements Conn.

@@ -10,8 +10,15 @@ import (
 	"time"
 
 	"simcal/internal/core"
+	"simcal/internal/obs"
 	"simcal/internal/resilience"
 )
+
+// DefaultTelemetryEvery is the default cadence at which a worker
+// flushes buffered metric deltas and trace events to the coordinator.
+// Evaluations additionally kick an immediate flush, so short runs are
+// not at the mercy of the timer.
+const DefaultTelemetryEvery = 500 * time.Millisecond
 
 // Factory builds a simulator from the opaque spec carried by a lease.
 // Workers cache built simulators keyed by the spec bytes, so a factory
@@ -38,6 +45,17 @@ type WorkerConfig struct {
 	// HeartbeatTimeout is how long a silent coordinator is tolerated
 	// before the worker drops the connection.
 	HeartbeatTimeout time.Duration
+	// Registry receives the worker's own metrics (worker.eval_ns,
+	// cache hit/miss counters, the in-flight gauge). nil means a
+	// private registry; cmd/simcal-worker passes obs.Default() so the
+	// worker's own /metrics endpoint and the coordinator's fleet view
+	// report the same numbers.
+	Registry *obs.Registry
+	// TelemetryEvery is how often buffered metric deltas and trace
+	// events are shipped to the coordinator. Zero means
+	// DefaultTelemetryEvery; negative disables telemetry entirely
+	// (the coordinator then sees a v1-style worker).
+	TelemetryEvery time.Duration
 }
 
 // Worker executes leases for one coordinator. It is the library behind
@@ -48,6 +66,17 @@ type Worker struct {
 
 	simsMu sync.Mutex
 	sims   map[string]core.Simulator
+
+	// Worker-side metrics, shipped to the coordinator as telemetry
+	// deltas and served locally by the worker's own /metrics endpoint.
+	reg           *obs.Registry
+	evalNS        *obs.Histogram
+	evalsOK       *obs.Counter
+	evalsFailed   *obs.Counter
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	inflight      atomic.Int64
+	inflightGauge *obs.Gauge
 }
 
 // NewWorker validates cfg and returns a Worker.
@@ -67,7 +96,55 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.HeartbeatTimeout <= 0 {
 		cfg.HeartbeatTimeout = DefaultHeartbeatTimeout
 	}
-	return &Worker{cfg: cfg, clock: cfg.Clock, sims: make(map[string]core.Simulator)}, nil
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	if cfg.TelemetryEvery == 0 {
+		cfg.TelemetryEvery = DefaultTelemetryEvery
+	}
+	w := &Worker{cfg: cfg, clock: cfg.Clock, sims: make(map[string]core.Simulator)}
+	w.reg = cfg.Registry
+	w.evalNS = w.reg.Histogram("worker.eval_ns")
+	w.evalsOK = w.reg.Counter("worker.evals_ok")
+	w.evalsFailed = w.reg.Counter("worker.evals_failed")
+	w.cacheHits = w.reg.Counter("worker.sim_cache_hits")
+	w.cacheMisses = w.reg.Counter("worker.sim_cache_misses")
+	w.inflightGauge = w.reg.Gauge("worker.inflight_leases")
+	return w, nil
+}
+
+// telemetrySink buffers trace events and the latest heartbeat ping
+// stamps between telemetry flushes on one connection.
+type telemetrySink struct {
+	mu     sync.Mutex
+	events []TelemetryEvent
+	pingT1 int64 // coordinator send stamp of the latest unechoed ping
+	pingT2 int64 // worker receive stamp for that ping
+	kick   chan struct{}
+}
+
+func newTelemetrySink() *telemetrySink {
+	return &telemetrySink{kick: make(chan struct{}, 1)}
+}
+
+// bufferEvent queues ev for the next flush and kicks the telemetry
+// loop so short-lived runs do not wait out the timer.
+func (s *telemetrySink) bufferEvent(ev TelemetryEvent) {
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// notePing records the stamps of a coordinator clock-sync ping; the
+// next telemetry frame echoes them (each ping is echoed once).
+func (s *telemetrySink) notePing(t1, t2 int64) {
+	s.mu.Lock()
+	s.pingT1, s.pingT2 = t1, t2
+	s.mu.Unlock()
 }
 
 // Run serves one coordinator connection until it closes. An orderly
@@ -100,6 +177,11 @@ func (w *Worker) Run(ctx context.Context, conn Conn) error {
 	defer close(hbDone)
 	go w.heartbeatLoop(conn, &lastRecv, hbDone)
 
+	sink := newTelemetrySink()
+	if w.cfg.TelemetryEvery > 0 {
+		go w.telemetryLoop(conn, sink, hbDone)
+	}
+
 	for {
 		f, err := conn.Recv()
 		if err != nil {
@@ -116,17 +198,95 @@ func (w *Worker) Run(ctx context.Context, conn Conn) error {
 		lastRecv.Store(w.clock.Now().UnixNano())
 		switch f.Type {
 		case TypeHeartbeat:
+			if f.Heartbeat != nil && f.Heartbeat.PingUnixNS != 0 {
+				sink.notePing(f.Heartbeat.PingUnixNS, w.clock.Now().UnixNano())
+			}
 		case TypeLease:
 			msg := f.Lease
 			evals.Add(1)
 			go func() {
 				defer evals.Done()
-				w.evaluate(evalCtx, conn, msg)
+				w.evaluate(evalCtx, conn, sink, msg)
 			}()
 		default:
 			return fmt.Errorf("dist: protocol violation: %s frame from coordinator", f.Type)
 		}
 	}
+}
+
+// telemetryLoop flushes metric deltas and buffered trace events to the
+// coordinator every TelemetryEvery, and immediately when an evaluation
+// kicks the sink. It exits when the connection dies or done closes.
+func (w *Worker) telemetryLoop(conn Conn, sink *telemetrySink, done <-chan struct{}) {
+	prevCounters := make(map[string]int64)
+	prevGauges := make(map[string]float64)
+	prevHists := make(map[string]obs.HistDump)
+	for {
+		select {
+		case <-w.clock.After(w.cfg.TelemetryEvery):
+		case <-sink.kick:
+		case <-done:
+			return
+		}
+		msg := w.buildTelemetry(sink, prevCounters, prevGauges, prevHists)
+		if msg == nil {
+			continue
+		}
+		if conn.Send(&Frame{Type: TypeTelemetry, Telemetry: msg}) != nil {
+			return // the read loop observes the dead connection
+		}
+	}
+}
+
+// buildTelemetry assembles one telemetry frame: counter and histogram
+// deltas since the previous flush, gauges whose value changed (gauges
+// cross the wire as absolute values), all buffered trace events, and
+// the echo of the latest heartbeat ping. It returns nil when there is
+// nothing to report.
+func (w *Worker) buildTelemetry(sink *telemetrySink, prevCounters map[string]int64, prevGauges map[string]float64, prevHists map[string]obs.HistDump) *TelemetryMsg {
+	snap := w.reg.Snapshot()
+	msg := &TelemetryMsg{SentUnixNS: w.clock.Now().UnixNano()}
+	for name, v := range snap.Counters {
+		if d := v - prevCounters[name]; d != 0 {
+			if msg.Counters == nil {
+				msg.Counters = make(map[string]int64)
+			}
+			msg.Counters[name] = d
+			prevCounters[name] = v
+		}
+	}
+	for name, v := range snap.Gauges {
+		prev, seen := prevGauges[name]
+		if !seen || prev != v {
+			if msg.Gauges == nil {
+				msg.Gauges = make(map[string]WireFloat)
+			}
+			msg.Gauges[name] = WireFloat(v)
+			prevGauges[name] = v
+		}
+	}
+	for name, d := range w.reg.HistDumps() {
+		delta := d.Sub(prevHists[name])
+		if delta.Count != 0 {
+			if msg.Hists == nil {
+				msg.Hists = make(map[string]obs.HistDump)
+			}
+			msg.Hists[name] = delta
+			prevHists[name] = d
+		}
+	}
+	sink.mu.Lock()
+	msg.Events = sink.events
+	sink.events = nil
+	msg.EchoPingUnixNS = sink.pingT1
+	msg.EchoRecvUnixNS = sink.pingT2
+	sink.pingT1, sink.pingT2 = 0, 0
+	sink.mu.Unlock()
+	if len(msg.Counters) == 0 && len(msg.Gauges) == 0 && len(msg.Hists) == 0 &&
+		len(msg.Events) == 0 && msg.EchoPingUnixNS == 0 {
+		return nil
+	}
+	return msg
 }
 
 // heartbeatLoop pings the coordinator every HeartbeatEvery and drops
@@ -157,8 +317,10 @@ func (w *Worker) simulator(spec []byte) (core.Simulator, error) {
 	w.simsMu.Lock()
 	defer w.simsMu.Unlock()
 	if sim, ok := w.sims[key]; ok {
+		w.cacheHits.Inc()
 		return sim, nil
 	}
+	w.cacheMisses.Inc()
 	sim, err := w.cfg.Factory(spec)
 	if err != nil {
 		return nil, err
@@ -172,17 +334,22 @@ func (w *Worker) simulator(spec []byte) (core.Simulator, error) {
 // equivalently classified error; evaluations aborted by connection
 // teardown report nothing (the coordinator re-queues the lease when it
 // declares this worker dead).
-func (w *Worker) evaluate(ctx context.Context, conn Conn, msg *LeaseMsg) {
+func (w *Worker) evaluate(ctx context.Context, conn Conn, sink *telemetrySink, msg *LeaseMsg) {
+	w.inflightGauge.Set(float64(w.inflight.Add(1)))
+	defer func() { w.inflightGauge.Set(float64(w.inflight.Add(-1))) }()
 	pt := make(core.Point, len(msg.Point))
 	for k, v := range msg.Point {
 		pt[k] = float64(v)
 	}
 	var loss float64
 	var err error
+	start := w.clock.Now()
 	sim, err := w.simulator(msg.Spec)
 	if err == nil {
 		loss, err = w.runLease(ctx, sim, pt, time.Duration(msg.TimeoutMS)*time.Millisecond)
 	}
+	dur := w.clock.Now().Sub(start)
+	w.evalNS.ObserveDuration(dur)
 	res := &ResultMsg{ID: msg.ID, Index: msg.Index, Loss: WireFloat(loss)}
 	if err != nil {
 		if ctx.Err() != nil {
@@ -199,6 +366,30 @@ func (w *Worker) evaluate(ctx context.Context, conn Conn, msg *LeaseMsg) {
 		res.Loss = 0
 		res.Err = err.Error()
 	}
+	if err != nil {
+		w.evalsFailed.Inc()
+	} else {
+		w.evalsOK.Inc()
+	}
+	fields := map[string]any{
+		"lease":         msg.ID,
+		"index":         msg.Index,
+		"start_unix_ns": start.UnixNano(),
+		"dur_ns":        int64(dur),
+	}
+	if msg.TraceID != "" {
+		fields["trace_id"] = msg.TraceID
+	}
+	if err != nil {
+		fields["err"] = err.Error()
+	} else {
+		fields["loss"] = WireFloat(loss)
+	}
+	sink.bufferEvent(TelemetryEvent{
+		Name:    obs.EventDistWorkerEval,
+		TUnixNS: start.UnixNano(),
+		Fields:  fields,
+	})
 	// A send failure means the connection died; the coordinator
 	// re-queues the lease, so there is nothing to recover here.
 	_ = conn.Send(&Frame{Type: TypeResult, Result: res})

@@ -122,6 +122,98 @@ func (h *Histogram) Observe(v int64) {
 // ObserveDuration records a duration in nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
 
+// HistDump is the full transferable state of a histogram: the
+// cumulative counters plus the non-empty power-of-two buckets. It is
+// what crosses process boundaries in the distributed telemetry plane —
+// a worker ships bucket-count deltas, the coordinator absorbs them into
+// a fleet histogram — and it survives JSON (integer bucket indices
+// encode as string keys).
+type HistDump struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	// Buckets maps bucket index (bitlen of the observation) to count;
+	// empty buckets are omitted.
+	Buckets map[int]int64 `json:"buckets,omitempty"`
+}
+
+// Dump captures the histogram's cumulative state. Concurrent Observe
+// calls may be partially reflected, exactly as with Stat.
+func (h *Histogram) Dump() HistDump {
+	d := HistDump{Count: h.count.Load(), Sum: h.sum.Load()}
+	if d.Count == 0 {
+		return d
+	}
+	d.Min = h.min.Load()
+	d.Max = h.max.Load()
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			if d.Buckets == nil {
+				d.Buckets = make(map[int]int64)
+			}
+			d.Buckets[i] = n
+		}
+	}
+	return d
+}
+
+// Sub returns the delta d − prev: the observations recorded after prev
+// was captured. Min and Max stay cumulative (they cannot be
+// differenced), so a delta carries the current running extremes.
+func (d HistDump) Sub(prev HistDump) HistDump {
+	out := HistDump{
+		Count: d.Count - prev.Count,
+		Sum:   d.Sum - prev.Sum,
+		Min:   d.Min,
+		Max:   d.Max,
+	}
+	for i, n := range d.Buckets {
+		if diff := n - prev.Buckets[i]; diff != 0 {
+			if out.Buckets == nil {
+				out.Buckets = make(map[int]int64)
+			}
+			out.Buckets[i] = diff
+		}
+	}
+	return out
+}
+
+// AbsorbDelta merges a dump delta into the histogram. Negative counts
+// and out-of-range bucket indices are dropped (a telemetry peer is not
+// trusted to keep the merged state consistent), and Min/Max fold in via
+// the same monotone updates Observe uses.
+func (h *Histogram) AbsorbDelta(d HistDump) {
+	if d.Count <= 0 {
+		return
+	}
+	if h.count.Add(d.Count) == d.Count {
+		h.min.Store(d.Min)
+		h.max.Store(d.Max)
+	} else {
+		for {
+			old := h.min.Load()
+			if d.Min >= old || h.min.CompareAndSwap(old, d.Min) {
+				break
+			}
+		}
+		for {
+			old := h.max.Load()
+			if d.Max <= old || h.max.CompareAndSwap(old, d.Max) {
+				break
+			}
+		}
+	}
+	if d.Sum > 0 {
+		h.sum.Add(d.Sum)
+	}
+	for i, n := range d.Buckets {
+		if i >= 0 && i < histBuckets && n > 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+}
+
 // HistStat is a point-in-time summary of a histogram. Quantiles are
 // upper bounds of the power-of-two bucket containing the quantile, so
 // they are accurate to within a factor of two.
@@ -246,6 +338,18 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// HistDumps captures the full bucket state of every registered
+// histogram, keyed by name — the source data for telemetry deltas.
+func (r *Registry) HistDumps() map[string]HistDump {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]HistDump, len(r.hists))
+	for n, h := range r.hists {
+		out[n] = h.Dump()
+	}
+	return out
 }
 
 // Snapshot is a point-in-time copy of every metric in a registry,

@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Snapshot in the Prometheus text exposition format
+// (version 0.0.4). The output is deterministic: metric families are
+// sorted by name, samples within a family are sorted, and identical
+// snapshots render to identical bytes — CI and tests diff the output
+// directly.
+//
+// Metric names in the registry may carry a label suffix produced by
+// LabeledName, e.g. `worker.eval_ns{worker="w1"}`. The writer splits
+// the label block off, sanitizes the base name to the Prometheus
+// grammar (dots become underscores), and re-escapes label values. A
+// name whose label block does not parse is treated as one opaque name
+// and sanitized whole, so the writer emits valid exposition text for
+// any input.
+
+// LabeledName returns name with a `key="value"` label attached:
+// `name{key="value"}`, or with the label appended inside an existing
+// label block. The value is escaped per the Prometheus text format
+// (backslash, double quote, newline).
+func LabeledName(name, key, value string) string {
+	pair := key + `="` + escapeLabelValue(value) + `"`
+	if strings.HasSuffix(name, "}") {
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if i == len(name)-2 { // empty label block: name{}
+				return name[:len(name)-1] + pair + "}"
+			}
+			return name[:len(name)-1] + "," + pair + "}"
+		}
+	}
+	return name + "{" + pair + "}"
+}
+
+// escapeLabelValue escapes a label value for the text exposition
+// format.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// labelPair is one parsed key="value" pair (value unescaped).
+type labelPair struct {
+	key, value string
+}
+
+// renderLabels renders pairs as a `{k="v",...}` block, or "" when
+// empty. Keys are sanitized, values escaped.
+func renderLabels(pairs []labelPair) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(pairs))
+	for i, p := range pairs {
+		parts[i] = sanitizeLabelKey(p.key) + `="` + escapeLabelValue(p.value) + `"`
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// splitLabeled splits a registry name into its base name and parsed
+// label pairs. Names without a well-formed label block return the whole
+// name as base with nil pairs.
+func splitLabeled(name string) (string, []labelPair) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, nil
+	}
+	pairs, ok := parseLabelPairs(name[i+1 : len(name)-1])
+	if !ok {
+		return name, nil
+	}
+	return name[:i], pairs
+}
+
+// parseLabelPairs parses `k="v",k2="v2"` with escaped values. It
+// reports false for anything malformed, in which case the caller falls
+// back to treating the whole name as opaque.
+func parseLabelPairs(s string) ([]labelPair, bool) {
+	if s == "" {
+		return nil, true
+	}
+	var pairs []labelPair
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return nil, false
+		}
+		key := s[:eq]
+		rest := s[eq+2:]
+		var val strings.Builder
+		closed := false
+		j := 0
+		for j < len(rest) {
+			c := rest[j]
+			if c == '\\' {
+				if j+1 >= len(rest) {
+					return nil, false
+				}
+				switch rest[j+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, false
+				}
+				j += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				j++
+				break
+			}
+			if c == '\n' {
+				return nil, false
+			}
+			val.WriteByte(c)
+			j++
+		}
+		if !closed {
+			return nil, false
+		}
+		pairs = append(pairs, labelPair{key: key, value: val.String()})
+		s = rest[j:]
+		if s == "" {
+			break
+		}
+		if s[0] != ',' || len(s) == 1 {
+			return nil, false
+		}
+		s = s[1:]
+	}
+	return pairs, true
+}
+
+// sanitizeMetricName maps an arbitrary string onto the Prometheus
+// metric-name grammar [a-zA-Z_:][a-zA-Z0-9_:]*; every foreign byte
+// becomes an underscore. The registry's dotted names (cal.eval_ns)
+// become underscored (cal_eval_ns).
+func sanitizeMetricName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	b := []byte(s)
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// sanitizeLabelKey maps an arbitrary string onto the label-name grammar
+// [a-zA-Z_][a-zA-Z0-9_]*.
+func sanitizeLabelKey(s string) string {
+	if s == "" {
+		return "_"
+	}
+	b := []byte(s)
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// promFloat renders a float sample value; non-finite values use the
+// exposition format's +Inf/-Inf/NaN literals.
+func promFloat(f float64) string {
+	switch {
+	case math.IsInf(f, 1):
+		return "+Inf"
+	case math.IsInf(f, -1):
+		return "-Inf"
+	case math.IsNaN(f):
+		return "NaN"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// promFamily collects one metric family's type and sample lines.
+type promFamily struct {
+	typ     string
+	samples []string
+}
+
+// promWriter accumulates families before the final sorted emission.
+type promWriter struct {
+	families map[string]*promFamily
+}
+
+// add records one sample line under a family, demoting the family to
+// untyped when samples of different kinds collide on one name (which
+// can happen after sanitization folds distinct registry names
+// together).
+func (pw *promWriter) add(family, typ, sample string) {
+	f := pw.families[family]
+	if f == nil {
+		f = &promFamily{typ: typ}
+		pw.families[family] = f
+	} else if f.typ != typ {
+		f.typ = "untyped"
+	}
+	f.samples = append(f.samples, sample)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format: counters and gauges as single samples, histograms
+// as summaries (`{quantile="..."}` plus `_sum` and `_count`) with the
+// running extremes as companion `_min`/`_max` gauges. Output is sorted
+// and deterministic.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	pw := &promWriter{families: make(map[string]*promFamily)}
+	for name, v := range s.Counters {
+		base, labels := splitLabeled(name)
+		fam := sanitizeMetricName(base)
+		pw.add(fam, "counter", fam+renderLabels(labels)+" "+strconv.FormatInt(v, 10))
+	}
+	for name, v := range s.Gauges {
+		base, labels := splitLabeled(name)
+		fam := sanitizeMetricName(base)
+		pw.add(fam, "gauge", fam+renderLabels(labels)+" "+promFloat(v))
+	}
+	for name, h := range s.Histograms {
+		base, labels := splitLabeled(name)
+		fam := sanitizeMetricName(base)
+		for _, q := range []struct {
+			q string
+			v int64
+		}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}} {
+			ql := append(append([]labelPair(nil), labels...), labelPair{key: "quantile", value: q.q})
+			pw.add(fam, "summary", fam+renderLabels(ql)+" "+strconv.FormatInt(q.v, 10))
+		}
+		lb := renderLabels(labels)
+		pw.add(fam, "summary", fam+"_sum"+lb+" "+strconv.FormatInt(h.Sum, 10))
+		pw.add(fam, "summary", fam+"_count"+lb+" "+strconv.FormatInt(h.Count, 10))
+		pw.add(fam+"_min", "gauge", fam+"_min"+lb+" "+strconv.FormatInt(h.Min, 10))
+		pw.add(fam+"_max", "gauge", fam+"_max"+lb+" "+strconv.FormatInt(h.Max, 10))
+	}
+	names := make([]string, 0, len(pw.families))
+	for n := range pw.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := pw.families[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", n, f.typ); err != nil {
+			return err
+		}
+		sort.Strings(f.samples)
+		for _, line := range f.samples {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

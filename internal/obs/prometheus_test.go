@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestLabeledName(t *testing.T) {
+	cases := []struct{ name, key, value, want string }{
+		{"m", "worker", "w1", `m{worker="w1"}`},
+		{`m{a="1"}`, "b", "2", `m{a="1",b="2"}`},
+		{"m{}", "a", "1", `m{a="1"}`},
+		{"m", "k", `a"b\c` + "\n", `m{k="a\"b\\c\n"}`},
+	}
+	for _, c := range cases {
+		if got := LabeledName(c.name, c.key, c.value); got != c.want {
+			t.Errorf("LabeledName(%q, %q, %q) = %q, want %q", c.name, c.key, c.value, got, c.want)
+		}
+	}
+}
+
+func TestLabeledNameRoundTrips(t *testing.T) {
+	name := LabeledName(LabeledName("worker.eval_ns", "worker", `we"ird\name`), "zone", "a,b")
+	base, pairs := splitLabeled(name)
+	if base != "worker.eval_ns" {
+		t.Fatalf("base = %q", base)
+	}
+	if len(pairs) != 2 || pairs[0].value != `we"ird\name` || pairs[1].value != "a,b" {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+}
+
+func TestWritePrometheusRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(LabeledName("worker.evals_ok", "worker", "w1")).Add(5)
+	r.Counter(LabeledName("worker.evals_ok", "worker", "w2")).Add(7)
+	r.Gauge("cal.best_loss").Set(math.Inf(1))
+	h := r.Histogram(LabeledName("worker.eval_ns", "worker", "w1"))
+	h.Observe(100)
+	h.Observe(200)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`# TYPE worker_evals_ok counter`,
+		`worker_evals_ok{worker="w1"} 5`,
+		`worker_evals_ok{worker="w2"} 7`,
+		`cal_best_loss +Inf`,
+		`# TYPE worker_eval_ns summary`,
+		`worker_eval_ns{worker="w1",quantile="0.5"}`,
+		`worker_eval_ns_count{worker="w1"} 2`,
+		`worker_eval_ns_sum{worker="w1"} 300`,
+		`worker_eval_ns_min{worker="w1"} 100`,
+		`worker_eval_ns_max{worker="w1"} 200`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+	// Within a family, the w1 sample sorts before w2.
+	if strings.Index(out, `worker="w1"} 5`) > strings.Index(out, `worker="w2"} 7`) {
+		t.Error("samples not sorted within family")
+	}
+}
+
+func TestWritePrometheusOpaqueFallback(t *testing.T) {
+	r := NewRegistry()
+	// A name with a malformed label block is sanitized whole instead of
+	// being emitted as broken exposition syntax.
+	r.Counter(`bad{name`).Add(1)
+	r.Counter(`worse{k=unquoted}`).Add(2)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "bad_name 1") || !strings.Contains(out, "worse_k_unquoted_ 2") {
+		t.Errorf("opaque fallback rendering:\n%s", out)
+	}
+}
+
+// validatePromExposition checks every line of a rendering: TYPE lines
+// name a valid family, sample lines re-parse with the package's own
+// label parser and carry a numeric value.
+func validatePromExposition(t *testing.T, out string) {
+	t.Helper()
+	nameRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 || !nameRe.MatchString(parts[2]) {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "summary", "untyped":
+			default:
+				t.Fatalf("bad family type in %q", line)
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		name, val := line[:sp], line[sp+1:]
+		switch val {
+		case "+Inf", "-Inf", "NaN":
+		default:
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				t.Fatalf("sample %q: bad value %q", line, val)
+			}
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("sample %q: unterminated label block", line)
+			}
+			if !nameRe.MatchString(name[:i]) {
+				t.Fatalf("sample %q: bad metric name %q", line, name[:i])
+			}
+			pairs, ok := parseLabelPairs(name[i+1 : len(name)-1])
+			if !ok {
+				t.Fatalf("sample %q: label block does not re-parse", line)
+			}
+			labelRe := regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+			for _, p := range pairs {
+				if !labelRe.MatchString(p.key) {
+					t.Fatalf("sample %q: bad label key %q", line, p.key)
+				}
+			}
+		} else if !nameRe.MatchString(name) {
+			t.Fatalf("sample %q: bad metric name", line)
+		}
+	}
+}
+
+// FuzzWritePrometheus feeds hostile metric names, label values, and
+// values through the writer: whatever the registry holds, the rendering
+// must be valid exposition text and never panic.
+func FuzzWritePrometheus(f *testing.F) {
+	f.Add("worker.eval_ns", "w1", 1.5)
+	f.Add(`a{b="c"}`, `quote"back\slash`, math.Inf(1))
+	f.Add("{", "\n", math.NaN())
+	f.Add(`x{y="`, "unterminated", -0.0)
+	f.Add("metric with spaces", "née", 1e308)
+	f.Add("", "", 0.0)
+	f.Fuzz(func(t *testing.T, name, labelVal string, v float64) {
+		r := NewRegistry()
+		r.Counter(name).Add(3)
+		r.Gauge(LabeledName(name, "worker", labelVal)).Set(v)
+		h := r.Histogram(LabeledName("h", "k", labelVal))
+		h.Observe(int64(len(name)))
+		var buf bytes.Buffer
+		if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		validatePromExposition(t, buf.String())
+	})
+}

@@ -29,13 +29,18 @@ const (
 	EventCheckpointWritten = "checkpoint_written"
 	EventCheckpointFailed  = "checkpoint_failed"
 
-	// Distributed-evaluation lifecycle events (see the dist package).
-	// They are emitted on the coordinator's own tracer, never on the
-	// calibration trace — a distributed calibration trace must stay
-	// bitwise identical to a serial one.
+	// Distributed-evaluation events (see the dist package). Lifecycle
+	// events come from the coordinator itself; dist_worker_eval records
+	// are worker-side evaluation events shipped over telemetry frames
+	// and re-emitted by the coordinator with `worker`, `source`, and
+	// clock-offset fields, so one trace file holds the cross-process
+	// timeline keyed by lease ID. They are additions to — never
+	// reorderings of — the calibration events, so the calibration
+	// trajectory stays bitwise identical to a serial run.
 	EventDistWorkerConnected    = "dist_worker_connected"
 	EventDistWorkerDisconnected = "dist_worker_disconnected"
 	EventDistLeaseRequeued      = "dist_lease_requeued"
+	EventDistWorkerEval         = "dist_worker_eval"
 )
 
 // ConvergencePoint is one point of a replayed best-loss-vs-time curve.
