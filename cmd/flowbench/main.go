@@ -1,0 +1,196 @@
+// Command flowbench measures the flow/DES kernel on the scaled scenarios
+// of the ROADMAP's "kernel at 10^6 activities" item — a Summit-scale
+// dense-stencil MPI exchange and a 100k-task workflow — and records or
+// verifies their results bit for bit.
+//
+// Two modes:
+//
+//	flowbench -out BENCH_flow.json         # record values + timings
+//	flowbench -check BENCH_flow.json       # re-run, require bitwise-equal
+//	                                       # values and bounded wall time
+//
+// The recorded value of every scenario is the simulator's observable
+// (workflow makespan in seconds, MPI aggregate rate in bytes/s) stored as
+// exact float64 bits. Check mode is the CI guard: any kernel change that
+// alters a trajectory — even in the last ULP — flips the bits and fails
+// the diff, and a slowdown beyond the recorded budget (scaled by
+// -tolerance) fails the timing gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+
+	"simcal/internal/groundtruth"
+	"simcal/internal/mpi"
+	"simcal/internal/mpisim"
+	"simcal/internal/wfgen"
+	"simcal/internal/wfsim"
+)
+
+// Scenario is one kernel-scale workload: Run returns the observable
+// value; Budget is the single-digit-seconds wall-clock target enforced
+// (after -tolerance headroom) by check mode.
+type Scenario struct {
+	Name   string
+	Note   string
+	Budget float64 // seconds
+	Run    func() (float64, error)
+}
+
+// Record is one scenario's persisted result.
+type Record struct {
+	Name      string  `json:"name"`
+	Note      string  `json:"note,omitempty"`
+	Value     float64 `json:"value"`
+	ValueBits string  `json:"value_bits"`
+	Seconds   float64 `json:"seconds"`
+	Budget    float64 `json:"budget_seconds"`
+}
+
+// File is the BENCH_flow.json layout.
+type File struct {
+	Description string            `json:"description"`
+	Host        map[string]string `json:"host"`
+	Scenarios   []Record          `json:"scenarios"`
+}
+
+func wfScenario(name string, app wfgen.App, tasks int, work, footMB float64, workers int, budget float64) Scenario {
+	return Scenario{
+		Name:   name,
+		Note:   fmt.Sprintf("%s workflow, %d tasks, %d workers, %gMB footprint; value = makespan (s)", app, tasks, workers, footMB),
+		Budget: budget,
+		Run: func() (float64, error) {
+			wf := wfgen.Generate(wfgen.Spec{App: app, Tasks: tasks, WorkSeconds: work, FootprintBytes: footMB * wfgen.MB})
+			v := wfsim.HighestDetail
+			cfg := v.DecodeConfig(groundtruth.WorkflowTruthPoint(v))
+			res, err := wfsim.Simulate(v, cfg, wfsim.Scenario{Workflow: wf, Workers: workers})
+			if err != nil {
+				return 0, err
+			}
+			return res.Makespan, nil
+		},
+	}
+}
+
+func mpiScenario(name string, nodes int, msg float64, rounds int, budget float64) Scenario {
+	return Scenario{
+		Name:   name,
+		Note:   fmt.Sprintf("dense 2D stencil on a %d-node fat tree (%d ranks), %g-byte messages, %d rounds; value = aggregate rate (bytes/s)", nodes, nodes*6, msg, rounds),
+		Budget: budget,
+		Run: func() (float64, error) {
+			return mpisim.Simulate(groundtruth.MPIReferenceVersion, groundtruth.MPITruth, mpisim.Scenario{
+				Benchmark: mpi.Stencil, Nodes: nodes, MsgBytes: msg, Rounds: rounds,
+			})
+		},
+	}
+}
+
+// scenarios returns the suite. The two medium entries exist so the suite
+// stays runnable on the pre-optimization kernel (they were recorded with
+// it, anchoring bitwise equivalence across the rewrite); the two scaled
+// entries are the ROADMAP targets.
+func scenarios() []Scenario {
+	return []Scenario{
+		wfScenario("wf-10k", wfgen.Seismology, 10_000, 1.91, 1500, 6, 9),
+		wfScenario("wf-100k", wfgen.Seismology, 100_000, 1.91, 1500, 6, 9),
+		mpiScenario("mpi-stencil-128", 128, 1<<16, 2, 9),
+		mpiScenario("mpi-stencil-512", 512, 1<<16, 2, 9),
+	}
+}
+
+func bits(v float64) string { return fmt.Sprintf("0x%016x", math.Float64bits(v)) }
+
+func main() {
+	out := flag.String("out", "", "write results to this JSON file")
+	check := flag.String("check", "", "verify against this JSON file (bitwise values, bounded time)")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional wall-time regression over the recorded budget in -check mode")
+	only := flag.String("only", "", "run only the named scenario")
+	flag.Parse()
+
+	var ref map[string]Record
+	if *check != "" {
+		data, err := os.ReadFile(*check)
+		if err != nil {
+			fatal(err)
+		}
+		var f File
+		if err := json.Unmarshal(data, &f); err != nil {
+			fatal(fmt.Errorf("parse %s: %w", *check, err))
+		}
+		ref = make(map[string]Record, len(f.Scenarios))
+		for _, r := range f.Scenarios {
+			ref[r.Name] = r
+		}
+	}
+
+	file := File{
+		Description: "Flow/DES kernel scale benchmarks: scaled case-study scenarios with bit-exact observables. Record: go run ./cmd/flowbench -out BENCH_flow.json. Verify: go run ./cmd/flowbench -check BENCH_flow.json (CI bench-flow job).",
+		Host: map[string]string{
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"cores":  strconv.Itoa(runtime.NumCPU()),
+			"date":   time.Now().UTC().Format("2006-01-02"),
+		},
+	}
+	failed := false
+	for _, sc := range scenarios() {
+		if *only != "" && sc.Name != *only {
+			continue
+		}
+		start := time.Now()
+		val, err := sc.Run()
+		elapsed := time.Since(start).Seconds()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flowbench: %s: %v\n", sc.Name, err)
+			failed = true
+			continue
+		}
+		rec := Record{Name: sc.Name, Note: sc.Note, Value: val, ValueBits: bits(val), Seconds: round3(elapsed), Budget: sc.Budget}
+		file.Scenarios = append(file.Scenarios, rec)
+		fmt.Printf("%-16s value=%-22.17g bits=%s %8.3fs\n", sc.Name, val, rec.ValueBits, elapsed)
+		if ref != nil {
+			want, ok := ref[sc.Name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "flowbench: %s: not present in %s\n", sc.Name, *check)
+				failed = true
+				continue
+			}
+			if want.ValueBits != rec.ValueBits {
+				fmt.Fprintf(os.Stderr, "flowbench: %s: value diverged: recorded %s (%.17g), got %s (%.17g)\n",
+					sc.Name, want.ValueBits, want.Value, rec.ValueBits, val)
+				failed = true
+			}
+			if limit := want.Budget * (1 + *tolerance); elapsed > limit {
+				fmt.Fprintf(os.Stderr, "flowbench: %s: wall time %.3fs exceeds budget %.3fs (+%.0f%%)\n",
+					sc.Name, elapsed, want.Budget, *tolerance*100)
+				failed = true
+			}
+		}
+	}
+	if *out != "" && !failed {
+		data, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func round3(s float64) float64 { return math.Round(s*1000) / 1000 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flowbench:", err)
+	os.Exit(1)
+}

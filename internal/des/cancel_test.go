@@ -1,0 +1,110 @@
+package des
+
+import "testing"
+
+// TestCancelRecreateKeepsHeapShallow reproduces the flow kernel's
+// rescheduling pattern — cancel the completion timer and create a new
+// one on every model change — which used to leave every canceled event
+// in the heap until its timestamp drained past. The heap must stay O(live)
+// deep no matter how many times the timer churns.
+func TestCancelRecreateKeepsHeapShallow(t *testing.T) {
+	e := NewEngine()
+	const churns = 100_000
+	var ev *Event
+	for i := 0; i < churns; i++ {
+		if ev != nil {
+			ev.Cancel()
+		}
+		ev = e.After(float64(i)+1, func() {})
+	}
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1 live event", got)
+	}
+	if got := len(e.events); got > 4 {
+		t.Fatalf("heap holds %d slots after %d cancel/recreate churns, want O(1)", got, churns)
+	}
+	if got := e.MaxPending(); got > 4 {
+		t.Fatalf("MaxPending = %d, want bounded (canceled events must leave the heap)", got)
+	}
+	if got := e.Removed(); got != churns-1 {
+		t.Fatalf("Removed = %d, want %d", got, churns-1)
+	}
+}
+
+// TestCancelStormBoundedHeap cancels thousands of queued events in one
+// burst with no interleaved scheduling. The eager-removal path gives way
+// to tombstoning, and the lazy drain must still keep the heap bounded by
+// a constant factor of the live population.
+func TestCancelStormBoundedHeap(t *testing.T) {
+	e := NewEngine()
+	const n = 10_000
+	events := make([]*Event, n)
+	for i := range events {
+		events[i] = e.After(float64(i)+1, func() {})
+	}
+	live := n
+	for _, ev := range events[:n-10] {
+		ev.Cancel()
+		live--
+		if got := e.Pending(); got != live {
+			t.Fatalf("Pending = %d mid-storm, want %d", got, live)
+		}
+		if len(e.events) > 2*live+2*cancelBurstLimit {
+			t.Fatalf("heap holds %d slots with %d live events: tombstones not drained", len(e.events), live)
+		}
+	}
+	if got := e.Pending(); got != 10 {
+		t.Fatalf("Pending = %d after storm, want 10", got)
+	}
+	// The survivors still fire, in time order, and skip no live event.
+	fired := 0
+	for e.Step() {
+		fired++
+	}
+	if fired != 10 {
+		t.Fatalf("fired %d events after storm, want 10", fired)
+	}
+	if got := e.Removed(); got != n-10 {
+		t.Fatalf("Removed = %d, want %d", got, n-10)
+	}
+}
+
+// TestCancelStormInterleavedWithFiring mixes firing, canceling, and
+// rescheduling; live events must never be lost and canceled events must
+// never fire.
+func TestCancelStormInterleavedWithFiring(t *testing.T) {
+	e := NewEngine()
+	firedCanceled := false
+	count := 0
+	var events []*Event
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 100; i++ {
+			keep := i%3 == 0
+			tt := float64(round*100+i) + 1
+			if keep {
+				events = append(events, e.At(tt, func() { count++ }))
+			} else {
+				ev := e.At(tt, func() { firedCanceled = true })
+				events = append(events, ev)
+				ev.Cancel()
+			}
+		}
+		e.Step()
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if firedCanceled {
+		t.Fatal("a canceled event fired")
+	}
+	want := 0
+	for i := 0; i < 50*100; i++ {
+		if (i%100)%3 == 0 {
+			want++
+		}
+	}
+	if count != want {
+		t.Fatalf("fired %d live events, want %d", count, want)
+	}
+	_ = events
+}

@@ -18,8 +18,16 @@ import (
 var (
 	metricRuns    = obs.Default().Counter("des.engine_runs")
 	metricEvents  = obs.Default().Counter("des.events_fired")
+	metricRemoved = obs.Default().Counter("des.events_removed")
 	metricHeapMax = obs.Default().Gauge("des.heap_depth_max")
 )
+
+// cancelBurstLimit bounds how many consecutive cancellations (with no
+// intervening schedule or fire) are removed from the heap eagerly, one
+// O(log n) heap.Remove each. Past the limit the engine assumes a bulk
+// cancel storm and switches to O(1) tombstoning with a single O(n)
+// drain once half the heap is dead.
+const cancelBurstLimit = 32
 
 // Event is a scheduled callback. Events returned by At/After can be
 // canceled before they fire.
@@ -27,6 +35,7 @@ type Event struct {
 	time     float64
 	seq      uint64
 	fn       func()
+	eng      *Engine
 	index    int // heap index, -1 when not queued
 	canceled bool
 }
@@ -34,9 +43,20 @@ type Event struct {
 // Time returns the simulated time at which the event is scheduled.
 func (e *Event) Time() float64 { return e.time }
 
-// Cancel prevents the event from firing. Canceling an event that already
-// fired or was already canceled is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
+// Cancel prevents the event from firing and releases its heap slot —
+// eagerly for isolated cancels, lazily (tombstone + periodic drain)
+// under cancel storms, so churn-heavy simulations no longer accumulate
+// O(changes) dead entries. Canceling an event that already fired or was
+// already canceled is a no-op.
+func (e *Event) Cancel() {
+	if e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.index >= 0 {
+		e.eng.removeCanceled(e)
+	}
+}
 
 // eventHeap orders events by (time, seq) so simultaneous events fire in
 // scheduling order, keeping simulations deterministic.
@@ -72,13 +92,17 @@ func (h *eventHeap) Pop() any {
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; create engines with NewEngine.
 type Engine struct {
-	now        float64
-	seq        uint64
-	fired      int
-	maxPending int
-	flushed    int // fired count already flushed to metrics
-	events     eventHeap
-	runEnd     []func()
+	now         float64
+	seq         uint64
+	fired       int
+	maxPending  int
+	flushed     int // fired count already flushed to metrics
+	removed     int // canceled events taken off the heap without firing
+	flushedRm   int // removed count already flushed to metrics
+	tombstones  int // canceled events still occupying heap slots
+	cancelBurst int // consecutive cancels since the last schedule/fire
+	events      eventHeap
+	runEnd      []func()
 }
 
 // NewEngine returns an engine with the clock at time 0.
@@ -92,9 +116,13 @@ func (e *Engine) Now() float64 { return e.now }
 // Fired returns the number of events fired so far.
 func (e *Engine) Fired() int { return e.fired }
 
-// Pending returns the number of queued (non-fired) events, including
-// canceled events that have not been drained yet.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of queued live (non-fired, non-canceled)
+// events. Canceled events awaiting a lazy drain are excluded.
+func (e *Engine) Pending() int { return len(e.events) - e.tombstones }
+
+// Removed returns the number of canceled events taken off the heap
+// without firing, over the engine's lifetime.
+func (e *Engine) Removed() int { return e.removed }
 
 // At schedules fn to run at absolute simulated time t. Scheduling in the
 // past panics: that is always a simulator bug.
@@ -105,7 +133,8 @@ func (e *Engine) At(t float64, fn func()) *Event {
 	if math.IsNaN(t) {
 		panic("des: scheduling event at NaN time")
 	}
-	ev := &Event{time: t, seq: e.seq, fn: fn}
+	e.cancelBurst = 0
+	ev := &Event{time: t, seq: e.seq, fn: fn, eng: e}
 	e.seq++
 	heap.Push(&e.events, ev)
 	if len(e.events) > e.maxPending {
@@ -131,10 +160,56 @@ func (e *Engine) flushStats() {
 	metricRuns.Inc()
 	metricEvents.Add(int64(e.fired - e.flushed))
 	e.flushed = e.fired
+	metricRemoved.Add(int64(e.removed - e.flushedRm))
+	e.flushedRm = e.removed
 	metricHeapMax.SetMax(float64(e.maxPending))
 	for _, fn := range e.runEnd {
 		fn()
 	}
+}
+
+// removeCanceled releases the heap slot of a just-canceled queued event.
+// Isolated cancels (the common cancel-and-recreate of the flow kernel's
+// completion event) are removed eagerly; a burst of more than
+// cancelBurstLimit consecutive cancels switches to tombstoning with an
+// O(n) drain once tombstones reach half the heap, so bulk cancels cost
+// amortized O(1) each instead of O(log n).
+func (e *Engine) removeCanceled(ev *Event) {
+	e.cancelBurst++
+	if e.cancelBurst <= cancelBurstLimit {
+		heap.Remove(&e.events, ev.index)
+		e.removed++
+		return
+	}
+	e.tombstones++
+	if e.tombstones*2 >= len(e.events) {
+		e.drain()
+	}
+}
+
+// drain rebuilds the heap without its tombstones, preserving the slice
+// order of live events (the heap invariant is re-established over the
+// same multiset, and (time, seq) is a total order, so the firing
+// sequence is unchanged).
+func (e *Engine) drain() {
+	live := e.events[:0]
+	for _, ev := range e.events {
+		if ev.canceled {
+			ev.index = -1
+			e.removed++
+			continue
+		}
+		live = append(live, ev)
+	}
+	for i := len(live); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = live
+	for i, ev := range e.events {
+		ev.index = i
+	}
+	heap.Init(&e.events)
+	e.tombstones = 0
 }
 
 // After schedules fn to run d seconds from now. Negative delays panic.
@@ -143,13 +218,17 @@ func (e *Engine) After(d float64, fn func()) *Event {
 }
 
 // Step fires the next event, advancing the clock to its timestamp. It
-// returns false when the queue is empty. Canceled events are skipped.
+// returns false when the queue is empty. Tombstoned (canceled) events
+// are skipped and discarded.
 func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*Event)
 		if ev.canceled {
+			e.tombstones--
+			e.removed++
 			continue
 		}
+		e.cancelBurst = 0
 		e.now = ev.time
 		e.fired++
 		ev.fn()
@@ -197,6 +276,8 @@ func (e *Engine) peek() *Event {
 			return ev
 		}
 		heap.Pop(&e.events)
+		e.tombstones--
+		e.removed++
 	}
 	return nil
 }

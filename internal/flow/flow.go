@@ -9,11 +9,19 @@
 // next completion is scheduled on the engine. Between changes all rates
 // are constant, so the simulation advances in O(changes) steps rather
 // than fixed time steps.
+//
+// The solver is incremental: a change dirties the resources whose
+// weight sums it altered, and only the connected component of the
+// resource↔activity graph reachable from those seeds is re-solved. The
+// max-min allocation of a component depends only on that component's
+// membership and capacities, so untouched components keep their rates —
+// bitwise, not just approximately (see DESIGN.md §9 for the argument).
 package flow
 
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"simcal/internal/des"
 	"simcal/internal/obs"
@@ -25,6 +33,7 @@ import (
 var (
 	metricSolves    = obs.Default().Counter("flow.solves")
 	metricSolveIter = obs.Default().Counter("flow.solve_iterations")
+	metricIncSolves = obs.Default().Counter("flow.incremental_solves")
 	metricActMax    = obs.Default().Gauge("flow.activities_max")
 )
 
@@ -54,27 +63,43 @@ type Usage struct {
 }
 
 // Activity is a unit of fluid work in progress.
+//
+// While active, the mutable per-activity state (rate, remaining work)
+// lives in the System's structure-of-arrays slices indexed by idx; the
+// struct fields hold a snapshot taken at completion or cancellation so
+// accessors keep working on retired activities.
 type Activity struct {
 	Name      string
 	initial   float64
-	remaining float64
+	remaining float64 // snapshot; canonical value in System.remArr while active
 	bound     float64 // max rate; 0 means unbounded
 	usage     []Usage
-	uidx      []int // resource indices, parallel to usage
-	idx       int   // position in System.active (-1 once removed)
+	uidx      []int32 // resource indices, parallel to usage
+	upos      []int32 // positions in the per-resource user lists
+	idx       int     // position in System.active (-1 once removed)
+	visitGen  int     // dirty-closure BFS stamp
 	onDone    func()
-	rate      float64
+	rate      float64 // snapshot; canonical value in System.rateArr while active
 	done      bool
 	canceled  bool
-	fixedGen  int // solver generation at which the rate was fixed
 	sys       *System
 }
 
 // Rate returns the activity's current allocated rate in units/s.
-func (a *Activity) Rate() float64 { return a.rate }
+func (a *Activity) Rate() float64 {
+	if a.idx >= 0 {
+		return a.sys.rateArr[a.idx]
+	}
+	return a.rate
+}
 
 // Remaining returns the work remaining as of the last model update.
-func (a *Activity) Remaining() float64 { return a.remaining }
+func (a *Activity) Remaining() float64 {
+	if a.idx >= 0 {
+		return a.sys.remArr[a.idx]
+	}
+	return a.remaining
+}
 
 // Done reports whether the activity has completed.
 func (a *Activity) Done() bool { return a.done }
@@ -89,36 +114,92 @@ func (a *Activity) Cancel() {
 	a.sys.remove(a)
 }
 
+// userRef is one usage entry in a resource's persistent user list; slot
+// identifies which of the activity's usages it is, so compaction can
+// update the activity's back-pointer. A nil act is a tombstone.
+type userRef struct {
+	act  *Activity
+	slot int32
+}
+
+// slabSize is the Activity allocation block. The System retains only
+// the partially filled block, so fully consumed blocks are reclaimed by
+// the GC as soon as their activities are unreferenced.
+const slabSize = 256
+
+// compactSlack is the tombstone budget for the active list and per-
+// resource user lists: compaction (a deterministic, order-preserving
+// rebuild) runs once dead entries outnumber live ones by this margin,
+// amortizing to O(1) per removal.
+const compactSlack = 64
+
 // System manages the set of active fluid activities over an engine.
 //
 // The active set is an insertion-ordered slice, not a map: the solver
 // accumulates floating-point weight sums while iterating it, so the
 // iteration order must be a pure function of the simulation's operation
 // sequence. A pointer-keyed map would iterate in address order and make
-// the last ULPs of every rate vary from process to process.
+// the last ULPs of every rate vary from process to process. Removal
+// tombstones the slot (nil) instead of shifting, keeping removal O(1)
+// while preserving the relative order of survivors; per-activity mutable
+// state lives in parallel slices (rateArr, remArr, initArr, boundArr,
+// fixedGen) indexed by the same positions.
 type System struct {
 	eng        *des.Engine
 	active     []*Activity
+	liveCount  int
+	tombstones int
 	lastUpdate float64
 	completion *des.Event
 	inUpdate   bool
 
+	// Structure-of-arrays activity state, parallel to active.
+	rateArr  []float64
+	remArr   []float64
+	initArr  []float64
+	boundArr []float64
+	fixedGen []int // solver generation at which the rate was fixed
+
 	// Solver state. Resources are registered once and indexed; scratch
 	// arrays are reused across solves to avoid per-solve allocation.
-	resIdx    map[*Resource]int
-	resources []*Resource
-	capLeft   []float64
-	weightSum []float64
-	resetGen  []int
-	users     [][]*Activity
-	solveGen  int
+	resIdx     map[*Resource]int
+	resources  []*Resource
+	capLeft    []float64
+	weightSum  []float64
+	resetGen   []int
+	solveUsers [][]*Activity // per-solve user lists, rebuilt from the solve set
+	solveGen   int
+
+	// Incremental-solve state: persistent per-resource user lists (for
+	// the dirty-closure BFS), the dirty seed queue, and activities with
+	// no resource usages (unreachable by BFS, fixed directly).
+	users       [][]userRef
+	userDead    []int
+	dirty       []int
+	resMark     []int
+	epoch       int
+	pendingFree []*Activity
+
+	// forceFullSolve disables incremental solving (every reschedule
+	// re-solves all live activities). Test hook for the property that
+	// incremental and full solves are bitwise identical.
+	forceFullSolve bool
+
+	// Reusable scratch hoisted out of the solve and completion paths.
+	touched  []int
+	bounded  []int32
+	set      []*Activity
+	finished []*Activity
+	slab     []Activity
 
 	// Solver statistics (lifetime totals; see Stats and flushStats).
 	statSolves    int
 	statIters     int
+	statIncremens int
 	statMaxActive int
 	flushedSolves int
 	flushedIters  int
+	flushedIncs   int
 }
 
 // NewSystem returns an empty fluid system bound to eng.
@@ -126,6 +207,7 @@ func NewSystem(eng *des.Engine) *System {
 	s := &System{
 		eng:    eng,
 		resIdx: make(map[*Resource]int),
+		epoch:  1,
 	}
 	eng.OnRunEnd(s.flushStats)
 	return s
@@ -143,8 +225,10 @@ func (s *System) Stats() (solves, iterations, maxActive int) {
 func (s *System) flushStats() {
 	metricSolves.Add(int64(s.statSolves - s.flushedSolves))
 	metricSolveIter.Add(int64(s.statIters - s.flushedIters))
+	metricIncSolves.Add(int64(s.statIncremens - s.flushedIncs))
 	s.flushedSolves = s.statSolves
 	s.flushedIters = s.statIters
+	s.flushedIncs = s.statIncremens
 	metricActMax.SetMax(float64(s.statMaxActive))
 }
 
@@ -159,7 +243,10 @@ func (s *System) register(r *Resource) int {
 	s.capLeft = append(s.capLeft, 0)
 	s.weightSum = append(s.weightSum, 0)
 	s.resetGen = append(s.resetGen, 0)
+	s.solveUsers = append(s.solveUsers, nil)
 	s.users = append(s.users, nil)
+	s.userDead = append(s.userDead, 0)
+	s.resMark = append(s.resMark, 0)
 	return i
 }
 
@@ -167,7 +254,17 @@ func (s *System) register(r *Resource) int {
 func (s *System) Engine() *des.Engine { return s.eng }
 
 // ActiveCount returns the number of in-flight activities.
-func (s *System) ActiveCount() int { return len(s.active) }
+func (s *System) ActiveCount() int { return s.liveCount }
+
+// alloc returns a zeroed Activity from the current slab block.
+func (s *System) alloc() *Activity {
+	if len(s.slab) == 0 {
+		s.slab = make([]Activity, slabSize)
+	}
+	a := &s.slab[0]
+	s.slab = s.slab[1:]
+	return a
+}
 
 // StartActivity begins a fluid activity with the given total work,
 // optional rate bound (0 = unbounded), resource usages, and completion
@@ -185,10 +282,14 @@ func (s *System) StartActivity(name string, work, bound float64, usage []Usage, 
 			panic(fmt.Sprintf("flow: activity %q with invalid usage", name))
 		}
 	}
-	a := &Activity{Name: name, initial: work, remaining: work, bound: bound, usage: usage, onDone: onDone, sys: s}
-	a.uidx = make([]int, len(usage))
-	for i, u := range usage {
-		a.uidx[i] = s.register(u.Res)
+	a := s.alloc()
+	*a = Activity{Name: name, initial: work, remaining: work, bound: bound, usage: usage, onDone: onDone, sys: s}
+	if n := len(usage); n > 0 {
+		backing := make([]int32, 2*n)
+		a.uidx, a.upos = backing[:n:n], backing[n:]
+		for i, u := range usage {
+			a.uidx[i] = int32(s.register(u.Res))
+		}
 	}
 	s.advance()
 	s.addActive(a)
@@ -196,39 +297,134 @@ func (s *System) StartActivity(name string, work, bound float64, usage []Usage, 
 	return a
 }
 
-// addActive appends a to the insertion-ordered active list.
+// addActive appends a to the insertion-ordered active list and its
+// resources' user lists, and seeds the dirty closure with its resources.
 func (s *System) addActive(a *Activity) {
 	a.idx = len(s.active)
 	s.active = append(s.active, a)
+	s.rateArr = append(s.rateArr, 0)
+	s.remArr = append(s.remArr, a.remaining)
+	s.initArr = append(s.initArr, a.initial)
+	s.boundArr = append(s.boundArr, a.bound)
+	s.fixedGen = append(s.fixedGen, 0)
+	s.liveCount++
+	if len(a.uidx) == 0 {
+		// No resources: unreachable by the dirty BFS; fixed directly at
+		// the next solve.
+		s.pendingFree = append(s.pendingFree, a)
+		return
+	}
+	for j, ri := range a.uidx {
+		a.upos[j] = int32(len(s.users[ri]))
+		s.users[ri] = append(s.users[ri], userRef{act: a, slot: int32(j)})
+		s.markDirty(int(ri))
+	}
 }
 
-// removeActive deletes a while preserving the insertion order of the
-// rest, keeping solver iteration a pure function of the operation
-// sequence.
+// removeActive tombstones a's slot — preserving the insertion order of
+// the survivors, which keeps solver iteration a pure function of the
+// operation sequence — snapshots its mutable state into the struct, and
+// seeds the dirty closure with its resources.
 func (s *System) removeActive(a *Activity) {
 	i := a.idx
-	copy(s.active[i:], s.active[i+1:])
-	s.active = s.active[:len(s.active)-1]
-	for ; i < len(s.active); i++ {
-		s.active[i].idx = i
+	a.rate = s.rateArr[i]
+	a.remaining = s.remArr[i]
+	for j, ri := range a.uidx {
+		s.users[ri][a.upos[j]] = userRef{}
+		s.userDead[ri]++
+		s.markDirty(int(ri))
+		if d := s.userDead[ri]; d > len(s.users[ri])-d+compactSlack {
+			s.compactUsers(int(ri))
+		}
 	}
+	s.active[i] = nil
 	a.idx = -1
+	s.liveCount--
+	s.tombstones++
+	if s.tombstones > s.liveCount+compactSlack {
+		s.compactActive()
+	}
+}
+
+// compactActive rebuilds the active list (and its parallel state
+// slices) without tombstones. Order is preserved, so relative idx
+// comparisons still encode insertion order; the trigger is a pure
+// function of the operation sequence, so compaction is deterministic.
+func (s *System) compactActive() {
+	live := 0
+	for i, a := range s.active {
+		if a == nil {
+			continue
+		}
+		if i != live {
+			s.active[live] = a
+			a.idx = live
+			s.rateArr[live] = s.rateArr[i]
+			s.remArr[live] = s.remArr[i]
+			s.initArr[live] = s.initArr[i]
+			s.boundArr[live] = s.boundArr[i]
+			s.fixedGen[live] = s.fixedGen[i]
+		}
+		live++
+	}
+	for i := live; i < len(s.active); i++ {
+		s.active[i] = nil
+	}
+	s.active = s.active[:live]
+	s.rateArr = s.rateArr[:live]
+	s.remArr = s.remArr[:live]
+	s.initArr = s.initArr[:live]
+	s.boundArr = s.boundArr[:live]
+	s.fixedGen = s.fixedGen[:live]
+	s.tombstones = 0
+}
+
+// compactUsers rebuilds a resource's persistent user list without
+// tombstones, fixing the surviving activities' back-pointers.
+func (s *System) compactUsers(ri int) {
+	refs := s.users[ri]
+	live := refs[:0]
+	for _, ref := range refs {
+		if ref.act == nil {
+			continue
+		}
+		ref.act.upos[ref.slot] = int32(len(live))
+		live = append(live, ref)
+	}
+	for i := len(live); i < len(refs); i++ {
+		refs[i] = userRef{}
+	}
+	s.users[ri] = live
+	s.userDead[ri] = 0
+}
+
+// markDirty seeds the incremental solver with a resource whose weight
+// sum changed.
+func (s *System) markDirty(ri int) {
+	if s.resMark[ri] != s.epoch {
+		s.resMark[ri] = s.epoch
+		s.dirty = append(s.dirty, ri)
+	}
 }
 
 // Batch runs fn, deferring rate recomputation until fn returns, so that
 // many activities can be started (or canceled) with a single max-min
 // solve. Nested batches are flattened. Simulators that launch hundreds
 // of simultaneous transfers (e.g. an MPI exchange round) should wrap
-// them in a Batch.
+// them in a Batch. The deferral is released even if fn panics, so a
+// recovered callback panic (see internal/resilience) cannot leave the
+// system permanently deferring reschedules.
 func (s *System) Batch(fn func()) {
 	if s.inUpdate {
 		fn()
 		return
 	}
 	s.inUpdate = true
+	defer func() {
+		s.inUpdate = false
+		s.reschedule()
+	}()
 	fn()
-	s.inUpdate = false
-	s.reschedule()
 }
 
 // remove drops an activity from the active set and recomputes the
@@ -247,23 +443,28 @@ func (s *System) advance() {
 	if dt <= 0 {
 		return
 	}
-	for _, a := range s.active {
-		if math.IsInf(a.rate, 1) {
-			a.remaining = 0
+	for i, a := range s.active {
+		if a == nil {
 			continue
 		}
-		a.remaining -= a.rate * dt
-		if a.remaining < a.eps() {
-			a.remaining = 0
+		r := s.rateArr[i]
+		if math.IsInf(r, 1) {
+			s.remArr[i] = 0
+			continue
 		}
+		rem := s.remArr[i] - r*dt
+		if rem < epsFor(s.initArr[i]) {
+			rem = 0
+		}
+		s.remArr[i] = rem
 	}
 }
 
-// eps is the completion threshold: relative to the activity's initial
+// epsFor is the completion threshold: relative to the activity's initial
 // work so that float64 rounding on large work values (e.g. 10^9 ops)
 // cannot strand a microscopic residue that forces extra tiny steps.
-func (a *Activity) eps() float64 {
-	e := workEps * a.initial
+func epsFor(initial float64) float64 {
+	e := workEps * initial
 	if e < workEps {
 		e = workEps
 	}
@@ -283,13 +484,15 @@ func (s *System) timeEps() float64 {
 	return 2 * ulp
 }
 
-// effectivelyDone reports whether the activity has exhausted its work or
-// cannot progress measurably within the clock's float64 resolution.
-func (a *Activity) effectivelyDone(timeEps float64) bool {
-	if a.remaining <= a.eps() || math.IsInf(a.rate, 1) {
+// effectivelyDoneAt reports whether the activity at index i has
+// exhausted its work or cannot progress measurably within the clock's
+// float64 resolution.
+func (s *System) effectivelyDoneAt(i int, timeEps float64) bool {
+	r := s.rateArr[i]
+	if s.remArr[i] <= epsFor(s.initArr[i]) || math.IsInf(r, 1) {
 		return true
 	}
-	return a.rate > 0 && a.remaining/a.rate <= timeEps
+	return r > 0 && s.remArr[i]/r <= timeEps
 }
 
 // reschedule recomputes rates and (re)schedules the next completion
@@ -298,22 +501,25 @@ func (s *System) reschedule() {
 	if s.inUpdate {
 		return
 	}
-	s.solve()
+	s.solveDirty()
 	if s.completion != nil {
 		s.completion.Cancel()
 		s.completion = nil
 	}
 	te := s.timeEps()
 	dt := math.Inf(1)
-	for _, a := range s.active {
+	for i, a := range s.active {
+		if a == nil {
+			continue
+		}
 		var d float64
 		switch {
-		case a.effectivelyDone(te):
+		case s.effectivelyDoneAt(i, te):
 			d = 0
-		case a.rate <= 0:
+		case s.rateArr[i] <= 0:
 			continue // stalled; cannot complete
 		default:
-			d = a.remaining / a.rate
+			d = s.remArr[i] / s.rateArr[i]
 		}
 		if d < dt {
 			dt = d
@@ -332,22 +538,37 @@ func (s *System) reschedule() {
 
 // onCompletion fires completion callbacks for every activity that has
 // exhausted its work, then reschedules. Callbacks may start new
-// activities; those are folded into a single rate recomputation.
+// activities; those are folded into a single rate recomputation. The
+// batch deferral is released even if a callback panics (and the caller
+// recovers), so the system keeps rescheduling afterwards.
 func (s *System) onCompletion() {
 	s.completion = nil
 	s.advance()
 	te := s.timeEps()
-	var finished []*Activity
+	finished := s.finished[:0]
 	for _, a := range s.active {
-		if a.effectivelyDone(te) {
+		if a != nil && s.effectivelyDoneAt(a.idx, te) {
 			finished = append(finished, a)
 		}
 	}
-	// Callbacks fire in name order (finished is collected in insertion
-	// order, so ties between identically named activities stay
-	// deterministic too).
-	sortActivities(finished)
+	s.finished = finished
+	// Callbacks fire in name order; ties between identically named
+	// activities break by start order (finished is collected in insertion
+	// order, and idx encodes it).
+	slices.SortStableFunc(finished, func(x, y *Activity) int {
+		if x.Name != y.Name {
+			if x.Name < y.Name {
+				return -1
+			}
+			return 1
+		}
+		return x.idx - y.idx
+	})
 	s.inUpdate = true
+	defer func() {
+		s.inUpdate = false
+		s.reschedule()
+	}()
 	for _, a := range finished {
 		s.removeActive(a)
 		a.done = true
@@ -358,81 +579,156 @@ func (s *System) onCompletion() {
 			a.onDone()
 		}
 	}
-	s.inUpdate = false
-	s.reschedule()
 }
 
-// sortActivities orders activities by name for deterministic callback
-// sequencing.
-func sortActivities(as []*Activity) {
-	for i := 1; i < len(as); i++ {
-		for j := i; j > 0 && as[j].Name < as[j-1].Name; j-- {
-			as[j], as[j-1] = as[j-1], as[j]
+// solveDirty re-solves exactly the activities whose max-min allocation
+// can have changed since the last solve: the connected component(s) of
+// the resource↔activity graph reachable from the dirty resources. When
+// nothing is dirty the solve is skipped entirely — untouched components
+// keep their rates, which are bitwise identical to what a full re-solve
+// would assign them.
+func (s *System) solveDirty() {
+	if s.forceFullSolve {
+		if len(s.dirty) > 0 || len(s.pendingFree) > 0 {
+			s.solve()
+		}
+		return
+	}
+	if len(s.dirty) == 0 && len(s.pendingFree) == 0 {
+		return
+	}
+	// Activities with no usages never contend: a full solve assigns them
+	// exactly their bound (the bound-limited fix always fires at the
+	// activity's own bound) or +Inf. Fix them directly.
+	for _, a := range s.pendingFree {
+		if a.idx < 0 {
+			continue // canceled before the first solve
+		}
+		if a.bound > 0 {
+			s.rateArr[a.idx] = a.bound
+		} else {
+			s.rateArr[a.idx] = math.Inf(1)
 		}
 	}
+	s.pendingFree = s.pendingFree[:0]
+	// BFS closure over the bipartite resource↔activity graph. The seed
+	// order and expansion are deterministic, and the set is re-sorted by
+	// insertion order below, so the solve iterates exactly the
+	// subsequence of the full active list that belongs to the dirty
+	// component(s).
+	set := s.set[:0]
+	for qi := 0; qi < len(s.dirty); qi++ {
+		for _, ref := range s.users[s.dirty[qi]] {
+			a := ref.act
+			if a == nil || a.visitGen == s.epoch {
+				continue
+			}
+			a.visitGen = s.epoch
+			set = append(set, a)
+			for _, rj := range a.uidx {
+				s.markDirty(int(rj))
+			}
+		}
+	}
+	s.dirty = s.dirty[:0]
+	s.epoch++
+	if len(set) == 0 {
+		s.set = set
+		return
+	}
+	slices.SortFunc(set, func(x, y *Activity) int { return x.idx - y.idx })
+	if len(set) < s.liveCount {
+		s.statIncremens++
+	}
+	s.runSolve(set)
+	s.set = set[:0]
 }
 
-// solve computes max-min fair rates for all active activities using
-// progressive filling: repeatedly find the tightest constraint (a
-// resource's fair share or an activity's rate bound), freeze the
-// activities it limits, and continue with the remaining capacity.
-//
-// The implementation is allocation-light and index-based: per-resource
-// remaining capacity, unfixed weight sums, and user lists live in
-// reusable arrays, and fixing an activity incrementally updates the
-// weight sums of the resources it touches. Complexity is
-// O(A·u + iterations·R) where A is the number of activities, u the
-// usages per activity, and R the touched resources — versus the naive
-// O(iterations·A·u) with per-iteration map rebuilds.
+// solve recomputes max-min fair rates for every active activity from
+// scratch, consuming any pending incremental state. The incremental
+// path produces bitwise-identical results; this full solve remains the
+// reference entry point (and is exercised directly by tests).
 func (s *System) solve() {
-	if len(s.active) == 0 {
+	set := s.set[:0]
+	for _, a := range s.active {
+		if a != nil {
+			set = append(set, a)
+		}
+	}
+	s.dirty = s.dirty[:0]
+	s.epoch++
+	s.pendingFree = s.pendingFree[:0]
+	s.runSolve(set)
+	s.set = set[:0]
+}
+
+// runSolve computes max-min fair rates for the given activities (a
+// subsequence of the active list in insertion order) using progressive
+// filling: repeatedly find the tightest constraint (a resource's fair
+// share or an activity's rate bound), freeze the activities it limits,
+// and continue with the remaining capacity.
+//
+// The implementation is allocation-free and index-based: per-resource
+// remaining capacity, unfixed weight sums, and user lists live in
+// reusable arrays; per-activity rate/bound/fixed state lives in the
+// System's parallel slices so the inner scans are cache-linear; and
+// fixing an activity incrementally updates the weight sums of the
+// resources it touches. Complexity is O(A·u + iterations·R) where A is
+// the number of activities solved, u the usages per activity, and R the
+// touched resources.
+func (s *System) runSolve(set []*Activity) {
+	if len(set) == 0 {
 		return
 	}
 	s.statSolves++
-	if len(s.active) > s.statMaxActive {
-		s.statMaxActive = len(s.active)
+	if s.liveCount > s.statMaxActive {
+		s.statMaxActive = s.liveCount
 	}
 	s.solveGen++
 	gen := s.solveGen
-	touched := make([]int, 0, 16)
-	var bounded []*Activity
+	touched := s.touched[:0]
+	bounded := s.bounded[:0]
 	unfixed := 0
-	for _, a := range s.active {
-		a.rate = 0
-		a.fixedGen = 0
+	for _, a := range set {
+		i := a.idx
+		s.rateArr[i] = 0
+		s.fixedGen[i] = 0
 		unfixed++
 		if a.bound > 0 {
-			bounded = append(bounded, a)
+			bounded = append(bounded, int32(i))
 		}
 	}
 	// Init per-resource state exactly once per solve using generation
 	// stamps, then accumulate weights and user lists.
-	for _, a := range s.active {
+	for _, a := range set {
 		for _, ri := range a.uidx {
 			if s.resetGen[ri] != gen {
 				s.resetGen[ri] = gen
-				touched = append(touched, ri)
+				touched = append(touched, int(ri))
 				s.capLeft[ri] = s.resources[ri].Capacity
 				s.weightSum[ri] = 0
-				s.users[ri] = s.users[ri][:0]
+				s.solveUsers[ri] = s.solveUsers[ri][:0]
 			}
 		}
 	}
-	for _, a := range s.active {
-		for i, ri := range a.uidx {
-			s.weightSum[ri] += a.usage[i].Weight
-			s.users[ri] = append(s.users[ri], a)
+	for _, a := range set {
+		for j, ri := range a.uidx {
+			s.weightSum[ri] += a.usage[j].Weight
+			s.solveUsers[ri] = append(s.solveUsers[ri], a)
 		}
 	}
+	s.touched = touched
+	s.bounded = bounded
 
 	// fix freezes an activity's rate and removes its weight from its
 	// resources.
 	fix := func(a *Activity, rate float64) {
-		a.rate = rate
-		a.fixedGen = gen
+		i := a.idx
+		s.rateArr[i] = rate
+		s.fixedGen[i] = gen
 		unfixed--
-		for i, ri := range a.uidx {
-			w := a.usage[i].Weight
+		for j, ri := range a.uidx {
+			w := a.usage[j].Weight
 			s.capLeft[ri] -= w * rate
 			if s.capLeft[ri] < 0 {
 				s.capLeft[ri] = 0
@@ -449,28 +745,29 @@ func (s *System) solve() {
 		best := math.Inf(1)
 		bottleneck := -1
 		for _, ri := range touched {
-			if s.weightSum[ri] <= 0 {
+			ws := s.weightSum[ri]
+			if ws <= 0 {
 				continue
 			}
-			share := s.capLeft[ri] / s.weightSum[ri]
+			share := s.capLeft[ri] / ws
 			if share < best {
 				best = share
 				bottleneck = ri
 			}
 		}
 		boundLimited := false
-		for _, a := range bounded {
-			if a.fixedGen != gen && a.bound < best {
-				best = a.bound
+		for _, i := range bounded {
+			if s.fixedGen[i] != gen && s.boundArr[i] < best {
+				best = s.boundArr[i]
 				boundLimited = true
 			}
 		}
 		if math.IsInf(best, 1) {
 			// No constraints left: remaining activities finish instantly.
-			for _, a := range s.active {
-				if a.fixedGen != gen {
-					a.rate = math.Inf(1)
-					a.fixedGen = gen
+			for _, a := range set {
+				if s.fixedGen[a.idx] != gen {
+					s.rateArr[a.idx] = math.Inf(1)
+					s.fixedGen[a.idx] = gen
 					unfixed--
 				}
 			}
@@ -480,16 +777,16 @@ func (s *System) solve() {
 			best = 0
 		}
 		if boundLimited {
-			for _, a := range bounded {
-				if a.fixedGen != gen && a.bound <= best {
-					fix(a, best)
+			for _, i := range bounded {
+				if s.fixedGen[i] != gen && s.boundArr[i] <= best {
+					fix(s.active[i], best)
 				}
 			}
 			continue
 		}
 		fixedAny := false
-		for _, a := range s.users[bottleneck] {
-			if a.fixedGen == gen {
+		for _, a := range s.solveUsers[bottleneck] {
+			if s.fixedGen[a.idx] == gen {
 				continue
 			}
 			fix(a, best)
@@ -497,8 +794,8 @@ func (s *System) solve() {
 		}
 		if !fixedAny {
 			// Defensive: numerically stuck — freeze everything left.
-			for _, a := range s.active {
-				if a.fixedGen != gen {
+			for _, a := range set {
+				if s.fixedGen[a.idx] != gen {
 					fix(a, best)
 				}
 			}

@@ -235,3 +235,29 @@ func TestScale128Nodes(t *testing.T) {
 		t.Errorf("rate = %v", rate)
 	}
 }
+
+func TestScale512NodesStencilDeterministic(t *testing.T) {
+	// The ROADMAP's Summit-scale target for case study #2: a 512-node
+	// (3072-rank) dense stencil must complete and be bitwise repeatable —
+	// the incremental flow solver re-solves only dirty components, and any
+	// order dependence it introduced would show up here as last-ULP drift.
+	if testing.Short() {
+		t.Skip("512-node simulation in -short mode")
+	}
+	v := Version{FatTree, ComplexNode, FixedPoints}
+	sc := Scenario{Benchmark: mpi.Stencil, Nodes: 512, MsgBytes: 1 << 16, Rounds: 2}
+	r1, err := Simulate(v, summitLike(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 <= 0 || math.IsInf(r1, 0) || math.IsNaN(r1) {
+		t.Fatalf("rate = %v", r1)
+	}
+	r2, err := Simulate(v, summitLike(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(r1) != math.Float64bits(r2) {
+		t.Fatalf("512-node stencil not bitwise repeatable: %v vs %v", r1, r2)
+	}
+}

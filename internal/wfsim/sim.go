@@ -97,9 +97,8 @@ type sim struct {
 	workerMult []float64 // per-worker speed multiplier (heterogeneity)
 
 	pendingParents map[string]int
-	ready          []string // sorted queue of ready task names
-	freeCores      []int    // per worker
-	dispatched     map[string]bool
+	ready          workflow.NameQueue // ready tasks, popped in name order
+	freeCores      []int              // per worker
 	taskStart      map[string]float64
 	taskTimes      map[string]float64
 	traces         map[string]*TaskTrace
@@ -113,7 +112,6 @@ func newSim(v Version, cfg Config, sc Scenario) *sim {
 	s := &sim{
 		v: v, cfg: cfg, sc: sc,
 		pendingParents: make(map[string]int, sc.Workflow.Size()),
-		dispatched:     make(map[string]bool, sc.Workflow.Size()),
 		taskStart:      make(map[string]float64, sc.Workflow.Size()),
 		taskTimes:      make(map[string]float64, sc.Workflow.Size()),
 		traces:         make(map[string]*TaskTrace, sc.Workflow.Size()),
@@ -180,10 +178,9 @@ func (s *sim) start() {
 	for _, t := range s.sc.Workflow.Tasks {
 		s.pendingParents[t.Name] = len(t.Parents)
 		if len(t.Parents) == 0 {
-			s.ready = append(s.ready, t.Name)
+			s.ready.Push(t.Name)
 		}
 	}
-	sort.Strings(s.ready)
 	s.schedule()
 }
 
@@ -191,13 +188,12 @@ func (s *sim) start() {
 // the WMS scheduling loop. Workers with more free cores win; ties go to
 // the lowest index, keeping schedules deterministic.
 func (s *sim) schedule() {
-	for len(s.ready) > 0 {
+	for s.ready.Len() > 0 {
 		wi := s.pickWorker()
 		if wi < 0 {
 			return
 		}
-		name := s.ready[0]
-		s.ready = s.ready[1:]
+		name := s.ready.Pop()
 		s.freeCores[wi]--
 		s.runTask(name, wi)
 	}
@@ -252,7 +248,7 @@ func (s *sim) runTask(name string, wi int) {
 		for _, c := range t.Children {
 			s.pendingParents[c]--
 			if s.pendingParents[c] == 0 {
-				s.ready = insertSorted(s.ready, c)
+				s.ready.Push(c)
 			}
 		}
 		s.schedule()
@@ -343,13 +339,4 @@ func (s *sim) outboundFile(f *workflow.File, w *platform.Host, done func()) {
 	} else {
 		xfer()
 	}
-}
-
-// insertSorted inserts name into the sorted queue.
-func insertSorted(q []string, name string) []string {
-	i := sort.SearchStrings(q, name)
-	q = append(q, "")
-	copy(q[i+1:], q[i:])
-	q[i] = name
-	return q
 }

@@ -107,26 +107,43 @@ func (w *Workflow) DataFootprint() float64 {
 // file references resolve, parent/child lists are symmetric, and the
 // graph is acyclic.
 func (w *Workflow) Validate() error {
+	// Edge sets make the symmetry checks O(E): scanning each counterpart
+	// list linearly is quadratic on wide fan-in stages (a merge task with
+	// 100k parents is scanned once per parent).
+	type edge struct{ parent, child string }
+	childEdges := make(map[edge]struct{})  // p lists c in p.Children
+	parentEdges := make(map[edge]struct{}) // c lists p in c.Parents
+	for _, t := range w.Tasks {
+		for _, c := range t.Children {
+			childEdges[edge{t.Name, c}] = struct{}{}
+		}
+		for _, p := range t.Parents {
+			parentEdges[edge{p, t.Name}] = struct{}{}
+		}
+	}
 	for _, t := range w.Tasks {
 		for _, p := range t.Parents {
-			pt := w.byName[p]
-			if pt == nil {
+			if w.byName[p] == nil {
 				return fmt.Errorf("workflow %s: task %s references missing parent %s", w.Name, t.Name, p)
 			}
-			if !contains(pt.Children, t.Name) {
+			if _, ok := childEdges[edge{p, t.Name}]; !ok {
 				return fmt.Errorf("workflow %s: asymmetric dependency %s -> %s", w.Name, p, t.Name)
 			}
 		}
 		for _, c := range t.Children {
-			ct := w.byName[c]
-			if ct == nil {
+			if w.byName[c] == nil {
 				return fmt.Errorf("workflow %s: task %s references missing child %s", w.Name, t.Name, c)
 			}
-			if !contains(ct.Parents, t.Name) {
+			if _, ok := parentEdges[edge{t.Name, c}]; !ok {
 				return fmt.Errorf("workflow %s: asymmetric dependency %s -> %s", w.Name, t.Name, c)
 			}
 		}
-		for _, f := range append(append([]string(nil), t.Inputs...), t.Outputs...) {
+		for _, f := range t.Inputs {
+			if _, ok := w.Files[f]; !ok {
+				return fmt.Errorf("workflow %s: task %s references missing file %s", w.Name, t.Name, f)
+			}
+		}
+		for _, f := range t.Outputs {
 			if _, ok := w.Files[f]; !ok {
 				return fmt.Errorf("workflow %s: task %s references missing file %s", w.Name, t.Name, f)
 			}
@@ -153,35 +170,30 @@ func (w *Workflow) Roots() []*Task {
 }
 
 // TopoOrder returns the tasks in a deterministic topological order, or
-// an error if the graph has a cycle.
+// an error if the graph has a cycle. The order is Kahn's algorithm
+// always emitting the lexicographically smallest ready task name — the
+// same order the package has produced since its first version.
 func (w *Workflow) TopoOrder() ([]*Task, error) {
 	indeg := make(map[string]int, len(w.Tasks))
 	for _, t := range w.Tasks {
 		indeg[t.Name] = len(t.Parents)
 	}
-	// Ready queue kept sorted by name for determinism.
-	var ready []string
+	var ready NameQueue
 	for _, t := range w.Tasks {
 		if indeg[t.Name] == 0 {
-			ready = append(ready, t.Name)
+			ready.Push(t.Name)
 		}
 	}
-	sort.Strings(ready)
-	var out []*Task
-	for len(ready) > 0 {
-		name := ready[0]
-		ready = ready[1:]
-		t := w.byName[name]
+	out := make([]*Task, 0, len(w.Tasks))
+	for ready.Len() > 0 {
+		t := w.byName[ready.Pop()]
 		out = append(out, t)
-		var unlocked []string
 		for _, c := range t.Children {
 			indeg[c]--
 			if indeg[c] == 0 {
-				unlocked = append(unlocked, c)
+				ready.Push(c)
 			}
 		}
-		sort.Strings(unlocked)
-		ready = mergeSorted(ready, unlocked)
 	}
 	if len(out) != len(w.Tasks) {
 		return nil, fmt.Errorf("workflow %s: dependency cycle detected", w.Name)
@@ -213,30 +225,58 @@ func (w *Workflow) CriticalPathWork() float64 {
 	return best
 }
 
-func contains(xs []string, s string) bool {
-	for _, x := range xs {
-		if x == s {
-			return true
+// NameQueue is a binary min-heap of task names: Pop always returns the
+// lexicographically smallest element. It replaces the former fully
+// sorted ready queues here and in the workflow simulator, whose
+// per-insert copy of the whole queue was quadratic on wide levels
+// (a 100k-way fan-out stage releases 100k tasks at once) while yielding
+// the identical pop order. The zero value is an empty queue.
+type NameQueue []string
+
+// Len returns the number of queued names.
+func (h NameQueue) Len() int { return len(h) }
+
+// Push adds a name to the queue.
+func (h *NameQueue) Push(s string) {
+	q := append(*h, s)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q[p] <= q[i] {
+			break
 		}
+		q[p], q[i] = q[i], q[p]
+		i = p
 	}
-	return false
+	*h = q
 }
 
-func mergeSorted(a, b []string) []string {
-	out := make([]string, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		if a[i] <= b[j] {
-			out = append(out, a[i])
-			i++
-		} else {
-			out = append(out, b[j])
-			j++
+// Pop removes and returns the lexicographically smallest queued name.
+// It panics on an empty queue.
+func (h *NameQueue) Pop() string {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
 		}
+		m := l
+		if r := l + 1; r < n && q[r] < q[l] {
+			m = r
+		}
+		if q[i] <= q[m] {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
 	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
+	return top
 }
 
 // jsonDoc is the on-disk WfCommons-style document shape.
