@@ -10,6 +10,15 @@
 //	simcal-worker -connect host:9090
 //	simcal-worker -connect host:9090 -capacity 8 -connect-retries 40
 //	simcal-worker -connect host:9090 -pprof localhost:6061 -metrics
+//	simcal-worker -connect host:9090 -chaos-profile drop=0.05,corrupt=0.01 -chaos-seed 42
+//
+// Dial attempts back off exponentially from -retry-delay up to
+// -retry-max-delay. With -resume (the default) the worker survives
+// mid-run connection drops: it redials, re-handshakes, and continues
+// serving; the coordinator requeues whatever the dead session held.
+// -chaos-profile injects deterministic, seeded network faults between
+// this worker and the coordinator for failure testing (see
+// internal/dist/chaos).
 //
 // Besides streaming results, the worker piggybacks telemetry frames on
 // the coordinator connection: its metric deltas and evaluation trace
@@ -30,6 +39,7 @@ import (
 	"time"
 
 	"simcal/internal/dist"
+	"simcal/internal/dist/chaos"
 	"simcal/internal/obs"
 	"simcal/internal/simspec"
 )
@@ -40,9 +50,16 @@ func main() {
 		capacity = flag.Int("capacity", 0, "concurrent evaluation leases to accept (default GOMAXPROCS)")
 		name     = flag.String("name", "", "worker name reported to the coordinator (default host/pid)")
 		retries  = flag.Int("connect-retries", 0, "extra dial attempts for coordinators that are still starting")
-		delay    = flag.Duration("retry-delay", 250*time.Millisecond, "pause between dial attempts")
+		delay    = flag.Duration("retry-delay", 250*time.Millisecond, "base of the capped exponential backoff between dial attempts")
+		maxDelay = flag.Duration("retry-max-delay", 5*time.Second, "cap on the exponential backoff between dial attempts")
+		dialTO   = flag.Duration("dial-timeout", dist.DefaultDialTimeout, "per-attempt TCP dial timeout")
+		resume   = flag.Bool("resume", true, "redial and re-handshake after a mid-run connection drop instead of exiting")
+		maxSess  = flag.Int("max-sessions", 0, "with -resume: cap total sessions served (0 = unlimited)")
 		hbEvery  = flag.Duration("heartbeat", 0, "heartbeat interval (default 2s)")
 		hbDead   = flag.Duration("heartbeat-timeout", 0, "declare the coordinator dead after this much silence (default 10s)")
+
+		chaosProf = flag.String("chaos-profile", "", "inject seeded network faults on the coordinator connection, e.g. drop=0.05,delay=0.1:20ms,corrupt=0.01 (see internal/dist/chaos)")
+		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the -chaos-profile fault schedule (same seed replays the same faults); also seeds the dial backoff jitter")
 
 		pprofAddr = flag.String("pprof", "", "serve /metrics, /statusz, and /debug/pprof on this address (e.g. localhost:6061)")
 		metrics   = flag.Bool("metrics", false, "print the final metrics snapshot on exit")
@@ -93,8 +110,33 @@ func main() {
 		}()
 		fmt.Fprintf(os.Stderr, "simcal-worker: observability server on http://%s\n", srv.Addr())
 	}
+	var tr dist.Transport = dist.TCP{DialTimeout: *dialTO}
+	var ct *chaos.Transport
+	if *chaosProf != "" {
+		prof, err := chaos.ParseProfile(*chaosProf)
+		if err != nil {
+			fatal(fmt.Errorf("-chaos-profile: %w", err))
+		}
+		ct, err = chaos.New(dist.TCP{DialTimeout: *dialTO}, prof, *chaosSeed)
+		if err != nil {
+			fatal(fmt.Errorf("-chaos-profile: %w", err))
+		}
+		tr = ct
+		fmt.Fprintf(os.Stderr, "simcal-worker: chaos profile %q seed %d\n", *chaosProf, *chaosSeed)
+	}
 	fmt.Fprintf(os.Stderr, "simcal-worker %s connecting to %s (capacity %d)\n", wname, *connect, cap)
-	if err := w.RunDial(context.Background(), dist.TCP{}, *connect, *retries, *delay); err != nil {
+	err = w.RunSession(context.Background(), tr, *connect, dist.SessionConfig{
+		MaxDialAttempts: *retries + 1,
+		BaseDelay:       *delay,
+		MaxDelay:        *maxDelay,
+		Seed:            *chaosSeed,
+		Resume:          *resume,
+		MaxSessions:     *maxSess,
+	})
+	if ct != nil {
+		fmt.Fprintf(os.Stderr, "simcal-worker: chaos faults injected: %s\n", ct.Counts())
+	}
+	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr, "simcal-worker: coordinator closed the connection; exiting")

@@ -16,6 +16,7 @@
 //	simcal -case wf  -evals 500 -checkpoint ck.json -resume  # continue a killed run
 //	simcal -case wf  -listen :9090 -dist-workers 2       # distribute evaluations
 //	simcal -connect host:9090                            # serve as a worker
+//	simcal -case wf -listen :9090 -chaos-profile drop=0.05 -chaos-seed 42  # fault-injected run
 package main
 
 import (
@@ -33,6 +34,7 @@ import (
 	"simcal/internal/cache"
 	"simcal/internal/core"
 	"simcal/internal/dist"
+	"simcal/internal/dist/chaos"
 	"simcal/internal/experiments"
 	"simcal/internal/groundtruth"
 	"simcal/internal/mpi"
@@ -80,12 +82,37 @@ func main() {
 		listen         = flag.String("listen", "", "distribute loss evaluations: listen for workers on this address (host:port) and lease evaluations to them")
 		connect        = flag.String("connect", "", "serve as an evaluation worker for a coordinator at this address (most other flags are ignored)")
 		distWorkers    = flag.Int("dist-workers", 1, "with -listen: wait for this many connected workers before calibrating")
-		connectRetries = flag.Int("connect-retries", 0, "with -connect: extra dial attempts, 250ms apart, for coordinators that are still starting")
+		connectRetries = flag.Int("connect-retries", 0, "with -connect: extra dial attempts for coordinators that are still starting")
+		retryDelay     = flag.Duration("retry-delay", 250*time.Millisecond, "with -connect: base of the capped exponential backoff between dial attempts")
+		retryMaxDelay  = flag.Duration("retry-max-delay", 5*time.Second, "with -connect: cap on the exponential backoff between dial attempts")
+		dialTimeout    = flag.Duration("dial-timeout", dist.DefaultDialTimeout, "with -connect: per-attempt TCP dial timeout")
+		leaseResend    = flag.Duration("lease-resend", 0, "with -listen: redeliver an unanswered lease after this long (0 = off, or 3s when -chaos-profile is set; workers deduplicate)")
+		maxRequeues    = flag.Int("max-requeues", 0, "with -listen: quarantine a lease after this many requeues from worker deaths and evaluate it locally (0 = default 3, negative = unbounded)")
+		degradedGrace  = flag.Duration("degraded-grace", 0, "with -listen: after the fleet has been empty this long, drain queued evaluations locally until a worker returns (0 = default 30s, negative = off)")
+
+		chaosProfile = flag.String("chaos-profile", "", "inject seeded network faults on all dist connections, e.g. drop=0.05,delay=0.1:20ms,corrupt=0.01 (see internal/dist/chaos)")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the -chaos-profile fault schedule (same seed replays the same faults)")
 	)
 	flag.Parse()
 
+	dc := distCfg{
+		dialTimeout:   *dialTimeout,
+		retryDelay:    *retryDelay,
+		retryMaxDelay: *retryMaxDelay,
+		leaseResend:   *leaseResend,
+		maxRequeues:   *maxRequeues,
+		degradedGrace: *degradedGrace,
+		chaosProfile:  *chaosProfile,
+		chaosSeed:     *chaosSeed,
+	}
+	if *chaosProfile != "" && *leaseResend == 0 {
+		// A lossy transport can eat a lease or result frame; redelivery
+		// is what recovers it short of heartbeat eviction.
+		dc.leaseResend = 3 * time.Second
+	}
+
 	if *connect != "" {
-		if err := runWorker(*connect, *connectRetries, *workers); err != nil {
+		if err := runWorker(*connect, *connectRetries, *workers, dc); err != nil {
 			fatal(err)
 		}
 		return
@@ -170,6 +197,7 @@ func main() {
 		policy:      resiliencePolicy(*evalTimeout, *evalRetries, *breakerN),
 		listen:      *listen,
 		distWorkers: *distWorkers,
+		dist:        dc,
 		tracer:      tracer,
 		traceID:     fmt.Sprintf("%s-%s-%s-seed%d", *study, *algName, *lossName, *seed),
 		status:      holder,
@@ -252,9 +280,44 @@ type runCfg struct {
 	policy      *resilience.Policy
 	listen      string
 	distWorkers int
+	dist        distCfg
 	tracer      *obs.Tracer
 	traceID     string
 	status      *statusHolder
+}
+
+// distCfg bundles the distributed-plane hardening flags shared by the
+// coordinator (-listen) and worker (-connect) modes.
+type distCfg struct {
+	dialTimeout   time.Duration
+	retryDelay    time.Duration
+	retryMaxDelay time.Duration
+	leaseResend   time.Duration
+	maxRequeues   int
+	degradedGrace time.Duration
+	chaosProfile  string
+	chaosSeed     int64
+}
+
+// transport builds the dist transport the flags describe: plain TCP,
+// or TCP behind a deterministic fault injector when -chaos-profile is
+// set. The second return is non-nil only in the chaos case, for
+// reporting injected-fault counts.
+func (d distCfg) transport() (dist.Transport, *chaos.Transport, error) {
+	tcp := dist.TCP{DialTimeout: d.dialTimeout}
+	if d.chaosProfile == "" {
+		return tcp, nil, nil
+	}
+	prof, err := chaos.ParseProfile(d.chaosProfile)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-chaos-profile: %w", err)
+	}
+	ct, err := chaos.New(tcp, prof, d.chaosSeed)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-chaos-profile: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "simcal: chaos profile %q seed %d\n", d.chaosProfile, d.chaosSeed)
+	return ct, ct, nil
 }
 
 // statusHolder bridges the observability server (started before any
@@ -294,10 +357,11 @@ func (h *statusHolder) status() any {
 	return nil
 }
 
-// runWorker serves loss evaluations to a coordinator: dial, evaluate
-// leases (rebuilding simulators from the specs they carry), exit 0 when
-// the coordinator shuts the connection down.
-func runWorker(addr string, retries, capacity int) error {
+// runWorker serves loss evaluations to a coordinator: dial with capped
+// exponential backoff, evaluate leases (rebuilding simulators from the
+// specs they carry), resume the session after mid-run connection
+// drops, exit 0 when the coordinator shuts the connection down.
+func runWorker(addr string, retries, capacity int, dc distCfg) error {
 	if capacity <= 0 {
 		capacity = runtime.GOMAXPROCS(0)
 	}
@@ -311,8 +375,22 @@ func runWorker(addr string, retries, capacity int) error {
 	if err != nil {
 		return err
 	}
+	tr, ct, err := dc.transport()
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(os.Stderr, "worker connecting to %s (capacity %d)\n", addr, capacity)
-	return w.RunDial(context.Background(), dist.TCP{}, addr, retries, 250*time.Millisecond)
+	err = w.RunSession(context.Background(), tr, addr, dist.SessionConfig{
+		MaxDialAttempts: retries + 1,
+		BaseDelay:       dc.retryDelay,
+		MaxDelay:        dc.retryMaxDelay,
+		Seed:            dc.chaosSeed,
+		Resume:          true,
+	})
+	if ct != nil {
+		fmt.Fprintf(os.Stderr, "simcal: chaos faults injected: %s\n", ct.Counts())
+	}
+	return err
 }
 
 // simulator resolves the loss evaluator for a spec: built locally, or —
@@ -328,7 +406,11 @@ func (rc runCfg) simulator(sp simspec.Spec) (core.Simulator, func(), error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	l, err := dist.TCP{}.Listen(rc.listen)
+	tr, ct, err := rc.dist.transport()
+	if err != nil {
+		return nil, nil, err
+	}
+	l, err := tr.Listen(rc.listen)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -337,6 +419,13 @@ func (rc runCfg) simulator(sp simspec.Spec) (core.Simulator, func(), error) {
 		Registry: obs.Default(),
 		Tracer:   rc.tracer,
 		TraceID:  rc.traceID,
+		// The hardening triad: requeue-capped quarantine with local
+		// fallback, fleet-empty degradation to local evaluation, and
+		// (on lossy transports) lease redelivery.
+		LocalFactory:  simspec.BuildSimulator,
+		MaxRequeues:   rc.dist.maxRequeues,
+		DegradedGrace: rc.dist.degradedGrace,
+		ResendAfter:   rc.dist.leaseResend,
 	})
 	if rc.status != nil {
 		rc.status.set(coord)
@@ -357,6 +446,9 @@ func (rc runCfg) simulator(sp simspec.Spec) (core.Simulator, func(), error) {
 	shutdown := func() {
 		coord.Close()
 		l.Close()
+		if ct != nil {
+			fmt.Fprintf(os.Stderr, "simcal: chaos faults injected: %s\n", ct.Counts())
+		}
 	}
 	return coord.Evaluator(specBytes), shutdown, nil
 }

@@ -1,0 +1,243 @@
+package chaos_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"simcal/internal/dist"
+	"simcal/internal/dist/chaos"
+)
+
+// dialPair connects one chaos-wrapped client to a plain (unwrapped)
+// server over the in-process loopback, so each test observes exactly
+// one fault injector: outbound faults act on client→server frames,
+// inbound faults on server→client frames. The loopback is a
+// synchronous pipe, so tests must have a receiver pending (recvAsync)
+// before sending.
+func dialPair(t *testing.T, prof chaos.Profile, seed int64) (ct *chaos.Transport, client, server dist.Conn) {
+	t.Helper()
+	lb := dist.NewLoopback()
+	ct, err := chaos.New(lb, prof, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := lb.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan dist.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	client, err = ct.Dial("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case server = <-accepted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept timed out")
+	}
+	t.Cleanup(func() {
+		client.Close()
+		server.Close()
+		ln.Close()
+	})
+	return ct, client, server
+}
+
+// recvResult carries one Recv outcome across a goroutine.
+type recvResult struct {
+	f   *dist.Frame
+	err error
+}
+
+func recvAsync(conn dist.Conn) <-chan recvResult {
+	ch := make(chan recvResult, 1)
+	go func() {
+		f, err := conn.Recv()
+		ch <- recvResult{f, err}
+	}()
+	return ch
+}
+
+func awaitRecv(t *testing.T, ch <-chan recvResult) recvResult {
+	t.Helper()
+	select {
+	case r := <-ch:
+		return r
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv timed out")
+		return recvResult{}
+	}
+}
+
+func heartbeat() *dist.Frame { return &dist.Frame{Type: dist.TypeHeartbeat} }
+
+// TestPassThroughCleanProfile checks the zero profile is transparent in
+// both directions.
+func TestPassThroughCleanProfile(t *testing.T) {
+	ct, client, server := dialPair(t, chaos.Profile{}, 1)
+	recv := recvAsync(server)
+	if err := client.Send(heartbeat()); err != nil {
+		t.Fatal(err)
+	}
+	if r := awaitRecv(t, recv); r.err != nil || r.f.Type != dist.TypeHeartbeat {
+		t.Fatalf("server Recv = %v, %v", r.f, r.err)
+	}
+	recv = recvAsync(client)
+	if err := server.Send(heartbeat()); err != nil {
+		t.Fatal(err)
+	}
+	if r := awaitRecv(t, recv); r.err != nil || r.f.Type != dist.TypeHeartbeat {
+		t.Fatalf("client Recv = %v, %v", r.f, r.err)
+	}
+	if total := ct.Counts().Total(); total != 0 {
+		t.Errorf("clean profile injected %d faults", total)
+	}
+}
+
+// TestDropOutbound checks a dropped frame simply never arrives.
+func TestDropOutbound(t *testing.T) {
+	ct, client, server := dialPair(t, chaos.Profile{DropRate: 1}, 1)
+	recv := recvAsync(server)
+	if err := client.Send(heartbeat()); err != nil {
+		t.Fatalf("Send of a dropped frame must look successful, got %v", err)
+	}
+	select {
+	case r := <-recv:
+		t.Fatalf("dropped frame arrived: %v, %v", r.f, r.err)
+	case <-time.After(150 * time.Millisecond):
+	}
+	if c := ct.Counts(); c.Drops == 0 {
+		t.Errorf("counts = %v, want drops > 0", c)
+	}
+}
+
+// TestCorruptDetectedByChecksum checks corruption in either direction
+// surfaces as a decode error — never a silently altered frame.
+func TestCorruptDetectedByChecksum(t *testing.T) {
+	ct, client, server := dialPair(t, chaos.Profile{CorruptRate: 1}, 1)
+	recv := recvAsync(server)
+	if err := client.Send(heartbeat()); err != nil {
+		t.Fatal(err)
+	}
+	if r := awaitRecv(t, recv); r.err == nil || !strings.Contains(r.err.Error(), "checksum") {
+		t.Fatalf("server Recv of corrupted frame = %v, want checksum error", r.err)
+	}
+
+	_, client2, server2 := dialPair(t, chaos.Profile{CorruptRate: 1}, 2)
+	recv = recvAsync(client2)
+	if err := server2.Send(heartbeat()); err != nil {
+		t.Fatal(err)
+	}
+	if r := awaitRecv(t, recv); r.err == nil || !strings.Contains(r.err.Error(), "checksum") {
+		t.Fatalf("client Recv of corrupted frame = %v, want checksum error", r.err)
+	}
+	if c := ct.Counts(); c.Corrupts == 0 {
+		t.Errorf("counts = %v, want corrupts > 0", c)
+	}
+}
+
+// TestTruncateKillsConnection checks a truncated frame errors the
+// sender and desyncs the receiver into a connection error.
+func TestTruncateKillsConnection(t *testing.T) {
+	ct, client, server := dialPair(t, chaos.Profile{TruncateRate: 1}, 1)
+	recv := recvAsync(server)
+	if err := client.Send(heartbeat()); err == nil {
+		t.Fatal("Send on a truncating connection succeeded")
+	}
+	if r := awaitRecv(t, recv); r.err == nil {
+		t.Fatal("server Recv after truncation succeeded")
+	}
+	if c := ct.Counts(); c.Truncates == 0 {
+		t.Errorf("counts = %v, want truncates > 0", c)
+	}
+}
+
+// TestResetKillsConnection checks a reset cuts the connection before
+// the frame escapes.
+func TestResetKillsConnection(t *testing.T) {
+	ct, client, server := dialPair(t, chaos.Profile{ResetRate: 1}, 1)
+	recv := recvAsync(server)
+	if err := client.Send(heartbeat()); err == nil {
+		t.Fatal("Send on a resetting connection succeeded")
+	}
+	if r := awaitRecv(t, recv); r.err == nil {
+		t.Fatal("server Recv after reset succeeded")
+	}
+	if c := ct.Counts(); c.Resets == 0 {
+		t.Errorf("counts = %v, want resets > 0", c)
+	}
+}
+
+// TestDuplicateDelivered checks a duplicated frame arrives twice.
+func TestDuplicateDelivered(t *testing.T) {
+	ct, client, server := dialPair(t, chaos.Profile{DupRate: 1}, 1)
+	recv := recvAsync(server)
+	// Send asynchronously: the duplicate's second write rendezvouses
+	// with the second Recv on the synchronous loopback pipe.
+	sendErr := make(chan error, 1)
+	go func() { sendErr <- client.Send(heartbeat()) }()
+	for i := 0; i < 2; i++ {
+		if r := awaitRecv(t, recv); r.err != nil || r.f.Type != dist.TypeHeartbeat {
+			t.Fatalf("copy %d: %v, %v", i, r.f, r.err)
+		}
+		recv = recvAsync(server)
+	}
+	if err := <-sendErr; err != nil {
+		t.Fatal(err)
+	}
+	if c := ct.Counts(); c.Dups == 0 {
+		t.Errorf("counts = %v, want dups > 0", c)
+	}
+}
+
+// TestDelayStallsFrame checks delayed frames still arrive, late.
+func TestDelayStallsFrame(t *testing.T) {
+	ct, client, server := dialPair(t, chaos.Profile{DelayRate: 1, Delay: 120 * time.Millisecond}, 1)
+	recv := recvAsync(server)
+	start := time.Now()
+	if err := client.Send(heartbeat()); err != nil {
+		t.Fatal(err)
+	}
+	if r := awaitRecv(t, recv); r.err != nil || r.f.Type != dist.TypeHeartbeat {
+		t.Fatalf("Recv = %v, %v", r.f, r.err)
+	}
+	if el := time.Since(start); el < 60*time.Millisecond {
+		t.Errorf("delayed frame arrived after %v, want >= 60ms", el)
+	}
+	if c := ct.Counts(); c.Delays == 0 {
+		t.Errorf("counts = %v, want delays > 0", c)
+	}
+}
+
+// TestPartitionWindow checks frames vanish inside the window and flow
+// again after it closes.
+func TestPartitionWindow(t *testing.T) {
+	prof := chaos.Profile{Partitions: []chaos.Window{{At: 0, For: 200 * time.Millisecond}}}
+	ct, client, server := dialPair(t, prof, 1)
+	recv := recvAsync(server)
+	if err := client.Send(heartbeat()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-recv:
+		t.Fatalf("frame crossed an open partition: %v, %v", r.f, r.err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	time.Sleep(150 * time.Millisecond) // the window closes at t=200ms
+	if err := client.Send(heartbeat()); err != nil {
+		t.Fatal(err)
+	}
+	if r := awaitRecv(t, recv); r.err != nil || r.f.Type != dist.TypeHeartbeat {
+		t.Fatalf("post-partition Recv = %v, %v", r.f, r.err)
+	}
+	if c := ct.Counts(); c.Partitioned == 0 {
+		t.Errorf("counts = %v, want partitioned > 0", c)
+	}
+}

@@ -1,0 +1,174 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DefaultDelay is the injected latency when a profile enables delays
+// without naming a duration.
+const DefaultDelay = 10 * time.Millisecond
+
+// Profile sets per-frame fault probabilities, applied independently to
+// each direction of every connection. Rates are cumulative thresholds
+// on one uniform draw per frame (the same scheme internal/faultsim
+// uses for simulator faults), so rates must sum to at most 1. The zero
+// Profile injects nothing.
+type Profile struct {
+	// DropRate silently discards the frame. The plane recovers via
+	// lease redelivery (coordinator) and heartbeat eviction.
+	DropRate float64
+	// DelayRate stalls the frame for Delay before forwarding it.
+	DelayRate float64
+	// Delay is the injected latency for delayed frames; <= 0 means
+	// DefaultDelay.
+	Delay time.Duration
+	// DupRate forwards the frame twice. Receivers must deduplicate
+	// (workers by lease ID, the coordinator by its in-flight table).
+	DupRate float64
+	// TruncateRate forwards a prefix of the frame and cuts the
+	// connection — a mid-frame connection loss.
+	TruncateRate float64
+	// CorruptRate flips payload bytes (the header stays intact, so the
+	// stream stays frame-aligned). The frame CRC makes this a detected
+	// decode error on the receiver, which kills the connection.
+	CorruptRate float64
+	// ResetRate cuts the connection before the frame is forwarded.
+	ResetRate float64
+	// Partitions are timed network partitions relative to the
+	// transport's creation: while one is open, every frame in both
+	// directions of every connection is dropped. New dials still
+	// complete at the TCP level — their hello frames just vanish —
+	// which is how real partitions look to an application.
+	Partitions []Window
+}
+
+// Window is one timed partition.
+type Window struct {
+	// At is the partition's start, relative to transport creation.
+	At time.Duration
+	// For is how long it lasts.
+	For time.Duration
+}
+
+// validate checks rates and windows; called by New.
+func (p Profile) validate() error {
+	rates := []struct {
+		name string
+		v    float64
+	}{
+		{"drop", p.DropRate}, {"delay", p.DelayRate}, {"dup", p.DupRate},
+		{"truncate", p.TruncateRate}, {"corrupt", p.CorruptRate}, {"reset", p.ResetRate},
+	}
+	sum := 0.0
+	for _, r := range rates {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("chaos: %s rate %v outside [0, 1]", r.name, r.v)
+		}
+		sum += r.v
+	}
+	if sum > 1 {
+		return fmt.Errorf("chaos: fault rates sum to %v (> 1)", sum)
+	}
+	for i, w := range p.Partitions {
+		if w.At < 0 || w.For <= 0 {
+			return fmt.Errorf("chaos: partition %d window %+v invalid (need At >= 0, For > 0)", i, w)
+		}
+	}
+	return nil
+}
+
+// ParseProfile parses the -chaos-profile flag syntax: comma-separated
+// key=value terms, e.g.
+//
+//	drop=0.05,delay=0.1:20ms,dup=0.02,truncate=0.01,corrupt=0.01,reset=0.005,partition=2s+500ms
+//
+// delay takes an optional :duration; partition takes at+for and may
+// repeat. An empty string is the zero (fault-free) profile.
+func ParseProfile(s string) (Profile, error) {
+	var p Profile
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, nil
+	}
+	for _, term := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(term), "=")
+		if !ok {
+			return p, fmt.Errorf("chaos: profile term %q is not key=value", term)
+		}
+		rate := func(v string) (float64, error) {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return 0, fmt.Errorf("chaos: %s rate %q: %w", key, v, err)
+			}
+			return f, nil
+		}
+		var err error
+		switch key {
+		case "drop":
+			p.DropRate, err = rate(val)
+		case "delay":
+			r, d, hasDur := strings.Cut(val, ":")
+			if p.DelayRate, err = rate(r); err == nil && hasDur {
+				if p.Delay, err = time.ParseDuration(d); err != nil {
+					err = fmt.Errorf("chaos: delay duration %q: %w", d, err)
+				}
+			}
+		case "dup":
+			p.DupRate, err = rate(val)
+		case "truncate":
+			p.TruncateRate, err = rate(val)
+		case "corrupt":
+			p.CorruptRate, err = rate(val)
+		case "reset":
+			p.ResetRate, err = rate(val)
+		case "partition":
+			at, dur, hasFor := strings.Cut(val, "+")
+			if !hasFor {
+				return p, fmt.Errorf("chaos: partition %q is not at+for", val)
+			}
+			var w Window
+			if w.At, err = time.ParseDuration(at); err == nil {
+				w.For, err = time.ParseDuration(dur)
+			}
+			if err != nil {
+				return p, fmt.Errorf("chaos: partition %q: %w", val, err)
+			}
+			p.Partitions = append(p.Partitions, w)
+		default:
+			return p, fmt.Errorf("chaos: unknown profile key %q", key)
+		}
+		if err != nil {
+			return p, err
+		}
+	}
+	if err := p.validate(); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// Counts is a snapshot of injected faults, for logs and assertions
+// that a chaos run actually exercised its schedule.
+type Counts struct {
+	Drops       int64
+	Delays      int64
+	Dups        int64
+	Truncates   int64
+	Corrupts    int64
+	Resets      int64
+	Partitioned int64 // frames dropped inside partition windows
+}
+
+// Total sums all injected faults.
+func (c Counts) Total() int64 {
+	return c.Drops + c.Delays + c.Dups + c.Truncates + c.Corrupts + c.Resets + c.Partitioned
+}
+
+// String renders the snapshot for logs.
+func (c Counts) String() string {
+	return fmt.Sprintf("drops=%d delays=%d dups=%d truncates=%d corrupts=%d resets=%d partitioned=%d",
+		c.Drops, c.Delays, c.Dups, c.Truncates, c.Corrupts, c.Resets, c.Partitioned)
+}

@@ -1,0 +1,243 @@
+package chaos_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"simcal/internal/core"
+	"simcal/internal/dist"
+	"simcal/internal/dist/chaos"
+	"simcal/internal/obs"
+	"simcal/internal/opt"
+)
+
+var soakSpace = core.Space{
+	{Name: "x", Kind: core.Continuous, Min: 0, Max: 10},
+	{Name: "y", Kind: core.Continuous, Min: 0, Max: 10},
+}
+
+// soakSim is the deterministic pure-function loss shared by workers,
+// the coordinator's local fallback, and the serial reference — the
+// same point yields bitwise the same loss everywhere, which is what
+// lets the soak demand a bitwise-equal trajectory under faults.
+func soakSim() core.Simulator {
+	return core.Evaluator(func(_ context.Context, p core.Point) (float64, error) {
+		dx, dy := p["x"]-3, p["y"]-7
+		return dx*dx + dy*dy + math.Sin(p["x"]*p["y"])*0.25, nil
+	})
+}
+
+func soakFactory([]byte) (core.Simulator, error) { return soakSim(), nil }
+
+var soakFrozen = time.Unix(42, 0)
+
+func soakClock() time.Time { return soakFrozen }
+
+func runSoakSerial(t *testing.T, evals int) *core.Result {
+	t.Helper()
+	cal := core.Calibrator{
+		Space:          soakSpace,
+		Simulator:      soakSim(),
+		Algorithm:      opt.Random{},
+		MaxEvaluations: evals,
+		Workers:        1,
+		Seed:           7,
+		Clock:          soakClock,
+	}
+	res, err := cal.Run(context.Background())
+	if err != nil {
+		t.Fatalf("serial calibration: %v", err)
+	}
+	return res
+}
+
+// assertSoakSameHistory demands bitwise-equal trajectories.
+func assertSoakSameHistory(t *testing.T, got, want *core.Result) {
+	t.Helper()
+	if len(got.History) != len(want.History) {
+		t.Fatalf("history length = %d, want %d", len(got.History), len(want.History))
+	}
+	for i := range want.History {
+		g, w := got.History[i], want.History[i]
+		for k, wv := range w.Point {
+			if math.Float64bits(g.Point[k]) != math.Float64bits(wv) {
+				t.Fatalf("sample %d: point[%s] = %v, want %v", i, k, g.Point[k], wv)
+			}
+		}
+		if math.Float64bits(g.Loss) != math.Float64bits(w.Loss) {
+			t.Fatalf("sample %d: loss = %v, want %v", i, g.Loss, w.Loss)
+		}
+	}
+	if math.Float64bits(got.Best.Loss) != math.Float64bits(want.Best.Loss) {
+		t.Fatalf("best loss = %v, want %v", got.Best.Loss, want.Best.Loss)
+	}
+}
+
+// killableTransport records dialed connections so the test can cut a
+// worker's live connection (the process survives; the socket dies).
+type killableTransport struct {
+	dist.Transport
+	mu   sync.Mutex
+	last dist.Conn
+}
+
+func (k *killableTransport) Dial(addr string) (dist.Conn, error) {
+	c, err := k.Transport.Dial(addr)
+	if err == nil {
+		k.mu.Lock()
+		k.last = c
+		k.mu.Unlock()
+	}
+	return c, err
+}
+
+func (k *killableTransport) killLast() {
+	k.mu.Lock()
+	c := k.last
+	k.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// TestChaosSoakBitwiseIdentical is the end-to-end hardening proof: a
+// calibration distributed over two resuming workers behind an
+// aggressive fault profile — drops, delays, duplicates, corruption,
+// truncations, resets, and a timed partition — plus one permanent
+// worker kill mid-run, must finish and produce a history bitwise
+// identical to the serial run. Redelivery recovers dropped frames,
+// worker lease dedup absorbs duplicates, the CRC turns corruption into
+// connection errors, session resume survives every cut, and the local
+// fallback catches anything quarantined or stranded.
+func TestChaosSoakBitwiseIdentical(t *testing.T) {
+	const evals = 60
+	serial := runSoakSerial(t, evals)
+
+	// The partition opens at 400ms: the kill sleep below keeps the run
+	// (and its heartbeat traffic) alive through the window, so the
+	// partition provably drops frames.
+	prof, err := chaos.ParseProfile(
+		"drop=0.04,delay=0.05:2ms,dup=0.04,truncate=0.01,corrupt=0.01,reset=0.005,partition=400ms+300ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := chaos.New(dist.NewLoopback(), prof, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	coord := dist.NewCoordinator(dist.CoordinatorConfig{
+		Name:     "chaos-soak",
+		Registry: reg,
+		// Short cadences so eviction, redelivery, and degradation all
+		// operate at test timescales.
+		HeartbeatEvery:   100 * time.Millisecond,
+		HeartbeatTimeout: 600 * time.Millisecond,
+		ResendAfter:      300 * time.Millisecond,
+		LocalFactory:     soakFactory,
+		DegradedGrace:    2 * time.Second,
+	})
+	defer coord.Close()
+	ln, err := ct.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go coord.Serve(ln)
+
+	var wg sync.WaitGroup
+	type workerHandle struct {
+		cancel context.CancelFunc
+		kt     *killableTransport
+	}
+	var handles []workerHandle
+	for i := 0; i < 2; i++ {
+		w, err := dist.NewWorker(dist.WorkerConfig{
+			Name:             fmt.Sprintf("chaos-w%d", i),
+			Capacity:         2,
+			Factory:          soakFactory,
+			HeartbeatEvery:   100 * time.Millisecond,
+			HeartbeatTimeout: 600 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wctx, cancel := context.WithCancel(context.Background())
+		kt := &killableTransport{Transport: ct}
+		handles = append(handles, workerHandle{cancel: cancel, kt: kt})
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Errors are expected: the chaos schedule and the permanent
+			// kill both end sessions abnormally.
+			_ = w.RunSession(wctx, kt, "", dist.SessionConfig{
+				Resume:          true,
+				MaxDialAttempts: 1000,
+				BaseDelay:       20 * time.Millisecond,
+				MaxDelay:        200 * time.Millisecond,
+				Seed:            int64(i + 1),
+			})
+		}(i)
+	}
+	stopWorkers := func() {
+		for _, h := range handles {
+			h.cancel()
+			h.kt.killLast()
+		}
+		wg.Wait()
+	}
+	defer stopWorkers()
+
+	type calOut struct {
+		res *core.Result
+		err error
+	}
+	done := make(chan calOut, 1)
+	go func() {
+		cal := core.Calibrator{
+			Space:          soakSpace,
+			Simulator:      coord.Evaluator([]byte(`{"soak":true}`)),
+			Algorithm:      opt.Random{},
+			MaxEvaluations: evals,
+			Workers:        4,
+			Seed:           7,
+			Clock:          soakClock,
+		}
+		res, err := cal.Run(context.Background())
+		done <- calOut{res, err}
+	}()
+
+	// Permanently kill worker 0 mid-run: cancel its resume loop and cut
+	// its live connection. Worker 1 (still resuming through the chaos)
+	// and the local fallback must carry the run home.
+	time.Sleep(500 * time.Millisecond)
+	handles[0].cancel()
+	handles[0].kt.killLast()
+
+	select {
+	case out := <-done:
+		if out.err != nil {
+			t.Fatalf("chaos calibration: %v", out.err)
+		}
+		assertSoakSameHistory(t, out.res, serial)
+	case <-time.After(120 * time.Second):
+		t.Fatal("chaos calibration did not finish")
+	}
+
+	counts := ct.Counts()
+	t.Logf("chaos counts: %s", counts)
+	if counts.Total() == 0 {
+		t.Error("chaos schedule injected no faults — the soak proved nothing")
+	}
+	if counts.Partitioned == 0 {
+		t.Error("no frames crossed the partition window — the partition was never exercised")
+	}
+	if got := reg.Counter("dist.frames_rx").Value(); got == 0 {
+		t.Error("dist.frames_rx = 0")
+	}
+}

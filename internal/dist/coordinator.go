@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,19 @@ import (
 const (
 	DefaultHeartbeatEvery   = 2 * time.Second
 	DefaultHeartbeatTimeout = 10 * time.Second
+)
+
+// Chaos-hardening defaults.
+const (
+	// DefaultMaxRequeues is how many worker deaths one lease survives
+	// before it is quarantined as poison. A lease that has killed (or
+	// outlived) this many workers is overwhelmingly likely to be the
+	// cause, not a bystander.
+	DefaultMaxRequeues = 3
+	// DefaultDegradedGrace is how long the fleet may be empty with
+	// leases queued before the coordinator degrades to local
+	// evaluation.
+	DefaultDegradedGrace = 30 * time.Second
 )
 
 // ErrCoordinatorClosed is returned by evaluations still pending when
@@ -59,6 +73,41 @@ type CoordinatorConfig struct {
 	// with every lease; the worker answers an expired lease with a
 	// transient failure. Zero sends no deadline.
 	LeaseTimeout time.Duration
+
+	// LocalFactory, when non-nil, builds simulators on the coordinator
+	// itself, enabling graceful degradation: quarantined (poison)
+	// leases and — once the fleet has been empty past DegradedGrace —
+	// queued leases are evaluated locally instead of waiting on
+	// workers. Deterministic simulators make the local loss bitwise
+	// equal to a worker's, so falling back never perturbs the
+	// calibration trajectory. nil disables local evaluation: a
+	// quarantined lease then resolves with a deterministic error, and
+	// an empty fleet blocks until a worker returns.
+	LocalFactory Factory
+	// MaxRequeues caps how many times one lease may be re-queued after
+	// worker deaths before it is quarantined as poison instead of
+	// ping-ponging a worker-killing point across the fleet forever.
+	// Zero means DefaultMaxRequeues; negative disables quarantine
+	// (unbounded requeues, the pre-hardening behavior).
+	MaxRequeues int
+	// DegradedGrace is how long the fleet may be empty with leases
+	// queued before the coordinator enters degraded mode and drains
+	// the queue through LocalFactory. Zero means DefaultDegradedGrace;
+	// negative disables degradation. Workers that return are
+	// re-absorbed: degraded mode ends the moment one registers.
+	DegradedGrace time.Duration
+	// LocalConcurrency bounds concurrent local evaluations (degraded
+	// drain and quarantine fallback combined). Zero means GOMAXPROCS.
+	LocalConcurrency int
+	// ResendAfter, when positive, redelivers a dispatched lease whose
+	// result has not arrived within the window, bumping its attempt
+	// counter. Off by default: TCP never drops frames, so redelivery
+	// only matters when a lossy transport (internal/dist/chaos) sits
+	// between coordinator and workers — there, a dropped lease or
+	// result frame would otherwise wedge the lease until the worker's
+	// heartbeat eviction. Workers deduplicate lease IDs, so a
+	// redelivered lease is never evaluated twice in one session.
+	ResendAfter time.Duration
 }
 
 // leaseOutcome is the terminal state of one lease.
@@ -78,6 +127,7 @@ type lease struct {
 	done     chan leaseOutcome // buffered 1: resolution never blocks
 	canceled bool              // guarded by Coordinator.mu
 	requeues int               // guarded by Coordinator.mu
+	attempt  int               // guarded by Coordinator.mu; -1 until first dispatch
 
 	enqueuedNS int64 // guarded by Coordinator.mu; reset on requeue
 	sentNS     int64 // guarded by Coordinator.mu; stamped at dispatch
@@ -130,20 +180,43 @@ type Coordinator struct {
 	workers        map[uint64]*remoteWorker
 	workersChanged chan struct{}
 	closed         bool
+	// degraded and fleetEmptySince drive graceful degradation: the
+	// instant the last worker left (zero while any worker is
+	// connected), and whether the degradation loop is currently
+	// draining the queue locally. Guarded by mu.
+	degraded        bool
+	fleetEmptySince time.Time
 
 	closedCh   chan struct{}
+	queueKick  chan struct{} // buffered 1: wakes the degradation loop on enqueue
 	nextLease  atomic.Uint64
 	nextWorker atomic.Uint64
 
-	workersConnected *obs.Counter
-	workersLost      *obs.Counter
-	leasesDispatched *obs.Counter
-	leasesRequeued   *obs.Counter
-	framesRx         *obs.Counter
-	framesTx         *obs.Counter
-	workersActive    *obs.Gauge
-	queueWait        *obs.Histogram
-	wireRTT          *obs.Histogram
+	// localSims caches LocalFactory-built simulators by spec, exactly
+	// as workers cache theirs. localSem bounds concurrent local
+	// evaluations; localCtx cancels them at Close.
+	localMu     sync.Mutex
+	localSims   map[string]core.Simulator
+	localSem    chan struct{}
+	localCtx    context.Context
+	localCancel context.CancelFunc
+
+	workersConnected  *obs.Counter
+	workersLost       *obs.Counter
+	leasesDispatched  *obs.Counter
+	leasesRequeued    *obs.Counter
+	leasesQuarantined *obs.Counter
+	leasesRedelivered *obs.Counter
+	localEvals        *obs.Counter
+	resultsStale      *obs.Counter
+	resultsDuplicate  *obs.Counter
+	framesRx          *obs.Counter
+	framesTx          *obs.Counter
+	workersActive     *obs.Gauge
+	degradedGauge     *obs.Gauge
+	queueWait         *obs.Histogram
+	wireRTT           *obs.Histogram
+	requeueDepth      *obs.Histogram
 }
 
 // NewCoordinator returns a Coordinator ready to Serve a listener.
@@ -157,34 +230,67 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	if cfg.HeartbeatTimeout <= 0 {
 		cfg.HeartbeatTimeout = DefaultHeartbeatTimeout
 	}
+	if cfg.MaxRequeues == 0 {
+		cfg.MaxRequeues = DefaultMaxRequeues
+	}
+	if cfg.DegradedGrace == 0 {
+		cfg.DegradedGrace = DefaultDegradedGrace
+	}
+	if cfg.LocalConcurrency <= 0 {
+		cfg.LocalConcurrency = runtime.GOMAXPROCS(0)
+	}
 	c := &Coordinator{
-		cfg:            cfg,
-		clock:          cfg.Clock,
-		workers:        make(map[uint64]*remoteWorker),
-		workersChanged: make(chan struct{}),
-		closedCh:       make(chan struct{}),
+		cfg:             cfg,
+		clock:           cfg.Clock,
+		workers:         make(map[uint64]*remoteWorker),
+		workersChanged:  make(chan struct{}),
+		closedCh:        make(chan struct{}),
+		queueKick:       make(chan struct{}, 1),
+		fleetEmptySince: cfg.Clock.Now(),
 	}
 	c.cond = sync.NewCond(&c.mu)
+	c.localSem = make(chan struct{}, cfg.LocalConcurrency)
+	c.localCtx, c.localCancel = context.WithCancel(context.Background())
+	if cfg.LocalFactory != nil {
+		c.localSims = make(map[string]core.Simulator)
+	}
 	if reg := cfg.Registry; reg != nil {
 		c.workersConnected = reg.Counter("dist.workers_connected")
 		c.workersLost = reg.Counter("dist.workers_lost")
 		c.leasesDispatched = reg.Counter("dist.leases_dispatched")
 		c.leasesRequeued = reg.Counter("dist.leases_requeued")
+		c.leasesQuarantined = reg.Counter("dist.leases_quarantined")
+		c.leasesRedelivered = reg.Counter("dist.leases_redelivered")
+		c.localEvals = reg.Counter("dist.local_evals")
+		c.resultsStale = reg.Counter("dist.results_stale")
+		c.resultsDuplicate = reg.Counter("dist.results_duplicate")
 		c.framesRx = reg.Counter("dist.frames_rx")
 		c.framesTx = reg.Counter("dist.frames_tx")
 		c.workersActive = reg.Gauge("dist.workers_active")
+		c.degradedGauge = reg.Gauge("dist.degraded")
 		c.queueWait = reg.Histogram("dist.lease_queue_wait_ns")
 		c.wireRTT = reg.Histogram("dist.wire_rtt_ns")
+		c.requeueDepth = reg.Histogram("dist.lease_requeues")
 	} else {
 		c.workersConnected = new(obs.Counter)
 		c.workersLost = new(obs.Counter)
 		c.leasesDispatched = new(obs.Counter)
 		c.leasesRequeued = new(obs.Counter)
+		c.leasesQuarantined = new(obs.Counter)
+		c.leasesRedelivered = new(obs.Counter)
+		c.localEvals = new(obs.Counter)
+		c.resultsStale = new(obs.Counter)
+		c.resultsDuplicate = new(obs.Counter)
 		c.framesRx = new(obs.Counter)
 		c.framesTx = new(obs.Counter)
 		c.workersActive = new(obs.Gauge)
+		c.degradedGauge = new(obs.Gauge)
 		c.queueWait = new(obs.Histogram)
 		c.wireRTT = new(obs.Histogram)
+		c.requeueDepth = new(obs.Histogram)
+	}
+	if cfg.LocalFactory != nil && cfg.DegradedGrace > 0 {
+		go c.degradationLoop()
 	}
 	return c
 }
@@ -207,9 +313,33 @@ func (c *Coordinator) Serve(l Listener) error {
 	}
 }
 
+// recvTimeout reads one frame from conn, closing the connection if
+// nothing arrives within d. The handshake has no heartbeat protection
+// yet, so without this a dropped hello frame would hang both sides
+// forever. The spawned Recv drains into the buffered channel even
+// after a timeout fires.
+func recvTimeout(conn Conn, clock Clock, d time.Duration) (*Frame, error) {
+	type recvOut struct {
+		f   *Frame
+		err error
+	}
+	ch := make(chan recvOut, 1)
+	go func() {
+		f, err := conn.Recv()
+		ch <- recvOut{f: f, err: err}
+	}()
+	select {
+	case o := <-ch:
+		return o.f, o.err
+	case <-clock.After(d):
+		conn.Close()
+		return nil, fmt.Errorf("dist: handshake: no frame within %s", d)
+	}
+}
+
 // handle performs the hello handshake and registers the worker.
 func (c *Coordinator) handle(conn Conn) {
-	f, err := conn.Recv()
+	f, err := recvTimeout(conn, c.clock, c.cfg.HeartbeatTimeout)
 	if err != nil {
 		conn.Close()
 		return
@@ -257,6 +387,7 @@ func (c *Coordinator) handle(conn Conn) {
 	}
 	c.workers[w.id] = w
 	active := len(c.workers)
+	c.fleetEmptySince = time.Time{} // the fleet is no longer empty
 	close(c.workersChanged)
 	c.workersChanged = make(chan struct{})
 	c.mu.Unlock()
@@ -270,6 +401,9 @@ func (c *Coordinator) handle(conn Conn) {
 	go c.readLoop(w)
 	go c.dispatchLoop(w)
 	go c.heartbeatLoop(w)
+	if c.cfg.ResendAfter > 0 {
+		go c.redeliverLoop(w)
+	}
 }
 
 // readLoop is the worker connection's dedicated reader. Every inbound
@@ -308,11 +442,11 @@ func (c *Coordinator) dispatchLoop(w *remoteWorker) {
 		case <-c.closedCh:
 			return
 		}
-		l := c.next(w)
+		l, attempt := c.next(w)
 		if l == nil {
 			return
 		}
-		msg := &LeaseMsg{ID: l.id, Index: l.index, Spec: l.spec, Point: l.point, TraceID: c.cfg.TraceID}
+		msg := &LeaseMsg{ID: l.id, Index: l.index, Spec: l.spec, Point: l.point, TraceID: c.cfg.TraceID, Attempt: attempt}
 		if c.cfg.LeaseTimeout > 0 {
 			msg.TimeoutMS = c.cfg.LeaseTimeout.Milliseconds()
 		}
@@ -328,13 +462,14 @@ func (c *Coordinator) dispatchLoop(w *remoteWorker) {
 }
 
 // next blocks until a live lease is available for w and registers it
-// in-flight, or returns nil when w dies or the coordinator closes.
-func (c *Coordinator) next(w *remoteWorker) *lease {
+// in-flight, or returns nil when w dies or the coordinator closes. The
+// second return is the attempt number to stamp on the lease frame.
+func (c *Coordinator) next(w *remoteWorker) (*lease, int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for {
 		if w.dead || c.closed {
-			return nil
+			return nil, 0
 		}
 		for len(c.queue) > 0 && c.queue[0].canceled {
 			c.queue = c.queue[1:]
@@ -348,15 +483,20 @@ func (c *Coordinator) next(w *remoteWorker) *lease {
 				c.queueWait.Observe(now - l.enqueuedNS)
 			}
 			l.sentNS = now
-			return l
+			l.attempt++
+			return l, l.attempt
 		}
 		c.cond.Wait()
 	}
 }
 
-// resolve completes the lease a result answers. Results for unknown
-// lease IDs (e.g. from a worker declared dead between its send and our
-// receive) are dropped: the lease was already re-queued elsewhere.
+// resolve completes the lease a result answers. The in-flight table is
+// the idempotency authority: a lease leaves it exactly once, so a
+// result racing a requeue — or the duplicate answer a worker re-sends
+// after a lease redelivery — can never double-count. Results for
+// unknown lease IDs (e.g. from a worker declared dead between its send
+// and our receive, or a duplicate of an already-resolved lease) are
+// dropped and counted.
 func (c *Coordinator) resolve(w *remoteWorker, res *ResultMsg) {
 	c.mu.Lock()
 	l, ok := w.inflight[res.ID]
@@ -365,9 +505,17 @@ func (c *Coordinator) resolve(w *remoteWorker, res *ResultMsg) {
 		if l.sentNS != 0 {
 			c.wireRTT.Observe(c.clock.Now().UnixNano() - l.sentNS)
 		}
+		if res.Attempt != l.attempt {
+			// An answer to an older attempt of a since-redelivered lease.
+			// Deterministic simulators make every attempt's loss identical,
+			// so it still resolves the lease; the counter records that the
+			// redelivery raced the original answer.
+			c.resultsStale.Inc()
+		}
 	}
 	c.mu.Unlock()
 	if !ok {
+		c.resultsDuplicate.Inc()
 		return
 	}
 	select {
@@ -413,6 +561,56 @@ func (c *Coordinator) heartbeatLoop(w *remoteWorker) {
 			return
 		}
 		c.framesTx.Inc()
+	}
+}
+
+// redeliverLoop re-sends leases that have been in flight on w longer
+// than ResendAfter without an answer, bumping their attempt counter.
+// Only started when ResendAfter is positive — i.e. when a lossy
+// transport may have dropped the lease or its result. The worker
+// deduplicates by lease ID: a redelivery of a lease it is still
+// running is ignored, and one it already finished is answered from its
+// completed-result cache.
+func (c *Coordinator) redeliverLoop(w *remoteWorker) {
+	period := c.cfg.ResendAfter / 2
+	if period <= 0 {
+		period = c.cfg.ResendAfter
+	}
+	for {
+		select {
+		case <-c.clock.After(period):
+		case <-w.deadCh:
+			return
+		case <-c.closedCh:
+			return
+		}
+		now := c.clock.Now().UnixNano()
+		var msgs []*LeaseMsg
+		c.mu.Lock()
+		for _, l := range w.inflight {
+			if l.sentNS == 0 || now-l.sentNS < int64(c.cfg.ResendAfter) {
+				continue
+			}
+			l.attempt++
+			l.sentNS = now
+			msg := &LeaseMsg{ID: l.id, Index: l.index, Spec: l.spec, Point: l.point, TraceID: c.cfg.TraceID, Attempt: l.attempt}
+			if c.cfg.LeaseTimeout > 0 {
+				msg.TimeoutMS = c.cfg.LeaseTimeout.Milliseconds()
+			}
+			msgs = append(msgs, msg)
+		}
+		c.mu.Unlock()
+		// Map iteration is randomized; send in lease-ID order so the
+		// frame sequence under a fixed chaos seed stays replayable.
+		sort.Slice(msgs, func(i, j int) bool { return msgs[i].ID < msgs[j].ID })
+		for _, msg := range msgs {
+			if err := w.conn.Send(&Frame{Type: TypeLease, Lease: msg}); err != nil {
+				c.workerDead(w, err)
+				return
+			}
+			c.framesTx.Inc()
+			c.leasesRedelivered.Inc()
+		}
 	}
 }
 
@@ -493,7 +691,11 @@ func ClockOffset(t1, t2, t3, t4 int64) (offset, rtt int64) {
 // workerDead removes w from the pool and re-queues its in-flight
 // leases. The requeue is unconditional — independent of any resilience
 // policy — because it is what makes a mid-batch worker kill invisible
-// to the calibration trajectory. Idempotent; safe from any goroutine.
+// to the calibration trajectory. A lease that has already been
+// re-queued MaxRequeues times is quarantined as poison instead: it
+// falls back to the local evaluator (or a deterministic error without
+// one) rather than ping-ponging a worker-killing point across the
+// fleet forever. Idempotent; safe from any goroutine.
 func (c *Coordinator) workerDead(w *remoteWorker, cause error) {
 	c.mu.Lock()
 	if w.dead {
@@ -504,7 +706,11 @@ func (c *Coordinator) workerDead(w *remoteWorker, cause error) {
 	close(w.deadCh)
 	delete(c.workers, w.id)
 	active := len(c.workers)
+	if active == 0 {
+		c.fleetEmptySince = c.clock.Now() // the degraded-grace window opens
+	}
 	requeued := 0
+	var quarantined []*lease
 	requeueNS := c.clock.Now().UnixNano()
 	for id, l := range w.inflight {
 		delete(w.inflight, id)
@@ -512,8 +718,13 @@ func (c *Coordinator) workerDead(w *remoteWorker, cause error) {
 			continue
 		}
 		l.requeues++
-		l.enqueuedNS = requeueNS // queue wait restarts at the requeue
+		c.requeueDepth.Observe(int64(l.requeues))
 		l.sentNS = 0
+		if c.cfg.MaxRequeues >= 0 && l.requeues > c.cfg.MaxRequeues {
+			quarantined = append(quarantined, l)
+			continue
+		}
+		l.enqueuedNS = requeueNS // queue wait restarts at the requeue
 		c.queue = append(c.queue, l)
 		requeued++
 	}
@@ -521,6 +732,8 @@ func (c *Coordinator) workerDead(w *remoteWorker, cause error) {
 	c.workersChanged = make(chan struct{})
 	c.cond.Broadcast()
 	c.mu.Unlock()
+	// Deterministic quarantine order (map iteration is randomized).
+	sort.Slice(quarantined, func(i, j int) bool { return quarantined[i].id < quarantined[j].id })
 	w.conn.Close()
 	c.workersLost.Inc()
 	c.workersActive.Set(float64(active))
@@ -535,6 +748,181 @@ func (c *Coordinator) workerDead(w *remoteWorker, cause error) {
 			})
 		}
 	}
+	for _, l := range quarantined {
+		c.quarantine(l, w.name, cause)
+	}
+}
+
+// quarantine dead-letters one poison lease: it is never re-queued
+// again. With a LocalFactory the lease is evaluated on the coordinator
+// (deterministic simulators yield the same loss a worker would have,
+// so the calibration trajectory is unchanged); without one it resolves
+// with a deterministic error the calibrator will not retry.
+func (c *Coordinator) quarantine(l *lease, worker string, cause error) {
+	c.mu.Lock()
+	requeues := l.requeues
+	c.mu.Unlock()
+	c.leasesQuarantined.Inc()
+	if c.cfg.Tracer != nil {
+		c.cfg.Tracer.Emit(obs.EventDistLeaseQuarantined, obs.Fields{
+			"lease":      l.id,
+			"index":      l.index,
+			"requeues":   requeues,
+			"worker":     worker,
+			"cause":      cause.Error(),
+			"local_eval": c.cfg.LocalFactory != nil,
+		})
+	}
+	if c.cfg.LocalFactory == nil {
+		l.done <- leaseOutcome{err: fmt.Errorf(
+			"dist: lease %d quarantined after %d requeues (last worker %s: %v)",
+			l.id, requeues, worker, cause)}
+		return
+	}
+	go c.evalLocal(l, "quarantine")
+}
+
+// degradationLoop implements graceful degradation: once the fleet has
+// been empty for DegradedGrace with leases queued, it drains the queue
+// through the local evaluator so the calibration finishes instead of
+// blocking forever. The moment a worker registers, the loop stops
+// popping and dispatch resumes on the fleet — returning workers are
+// re-absorbed with no intervention. Runs for the coordinator's
+// lifetime when a LocalFactory is configured.
+func (c *Coordinator) degradationLoop() {
+	grace := c.cfg.DegradedGrace
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		fleetEmpty := len(c.workers) == 0
+		var idleFor time.Duration
+		if fleetEmpty && !c.fleetEmptySince.IsZero() {
+			idleFor = c.clock.Now().Sub(c.fleetEmptySince)
+		}
+		for len(c.queue) > 0 && c.queue[0].canceled {
+			c.queue = c.queue[1:]
+		}
+		queued := len(c.queue)
+		var l *lease
+		var entered, exited bool
+		if fleetEmpty && idleFor >= grace && queued > 0 {
+			l = c.queue[0]
+			c.queue = c.queue[1:]
+			if !c.degraded {
+				c.degraded = true
+				entered = true
+			}
+		} else if !fleetEmpty && c.degraded {
+			c.degraded = false
+			exited = true
+		}
+		changed := c.workersChanged
+		c.mu.Unlock()
+		if entered {
+			c.degradedGauge.Set(1)
+			if c.cfg.Tracer != nil {
+				c.cfg.Tracer.Emit(obs.EventDistDegraded, obs.Fields{
+					"state": "entered", "queued": queued, "idle_for_s": idleFor.Seconds(),
+				})
+			}
+		}
+		if exited {
+			c.degradedGauge.Set(0)
+			if c.cfg.Tracer != nil {
+				c.cfg.Tracer.Emit(obs.EventDistDegraded, obs.Fields{"state": "exited"})
+			}
+		}
+		if l != nil {
+			// evalLocal gates on localSem, so a burst of queued leases
+			// drains at LocalConcurrency, not all at once.
+			go c.evalLocal(l, "degraded")
+			continue
+		}
+		// Idle: wake on an enqueue, a fleet change, the grace deadline
+		// (when one is pending), or shutdown. A nil timer channel blocks
+		// forever, which is exactly right when there is nothing to wait
+		// out.
+		var deadline <-chan time.Time
+		if fleetEmpty && queued > 0 && idleFor < grace {
+			deadline = c.clock.After(grace - idleFor)
+		}
+		select {
+		case <-c.queueKick:
+		case <-changed:
+		case <-deadline:
+		case <-c.closedCh:
+			return
+		}
+	}
+}
+
+// evalLocal resolves one lease on the coordinator's own evaluator —
+// the quarantine dead-letter path and the degraded-mode drain. Runs
+// under panic isolation; classification mirrors the worker's, so the
+// calibrator cannot distinguish a local fallback from a remote result.
+func (c *Coordinator) evalLocal(l *lease, reason string) {
+	select {
+	case c.localSem <- struct{}{}:
+	case <-c.closedCh:
+		return
+	}
+	defer func() { <-c.localSem }()
+	c.mu.Lock()
+	canceled := l.canceled || c.closed
+	c.mu.Unlock()
+	if canceled {
+		return
+	}
+	pt := make(core.Point, len(l.point))
+	for k, v := range l.point {
+		pt[k] = float64(v)
+	}
+	sim, err := c.localSimulator(l.spec)
+	var loss float64
+	if err == nil {
+		err = resilience.Safely(func() error {
+			var e error
+			loss, e = sim.Run(c.localCtx, pt)
+			return e
+		})
+	}
+	c.localEvals.Inc()
+	if c.cfg.Tracer != nil {
+		fields := obs.Fields{"lease": l.id, "index": l.index, "reason": reason}
+		if err != nil {
+			fields["err"] = err.Error()
+		} else {
+			fields["loss"] = WireFloat(loss)
+		}
+		c.cfg.Tracer.Emit(obs.EventDistLocalEval, fields)
+	}
+	out := leaseOutcome{loss: loss}
+	if err != nil {
+		// %w preserves the resilience classification (transient errors
+		// stay transient for the calibrator's retry machinery).
+		out.err = fmt.Errorf("dist: local fallback (%s): %w", reason, err)
+	}
+	l.done <- out
+}
+
+// localSimulator returns the cached LocalFactory simulator for spec,
+// building it on first use.
+func (c *Coordinator) localSimulator(spec json.RawMessage) (core.Simulator, error) {
+	key := string(spec)
+	c.localMu.Lock()
+	defer c.localMu.Unlock()
+	if sim, ok := c.localSims[key]; ok {
+		return sim, nil
+	}
+	sim, err := c.cfg.LocalFactory(spec)
+	if err != nil {
+		return nil, err
+	}
+	c.localSims[key] = sim
+	return sim, nil
 }
 
 // Close shuts the coordinator down: all worker connections are closed
@@ -556,6 +944,7 @@ func (c *Coordinator) Close() error {
 	c.cond.Broadcast()
 	c.mu.Unlock()
 	close(c.closedCh)
+	c.localCancel() // abandon in-flight local fallback evaluations
 	for _, w := range workers {
 		w.conn.Close()
 	}
@@ -600,12 +989,34 @@ type WorkerStatus struct {
 	RTTNS         int64 `json:"rtt_ns,omitempty"`
 }
 
+// LeaseRequeueStatus is one requeued-but-unresolved lease in
+// CoordinatorStatus — a poison candidate an operator can see before it
+// wedges a fleet.
+type LeaseRequeueStatus struct {
+	ID       uint64 `json:"id"`
+	Index    uint64 `json:"index"`
+	Requeues int    `json:"requeues"`
+}
+
 // CoordinatorStatus is the /statusz view of the fleet: connected
-// workers (sorted by name), lease queue depth, and total capacity.
+// workers (sorted by name), lease queue depth, total capacity, and the
+// chaos-hardening state (requeue/quarantine/degradation).
 type CoordinatorStatus struct {
 	Workers    []WorkerStatus `json:"workers"`
 	QueueDepth int            `json:"queue_depth"`
 	Capacity   int            `json:"capacity"`
+	// Degraded reports whether the coordinator is currently draining
+	// the queue through its local evaluator (fleet empty past the
+	// grace window).
+	Degraded bool `json:"degraded"`
+	// Quarantined counts leases dead-lettered after exceeding the
+	// requeue cap; LocalEvals counts leases evaluated on the local
+	// fallback (quarantine + degraded drain).
+	Quarantined int64 `json:"quarantined"`
+	LocalEvals  int64 `json:"local_evals"`
+	// Requeues lists live (queued or in-flight) leases that have been
+	// re-queued at least once, deepest first, capped at 16 entries.
+	Requeues []LeaseRequeueStatus `json:"requeues,omitempty"`
 }
 
 // Status reports a consistent snapshot of the fleet for /statusz.
@@ -613,7 +1024,21 @@ func (c *Coordinator) Status() CoordinatorStatus {
 	now := c.clock.Now().UnixNano()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st := CoordinatorStatus{QueueDepth: len(c.queue), Workers: []WorkerStatus{}}
+	st := CoordinatorStatus{
+		QueueDepth:  len(c.queue),
+		Workers:     []WorkerStatus{},
+		Degraded:    c.degraded,
+		Quarantined: c.leasesQuarantined.Value(),
+		LocalEvals:  c.localEvals.Value(),
+	}
+	addRequeued := func(l *lease) {
+		if l.requeues > 0 && !l.canceled {
+			st.Requeues = append(st.Requeues, LeaseRequeueStatus{ID: l.id, Index: l.index, Requeues: l.requeues})
+		}
+	}
+	for _, l := range c.queue {
+		addRequeued(l)
+	}
 	for _, w := range c.workers {
 		st.Capacity += w.capacity
 		ws := WorkerStatus{
@@ -627,8 +1052,20 @@ func (c *Coordinator) Status() CoordinatorStatus {
 			ws.RTTNS = w.offsetRTT
 		}
 		st.Workers = append(st.Workers, ws)
+		for _, l := range w.inflight {
+			addRequeued(l)
+		}
 	}
 	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].Name < st.Workers[j].Name })
+	sort.Slice(st.Requeues, func(i, j int) bool {
+		if st.Requeues[i].Requeues != st.Requeues[j].Requeues {
+			return st.Requeues[i].Requeues > st.Requeues[j].Requeues
+		}
+		return st.Requeues[i].ID < st.Requeues[j].ID
+	})
+	if len(st.Requeues) > 16 {
+		st.Requeues = st.Requeues[:16]
+	}
 	return st
 }
 
@@ -704,6 +1141,7 @@ func (e *RemoteEvaluator) Run(ctx context.Context, p core.Point) (float64, error
 		spec:       e.spec,
 		point:      pt,
 		done:       make(chan leaseOutcome, 1),
+		attempt:    -1, // first dispatch is attempt 0
 		enqueuedNS: c.clock.Now().UnixNano(),
 	}
 	c.mu.Lock()
@@ -714,6 +1152,10 @@ func (e *RemoteEvaluator) Run(ctx context.Context, p core.Point) (float64, error
 	c.queue = append(c.queue, l)
 	c.cond.Broadcast()
 	c.mu.Unlock()
+	select {
+	case c.queueKick <- struct{}{}:
+	default:
+	}
 	select {
 	case out := <-l.done:
 		return out.loss, out.err

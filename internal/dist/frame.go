@@ -25,6 +25,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -35,17 +36,28 @@ import (
 // byte of every frame. A peer speaking a different version is rejected
 // at the first frame, before any JSON is parsed. Version 2 added the
 // telemetry frame, the heartbeat ping timestamp, and the lease trace
-// ID.
-const ProtocolVersion = 2
+// ID. Version 3 added the payload CRC to the header and the attempt
+// counter to lease and result messages.
+const ProtocolVersion = 3
 
 // MaxFramePayload bounds the JSON payload of one frame. The decoder
 // rejects larger length prefixes before allocating, so a corrupt or
 // hostile peer cannot make the receiver allocate unbounded memory.
 const MaxFramePayload = 1 << 20
 
-// frameHeaderLen is the version byte plus the 4-byte big-endian payload
-// length.
-const frameHeaderLen = 5
+// FrameHeaderLen is the wire frame header size: the version byte, the
+// 4-byte big-endian payload length, and the 4-byte big-endian IEEE
+// CRC32 of the payload. The checksum is what keeps in-flight byte
+// corruption from silently altering a lease or a loss: JSON tolerates
+// many single-byte mutations (a flipped digit still parses), so
+// without it a corrupted frame could decode cleanly and break the
+// bitwise-determinism contract. With it, corruption is always a
+// detected connection error — the lease is requeued and re-evaluated,
+// never mis-evaluated.
+const FrameHeaderLen = 9
+
+// frameHeaderLen is the internal alias for FrameHeaderLen.
+const frameHeaderLen = FrameHeaderLen
 
 // Frame types.
 const (
@@ -149,6 +161,12 @@ type LeaseMsg struct {
 	// worker echoes it in the telemetry eval events it buffers for this
 	// lease, so a merged cross-process trace is keyed by (trace, lease).
 	TraceID string `json:"trace_id,omitempty"`
+	// Attempt numbers this dispatch of the lease, starting at 0.
+	// Requeues after a worker death and redeliveries over a lossy
+	// transport each bump it. Workers echo the latest attempt they saw
+	// in the result, and deduplicate lease frames by ID — a redelivered
+	// lease is never evaluated twice in one session.
+	Attempt int `json:"attempt,omitempty"`
 }
 
 // ResultMsg reports one finished evaluation.
@@ -166,6 +184,11 @@ type ResultMsg struct {
 	// classified error for the calibrator's retry machinery. Aborted
 	// evaluations never produce a result frame.
 	Class string `json:"class,omitempty"`
+	// Attempt echoes the latest lease attempt the worker saw for this
+	// ID. The coordinator resolves a lease exactly once regardless (the
+	// in-flight table is the idempotency authority); the echoed attempt
+	// flags stale deliveries for observability.
+	Attempt int `json:"attempt,omitempty"`
 }
 
 // HeartbeatMsg is the optional heartbeat payload. The coordinator
@@ -261,6 +284,9 @@ func (f *Frame) Validate() error {
 		if f.Lease.TimeoutMS < 0 {
 			return fmt.Errorf("dist: lease %d with negative timeout", f.Lease.ID)
 		}
+		if f.Lease.Attempt < 0 {
+			return fmt.Errorf("dist: lease %d with negative attempt", f.Lease.ID)
+		}
 		want = 1
 	case TypeResult:
 		if f.Result == nil {
@@ -273,6 +299,9 @@ func (f *Frame) Validate() error {
 		}
 		if f.Result.Err == "" && f.Result.Class != "" {
 			return fmt.Errorf("dist: result %d classifies an absent error", f.Result.ID)
+		}
+		if f.Result.Attempt < 0 {
+			return fmt.Errorf("dist: result %d with negative attempt", f.Result.ID)
 		}
 		want = 1
 	case TypeHeartbeat:
@@ -302,7 +331,8 @@ func (f *Frame) Validate() error {
 }
 
 // EncodeFrame renders f as one wire frame: the protocol version byte, a
-// 4-byte big-endian payload length, and the JSON payload.
+// 4-byte big-endian payload length, a 4-byte big-endian IEEE CRC32 of
+// the payload, and the JSON payload.
 func EncodeFrame(f *Frame) ([]byte, error) {
 	if err := f.Validate(); err != nil {
 		return nil, err
@@ -317,14 +347,16 @@ func EncodeFrame(f *Frame) ([]byte, error) {
 	buf := make([]byte, frameHeaderLen, frameHeaderLen+len(payload))
 	buf[0] = ProtocolVersion
 	binary.BigEndian.PutUint32(buf[1:5], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[5:9], crc32.ChecksumIEEE(payload))
 	return append(buf, payload...), nil
 }
 
 // DecodeFrame reads one frame from r. Truncated input, a foreign
-// version byte, an oversize or zero length prefix, malformed JSON, an
-// unknown frame type, a payload mismatching the type, and invalid
-// non-finite sentinels all return an error; the decoder never panics
-// and never allocates more than MaxFramePayload for one frame.
+// version byte, an oversize or zero length prefix, a payload failing
+// its CRC, malformed JSON, an unknown frame type, a payload mismatching
+// the type, and invalid non-finite sentinels all return an error; the
+// decoder never panics and never allocates more than MaxFramePayload
+// for one frame.
 func DecodeFrame(r io.Reader) (*Frame, error) {
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -348,6 +380,9 @@ func DecodeFrame(r io.Reader) (*Frame, error) {
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, fmt.Errorf("dist: reading %d-byte frame payload: %w", n, err)
+	}
+	if sum := crc32.ChecksumIEEE(payload); sum != binary.BigEndian.Uint32(hdr[5:9]) {
+		return nil, fmt.Errorf("dist: frame payload fails checksum (corrupted in flight)")
 	}
 	dec := json.NewDecoder(bytes.NewReader(payload))
 	dec.DisallowUnknownFields()

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/json"
+	"hash/crc32"
 	"io"
 	"math"
 	"strings"
@@ -154,6 +155,14 @@ func TestDecodeFrameRejectsMalformed(t *testing.T) {
 		binary.BigEndian.PutUint32(b[1:5], n)
 		return b
 	}
+	// wrap frames a raw payload with a correct header (length + CRC).
+	wrap := func(payload string) []byte {
+		b := header(ProtocolVersion, uint32(len(payload)))
+		binary.BigEndian.PutUint32(b[5:9], crc32.ChecksumIEEE([]byte(payload)))
+		return append(b, payload...)
+	}
+	corrupted := append([]byte(nil), valid...)
+	corrupted[len(corrupted)-1] ^= 0xA5 // flip a payload byte, keep the header
 	cases := []struct {
 		name string
 		in   []byte
@@ -165,7 +174,11 @@ func TestDecodeFrameRejectsMalformed(t *testing.T) {
 		{"bad version", append(header(9, 2), '{', '}'), "protocol version"},
 		{"zero length", header(ProtocolVersion, 0), "zero-length"},
 		{"oversize length", header(ProtocolVersion, MaxFramePayload+1), "exceeds"},
-		{"garbage json", append(header(ProtocolVersion, 3), 'x', 'y', 'z'), "decoding"},
+		{"garbage json", wrap("xyz"), "decoding"},
+		{"corrupted payload", corrupted, "checksum"},
+		{"bad crc", append(header(ProtocolVersion, 2), '{', '}'), "checksum"},
+		{"negative lease attempt", mustFramePayload(t, `{"type":"lease","lease":{"id":1,"point":{},"attempt":-1}}`), "negative attempt"},
+		{"negative result attempt", mustFramePayload(t, `{"type":"result","result":{"id":1,"loss":0,"attempt":-2}}`), "negative attempt"},
 		{"unknown type", mustFramePayload(t, `{"type":"gossip"}`), "unknown frame type"},
 		{"unknown field", mustFramePayload(t, `{"type":"heartbeat","extra":1}`), ""},
 		{"payload mismatch", mustFramePayload(t, `{"type":"hello"}`), "hello"},
@@ -192,13 +205,11 @@ func TestDecodeFrameRejectsMalformed(t *testing.T) {
 	}
 }
 
-// mustFramePayload wraps a raw JSON payload in a valid frame header.
+// mustFramePayload wraps a raw JSON payload in a valid frame header
+// (length prefix and payload CRC).
 func mustFramePayload(t *testing.T, payload string) []byte {
 	t.Helper()
-	b := make([]byte, frameHeaderLen, frameHeaderLen+len(payload))
-	b[0] = ProtocolVersion
-	binary.BigEndian.PutUint32(b[1:5], uint32(len(payload)))
-	return append(b, payload...)
+	return mustFramePayloadFuzz(payload)
 }
 
 func TestDecodeFrameCleanEOFAtBoundary(t *testing.T) {
@@ -238,6 +249,23 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{ProtocolVersion})
 	f.Add([]byte{ProtocolVersion, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{ProtocolVersion, 0xff, 0xff, 0xff, 0xff, 0xde, 0xad, 0xbe, 0xef})
+	// Chaos-shaped seeds: truncated mid-payload, corrupted payload
+	// bytes (CRC intact vs stale), and a corrupted length field.
+	for _, fr := range testFrames() {
+		buf, err := EncodeFrame(fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf[:frameHeaderLen+1])
+		f.Add(buf[:len(buf)/2])
+		mut := append([]byte(nil), buf...)
+		mut[len(mut)-1] ^= 0xA5
+		f.Add(mut)
+		mut2 := append([]byte(nil), buf...)
+		mut2[3] ^= 0x01
+		f.Add(mut2)
+	}
 	f.Add(mustFramePayloadFuzz(`{"type":"heartbeat"}`))
 	f.Add(mustFramePayloadFuzz(`{"type":"lease","lease":{"id":1,"point":{"x":"NaN"}}}`))
 	f.Add(mustFramePayloadFuzz(`{"type":"telemetry","telemetry":{"sent_unix_ns":1,"hists":{"h":{"count":1,"sum":2,"min":2,"max":2,"buckets":{"2":1}}}}}`))
@@ -260,5 +288,34 @@ func mustFramePayloadFuzz(payload string) []byte {
 	b := make([]byte, frameHeaderLen, frameHeaderLen+len(payload))
 	b[0] = ProtocolVersion
 	binary.BigEndian.PutUint32(b[1:5], uint32(len(payload)))
+	binary.BigEndian.PutUint32(b[5:9], crc32.ChecksumIEEE([]byte(payload)))
 	return append(b, payload...)
+}
+
+// TestDecodeFrameChaosMutations runs the decoder over chaos-style
+// mutations of every valid frame — truncations at each boundary and
+// single-byte payload corruptions like the ones
+// internal/dist/chaos injects. The decoder must error (or, for a
+// truncated stream, report EOF/torn frame) and never panic; corrupted
+// payloads must never decode as valid frames, which is what keeps
+// in-flight corruption from perturbing a calibration.
+func TestDecodeFrameChaosMutations(t *testing.T) {
+	for _, fr := range testFrames() {
+		buf, err := EncodeFrame(fr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 1; cut < len(buf); cut++ {
+			if _, err := DecodeFrame(bytes.NewReader(buf[:cut])); err == nil {
+				t.Fatalf("%s frame truncated at %d decoded successfully", fr.Type, cut)
+			}
+		}
+		for pos := frameHeaderLen; pos < len(buf); pos++ {
+			mut := append([]byte(nil), buf...)
+			mut[pos] ^= 0xA5
+			if _, err := DecodeFrame(bytes.NewReader(mut)); err == nil {
+				t.Fatalf("%s frame corrupted at byte %d decoded successfully", fr.Type, pos)
+			}
+		}
+	}
 }

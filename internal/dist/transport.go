@@ -58,6 +58,30 @@ type Transport interface {
 	Dial(addr string) (Conn, error)
 }
 
+// StreamListener accepts raw byte-stream connections. It is the
+// pre-framing half of Listener: wrap each accepted net.Conn in
+// NewFrameConn to speak the protocol.
+type StreamListener interface {
+	// Accept blocks for the next inbound byte stream.
+	Accept() (net.Conn, error)
+	// Close stops accepting; a blocked Accept returns an error.
+	Close() error
+	// Addr describes the listen endpoint.
+	Addr() string
+}
+
+// StreamTransport exposes the byte-stream layer beneath a Transport.
+// Middleware that needs to see (and tamper with) the raw frame bytes —
+// the chaos fault injector in internal/dist/chaos is the motivating
+// case — wraps the net.Conns a StreamTransport yields and re-frames
+// them with NewFrameConn. TCP and Loopback implement both interfaces.
+type StreamTransport interface {
+	// ListenStream opens a coordinator endpoint at the byte level.
+	ListenStream(addr string) (StreamListener, error)
+	// DialStream connects to a coordinator endpoint at the byte level.
+	DialStream(addr string) (net.Conn, error)
+}
+
 // frameConn adapts any byte stream to Conn using the wire codec, so the
 // TCP and loopback transports share one encode/decode path.
 type frameConn struct {
@@ -68,6 +92,14 @@ type frameConn struct {
 
 	closeOnce sync.Once
 	closeErr  error
+}
+
+// NewFrameConn wraps a byte stream in the frame codec. Send writes
+// each encoded frame with exactly one Write on raw — transports that
+// inspect or perturb traffic at the byte level (internal/dist/chaos)
+// rely on that one-Write-per-frame invariant to stay frame-aligned.
+func NewFrameConn(raw net.Conn) Conn {
+	return newFrameConn(raw)
 }
 
 // newFrameConn wraps a byte stream in the frame codec.
@@ -85,6 +117,7 @@ func (c *frameConn) Send(f *Frame) error {
 	}
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	// One whole frame per Write call — see NewFrameConn.
 	if _, err := c.raw.Write(buf); err != nil {
 		return fmt.Errorf("dist: sending %s frame: %w", f.Type, err)
 	}
@@ -109,14 +142,41 @@ func (c *frameConn) Close() error {
 	return c.closeErr
 }
 
-// TCP is the production Transport over TCP sockets.
-type TCP struct{}
+// DefaultDialTimeout bounds TCP dial attempts when TCP.DialTimeout is
+// left zero.
+const DefaultDialTimeout = 10 * time.Second
 
-// tcpListener adapts net.Listener to Listener.
+// TCP is the production Transport over TCP sockets.
+type TCP struct {
+	// DialTimeout bounds each dial attempt; zero means
+	// DefaultDialTimeout.
+	DialTimeout time.Duration
+}
+
+// framedListener adapts any StreamListener to Listener by wrapping
+// accepted streams in the frame codec.
+type framedListener struct{ sl StreamListener }
+
+// Accept implements Listener.
+func (l *framedListener) Accept() (Conn, error) {
+	raw, err := l.sl.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newFrameConn(raw), nil
+}
+
+// Close implements Listener.
+func (l *framedListener) Close() error { return l.sl.Close() }
+
+// Addr implements Listener.
+func (l *framedListener) Addr() string { return l.sl.Addr() }
+
+// tcpListener adapts net.Listener to StreamListener.
 type tcpListener struct{ l net.Listener }
 
-// Listen implements Transport.
-func (TCP) Listen(addr string) (Listener, error) {
+// ListenStream implements StreamTransport.
+func (TCP) ListenStream(addr string) (StreamListener, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dist: listening on %s: %w", addr, err)
@@ -124,9 +184,22 @@ func (TCP) Listen(addr string) (Listener, error) {
 	return &tcpListener{l: l}, nil
 }
 
-// Dial implements Transport.
-func (TCP) Dial(addr string) (Conn, error) {
-	raw, err := net.DialTimeout("tcp", addr, 10*time.Second)
+// Listen implements Transport.
+func (t TCP) Listen(addr string) (Listener, error) {
+	sl, err := t.ListenStream(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &framedListener{sl: sl}, nil
+}
+
+// DialStream implements StreamTransport.
+func (t TCP) DialStream(addr string) (net.Conn, error) {
+	timeout := t.DialTimeout
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
+	raw, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("dist: dialing %s: %w", addr, err)
 	}
@@ -135,11 +208,20 @@ func (TCP) Dial(addr string) (Conn, error) {
 		// calibration evaluation); never batch them.
 		_ = tc.SetNoDelay(true)
 	}
+	return raw, nil
+}
+
+// Dial implements Transport.
+func (t TCP) Dial(addr string) (Conn, error) {
+	raw, err := t.DialStream(addr)
+	if err != nil {
+		return nil, err
+	}
 	return newFrameConn(raw), nil
 }
 
-// Accept implements Listener.
-func (l *tcpListener) Accept() (Conn, error) {
+// Accept implements StreamListener.
+func (l *tcpListener) Accept() (net.Conn, error) {
 	raw, err := l.l.Accept()
 	if err != nil {
 		return nil, err
@@ -147,14 +229,14 @@ func (l *tcpListener) Accept() (Conn, error) {
 	if tc, ok := raw.(*net.TCPConn); ok {
 		_ = tc.SetNoDelay(true)
 	}
-	return newFrameConn(raw), nil
+	return raw, nil
 }
 
-// Close implements Listener.
+// Close implements StreamListener.
 func (l *tcpListener) Close() error { return l.l.Close() }
 
-// Addr implements Listener. It reports the bound address, so listening
-// on ":0" yields the actual port.
+// Addr implements StreamListener. It reports the bound address, so
+// listening on ":0" yields the actual port.
 func (l *tcpListener) Addr() string { return l.l.Addr().String() }
 
 // Loopback is an in-process Transport over synchronous net.Pipe pairs.
@@ -178,18 +260,23 @@ func NewLoopback() *Loopback {
 // loopbackListener hands dialed pipe ends to Accept.
 type loopbackListener struct{ t *Loopback }
 
-// Listen implements Transport. Only one listener is supported (the
-// coordinator); addr is ignored.
-func (t *Loopback) Listen(string) (Listener, error) {
+// ListenStream implements StreamTransport. Only one listener is
+// supported (the coordinator); addr is ignored.
+func (t *Loopback) ListenStream(string) (StreamListener, error) {
 	return &loopbackListener{t: t}, nil
 }
 
-// Dial implements Transport.
-func (t *Loopback) Dial(string) (Conn, error) {
+// Listen implements Transport.
+func (t *Loopback) Listen(string) (Listener, error) {
+	return &framedListener{sl: &loopbackListener{t: t}}, nil
+}
+
+// DialStream implements StreamTransport.
+func (t *Loopback) DialStream(string) (net.Conn, error) {
 	client, server := net.Pipe()
 	select {
 	case t.pending <- server:
-		return newFrameConn(client), nil
+		return client, nil
 	case <-t.done:
 		client.Close()
 		server.Close()
@@ -201,21 +288,30 @@ func (t *Loopback) Dial(string) (Conn, error) {
 	}
 }
 
-// Accept implements Listener.
-func (l *loopbackListener) Accept() (Conn, error) {
+// Dial implements Transport.
+func (t *Loopback) Dial(addr string) (Conn, error) {
+	raw, err := t.DialStream(addr)
+	if err != nil {
+		return nil, err
+	}
+	return newFrameConn(raw), nil
+}
+
+// Accept implements StreamListener.
+func (l *loopbackListener) Accept() (net.Conn, error) {
 	select {
 	case raw := <-l.t.pending:
-		return newFrameConn(raw), nil
+		return raw, nil
 	case <-l.t.done:
 		return nil, fmt.Errorf("dist: loopback listener closed")
 	}
 }
 
-// Close implements Listener.
+// Close implements StreamListener.
 func (l *loopbackListener) Close() error {
 	l.t.closeOnce.Do(func() { close(l.t.done) })
 	return nil
 }
 
-// Addr implements Listener.
+// Addr implements StreamListener.
 func (l *loopbackListener) Addr() string { return "loopback" }

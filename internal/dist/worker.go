@@ -69,14 +69,16 @@ type Worker struct {
 
 	// Worker-side metrics, shipped to the coordinator as telemetry
 	// deltas and served locally by the worker's own /metrics endpoint.
-	reg           *obs.Registry
-	evalNS        *obs.Histogram
-	evalsOK       *obs.Counter
-	evalsFailed   *obs.Counter
-	cacheHits     *obs.Counter
-	cacheMisses   *obs.Counter
-	inflight      atomic.Int64
-	inflightGauge *obs.Gauge
+	reg             *obs.Registry
+	evalNS          *obs.Histogram
+	evalsOK         *obs.Counter
+	evalsFailed     *obs.Counter
+	cacheHits       *obs.Counter
+	cacheMisses     *obs.Counter
+	sessionsResumed *obs.Counter
+	dupLeases       *obs.Counter
+	inflight        atomic.Int64
+	inflightGauge   *obs.Gauge
 }
 
 // NewWorker validates cfg and returns a Worker.
@@ -109,8 +111,77 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	w.evalsFailed = w.reg.Counter("worker.evals_failed")
 	w.cacheHits = w.reg.Counter("worker.sim_cache_hits")
 	w.cacheMisses = w.reg.Counter("worker.sim_cache_misses")
+	w.sessionsResumed = w.reg.Counter("worker.sessions_resumed")
+	w.dupLeases = w.reg.Counter("worker.duplicate_leases")
 	w.inflightGauge = w.reg.Gauge("worker.inflight_leases")
 	return w, nil
+}
+
+// maxDoneResults bounds the per-session completed-result cache backing
+// lease idempotency; beyond it the oldest results are evicted FIFO.
+// Redeliveries only chase recent leases, so a small window suffices.
+const maxDoneResults = 4096
+
+// leaseTable is one session's lease-idempotency state: which leases
+// are running (and the latest attempt seen for each) and a bounded
+// cache of completed results. A redelivered lease — the coordinator
+// re-sends leases it suspects were dropped by a lossy transport — is
+// therefore never evaluated twice: a running lease absorbs the
+// duplicate, a finished one is answered from the cache.
+type leaseTable struct {
+	mu     sync.Mutex
+	active map[uint64]int
+	done   map[uint64]*ResultMsg
+	order  []uint64
+}
+
+func newLeaseTable() *leaseTable {
+	return &leaseTable{active: make(map[uint64]int), done: make(map[uint64]*ResultMsg)}
+}
+
+// begin registers a lease frame. It returns the cached result to
+// re-send when the lease already finished, and whether the frame is a
+// duplicate (cached or still running) that must not start another
+// evaluation.
+func (t *leaseTable) begin(msg *LeaseMsg) (resend *ResultMsg, dup bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if res, ok := t.done[msg.ID]; ok {
+		// Copy: the cached message may still be mid-encode on the send
+		// path, and the re-send must echo the redelivery's attempt.
+		cp := *res
+		cp.Attempt = msg.Attempt
+		return &cp, true
+	}
+	if _, running := t.active[msg.ID]; running {
+		t.active[msg.ID] = msg.Attempt
+		return nil, true
+	}
+	t.active[msg.ID] = msg.Attempt
+	return nil, false
+}
+
+// finish records the result for a completed lease, stamping the latest
+// attempt observed for it, and caches it for redelivery answers.
+func (t *leaseTable) finish(id uint64, res *ResultMsg) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	res.Attempt = t.active[id]
+	delete(t.active, id)
+	t.done[id] = res
+	t.order = append(t.order, id)
+	if len(t.order) > maxDoneResults {
+		delete(t.done, t.order[0])
+		t.order = t.order[1:]
+	}
+}
+
+// abort drops an active lease without recording a result (the
+// evaluation was canceled by connection teardown).
+func (t *leaseTable) abort(id uint64) {
+	t.mu.Lock()
+	delete(t.active, id)
+	t.mu.Unlock()
 }
 
 // telemetrySink buffers trace events and the latest heartbeat ping
@@ -156,7 +227,10 @@ func (w *Worker) Run(ctx context.Context, conn Conn) error {
 	if err := conn.Send(&Frame{Type: TypeHello, Hello: &HelloMsg{Name: w.cfg.Name, Capacity: w.cfg.Capacity}}); err != nil {
 		return err
 	}
-	f, err := conn.Recv()
+	// Bound the handshake: if either hello frame was lost in flight
+	// (lossy transport), fail fast and let the session layer redial
+	// instead of hanging until a heartbeat would have noticed.
+	f, err := recvTimeout(conn, w.clock, w.cfg.HeartbeatTimeout)
 	if err != nil {
 		return fmt.Errorf("dist: waiting for coordinator hello: %w", err)
 	}
@@ -165,11 +239,16 @@ func (w *Worker) Run(ctx context.Context, conn Conn) error {
 	}
 
 	// evalCtx cancels every in-flight evaluation the moment the
-	// connection dies, so abandoned leases stop burning CPU.
+	// connection dies, so abandoned leases stop burning CPU. Cancel
+	// BEFORE waiting: a stalled simulator would otherwise wedge the
+	// session teardown forever, and with it any resume loop above —
+	// the coordinator has already requeued these leases anyway.
 	evalCtx, cancelEvals := context.WithCancel(ctx)
-	defer cancelEvals()
 	var evals sync.WaitGroup
-	defer evals.Wait()
+	defer func() {
+		cancelEvals()
+		evals.Wait()
+	}()
 
 	var lastRecv atomic.Int64
 	lastRecv.Store(w.clock.Now().UnixNano())
@@ -182,6 +261,7 @@ func (w *Worker) Run(ctx context.Context, conn Conn) error {
 		go w.telemetryLoop(conn, sink, hbDone)
 	}
 
+	leases := newLeaseTable()
 	for {
 		f, err := conn.Recv()
 		if err != nil {
@@ -203,10 +283,19 @@ func (w *Worker) Run(ctx context.Context, conn Conn) error {
 			}
 		case TypeLease:
 			msg := f.Lease
+			if res, dup := leases.begin(msg); dup {
+				w.dupLeases.Inc()
+				if res != nil {
+					// Already evaluated: answer the redelivery from the
+					// completed-result cache, never re-run the simulator.
+					_ = conn.Send(&Frame{Type: TypeResult, Result: res})
+				}
+				continue
+			}
 			evals.Add(1)
 			go func() {
 				defer evals.Done()
-				w.evaluate(evalCtx, conn, sink, msg)
+				w.evaluate(evalCtx, conn, sink, leases, msg)
 			}()
 		default:
 			return fmt.Errorf("dist: protocol violation: %s frame from coordinator", f.Type)
@@ -334,7 +423,7 @@ func (w *Worker) simulator(spec []byte) (core.Simulator, error) {
 // equivalently classified error; evaluations aborted by connection
 // teardown report nothing (the coordinator re-queues the lease when it
 // declares this worker dead).
-func (w *Worker) evaluate(ctx context.Context, conn Conn, sink *telemetrySink, msg *LeaseMsg) {
+func (w *Worker) evaluate(ctx context.Context, conn Conn, sink *telemetrySink, leases *leaseTable, msg *LeaseMsg) {
 	w.inflightGauge.Set(float64(w.inflight.Add(1)))
 	defer func() { w.inflightGauge.Set(float64(w.inflight.Add(-1))) }()
 	pt := make(core.Point, len(msg.Point))
@@ -353,6 +442,7 @@ func (w *Worker) evaluate(ctx context.Context, conn Conn, sink *telemetrySink, m
 	res := &ResultMsg{ID: msg.ID, Index: msg.Index, Loss: WireFloat(loss)}
 	if err != nil {
 		if ctx.Err() != nil {
+			leases.abort(msg.ID)
 			return // connection teardown: the lease is being re-queued
 		}
 		switch resilience.Classify(err) {
@@ -390,6 +480,10 @@ func (w *Worker) evaluate(ctx context.Context, conn Conn, sink *telemetrySink, m
 		TUnixNS: start.UnixNano(),
 		Fields:  fields,
 	})
+	// Record the result before sending: if the coordinator redelivers
+	// this lease (its result frame was dropped in flight), the read
+	// loop answers from the cache instead of re-evaluating.
+	leases.finish(msg.ID, res)
 	// A send failure means the connection died; the coordinator
 	// re-queues the lease, so there is nothing to recover here.
 	_ = conn.Send(&Frame{Type: TypeResult, Result: res})
@@ -435,25 +529,87 @@ func (w *Worker) runLease(ctx context.Context, sim core.Simulator, pt core.Point
 	}
 }
 
-// RunDial dials the coordinator (with retries, for workers started
-// before the coordinator listens) and serves the connection. retries
-// counts additional dial attempts after the first, spaced by delay.
-func (w *Worker) RunDial(ctx context.Context, t Transport, addr string, retries int, delay time.Duration) error {
-	var conn Conn
-	var err error
-	for attempt := 0; ; attempt++ {
-		conn, err = t.Dial(addr)
-		if err == nil {
-			break
+// SessionConfig shapes RunSession's dial-and-resume loop.
+type SessionConfig struct {
+	// MaxDialAttempts bounds consecutive failed dials before giving
+	// up; values < 1 mean a single attempt. The count resets every
+	// time a session is established.
+	MaxDialAttempts int
+	// BaseDelay and MaxDelay bound the capped exponential backoff
+	// between dial attempts (resilience.Backoff semantics:
+	// base·2^(attempt−1) capped at max, jittered in [0.5, 1.5)).
+	// Defaults: 250ms base, 5s cap.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed seeds the backoff jitter; the same seed replays the same
+	// dial cadence.
+	Seed int64
+	// Resume makes a mid-run connection drop survivable: the worker
+	// redials, re-handshakes, and serves a fresh session instead of
+	// returning the error. The coordinator requeues whatever the dead
+	// session held, so nothing is lost. An orderly coordinator
+	// shutdown (io.EOF) still ends RunSession with nil.
+	Resume bool
+	// MaxSessions caps total sessions served when Resume is set; 0
+	// means unlimited. The cap keeps a worker from redialing a
+	// coordinator that crash-loops forever.
+	MaxSessions int
+}
+
+// RunSession dials the coordinator with capped exponential backoff and
+// serves the connection; with cfg.Resume it reconnects and
+// re-handshakes after mid-run connection drops, so a worker survives
+// network resets and coordinator restarts without losing its simulator
+// cache (sims are cached on the Worker, not the session).
+func (w *Worker) RunSession(ctx context.Context, t Transport, addr string, cfg SessionConfig) error {
+	if cfg.MaxDialAttempts < 1 {
+		cfg.MaxDialAttempts = 1
+	}
+	if cfg.BaseDelay <= 0 {
+		cfg.BaseDelay = 250 * time.Millisecond
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 5 * time.Second
+	}
+	bo := resilience.NewBackoff(cfg.BaseDelay, cfg.MaxDelay, cfg.Seed)
+	sessions := 0
+	for {
+		var conn Conn
+		var err error
+		for attempt := 1; ; attempt++ {
+			conn, err = t.Dial(addr)
+			if err == nil {
+				break
+			}
+			if attempt >= cfg.MaxDialAttempts {
+				return fmt.Errorf("dist: giving up after %d dial attempts: %w", attempt, err)
+			}
+			select {
+			case <-time.After(bo.Delay(attempt)):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
 		}
-		if attempt >= retries {
+		sessions++
+		err = w.Run(ctx, conn)
+		if err == nil {
+			return nil // orderly coordinator shutdown
+		}
+		if !cfg.Resume || ctx.Err() != nil {
 			return err
 		}
-		select {
-		case <-time.After(delay):
-		case <-ctx.Done():
-			return ctx.Err()
+		if cfg.MaxSessions > 0 && sessions >= cfg.MaxSessions {
+			return fmt.Errorf("dist: session resume budget exhausted after %d sessions: %w", sessions, err)
 		}
+		w.sessionsResumed.Inc()
 	}
-	return w.Run(ctx, conn)
+}
+
+// RunDial dials the coordinator (with retries, for workers started
+// before the coordinator listens) and serves one connection. retries
+// counts additional dial attempts after the first; delay is the base
+// of the capped exponential backoff between them. Kept as the simple
+// no-resume entry point; see RunSession for mid-run reconnection.
+func (w *Worker) RunDial(ctx context.Context, t Transport, addr string, retries int, delay time.Duration) error {
+	return w.RunSession(ctx, t, addr, SessionConfig{MaxDialAttempts: retries + 1, BaseDelay: delay})
 }

@@ -41,6 +41,14 @@ const (
 	EventDistWorkerDisconnected = "dist_worker_disconnected"
 	EventDistLeaseRequeued      = "dist_lease_requeued"
 	EventDistWorkerEval         = "dist_worker_eval"
+
+	// Chaos-hardening events: a lease quarantined as poison after
+	// exceeding its requeue cap (the dead-letter record), the
+	// coordinator entering or leaving fleet-empty degraded mode, and a
+	// lease evaluated on the coordinator's local fallback evaluator.
+	EventDistLeaseQuarantined = "dist_lease_quarantined"
+	EventDistDegraded         = "dist_degradation"
+	EventDistLocalEval        = "dist_local_eval"
 )
 
 // ConvergencePoint is one point of a replayed best-loss-vs-time curve.

@@ -1,0 +1,53 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+
+	"simcal/internal/stats"
+)
+
+// Backoff computes capped exponential retry delays with seeded jitter:
+// base·2^(attempt−1), capped at max, scaled by a jitter factor in
+// [0.5, 1.5) drawn from a deterministic stream. The same seed yields
+// the same delay sequence, so retry cadences — evaluation retries,
+// worker redials, session resumes — replay exactly. Safe for
+// concurrent use.
+type Backoff struct {
+	base time.Duration
+	max  time.Duration
+
+	mu  sync.Mutex // guards rng (stats.RNG is not thread-safe)
+	rng *stats.RNG
+}
+
+// NewBackoff returns a Backoff over [base, max]. base <= 0 defaults to
+// 50ms, max <= 0 to 2s; base is clamped to max.
+func NewBackoff(base, max time.Duration, seed int64) *Backoff {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	if base > max {
+		base = max
+	}
+	return &Backoff{base: base, max: max, rng: stats.NewRNG(seed)}
+}
+
+// Delay returns the jittered delay before retry number attempt
+// (1-based). Each call advances the jitter stream.
+func (b *Backoff) Delay(attempt int) time.Duration {
+	d := b.base
+	for i := 1; i < attempt && d < b.max; i++ {
+		d *= 2
+	}
+	if d > b.max {
+		d = b.max
+	}
+	b.mu.Lock()
+	jitter := 0.5 + b.rng.Float64()
+	b.mu.Unlock()
+	return time.Duration(float64(d) * jitter)
+}

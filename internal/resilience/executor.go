@@ -2,10 +2,7 @@ package resilience
 
 import (
 	"context"
-	"sync"
 	"time"
-
-	"simcal/internal/stats"
 )
 
 // Policy configures the fault-tolerant evaluation runtime. The zero
@@ -88,9 +85,7 @@ type Executor struct {
 	policy  Policy
 	breaker *Breaker
 	cfg     Config
-
-	mu  sync.Mutex // guards rng (stats.RNG is not thread-safe)
-	rng *stats.RNG
+	bo      *Backoff
 }
 
 // NewExecutor returns an Executor applying policy with the given wiring.
@@ -108,7 +103,7 @@ func NewExecutor(policy Policy, cfg Config) *Executor {
 		policy:  policy,
 		breaker: NewBreaker(policy.BreakerThreshold, policy.BreakerProbe),
 		cfg:     cfg,
-		rng:     stats.NewRNG(cfg.Seed),
+		bo:      NewBackoff(policy.BaseDelay, policy.MaxDelay, cfg.Seed),
 	}
 }
 
@@ -212,20 +207,9 @@ func (e *Executor) attempt(ctx context.Context, fn func(ctx context.Context) (fl
 }
 
 // backoff returns the jittered exponential delay before retry number
-// attempt (1-based): base·2^(attempt−1), capped at MaxDelay, scaled by a
-// seeded jitter factor in [0.5, 1.5).
+// attempt (1-based); see Backoff.
 func (e *Executor) backoff(attempt int) time.Duration {
-	d := e.policy.BaseDelay
-	for i := 1; i < attempt && d < e.policy.MaxDelay; i++ {
-		d *= 2
-	}
-	if d > e.policy.MaxDelay {
-		d = e.policy.MaxDelay
-	}
-	e.mu.Lock()
-	jitter := 0.5 + e.rng.Float64()
-	e.mu.Unlock()
-	return time.Duration(float64(d) * jitter)
+	return e.bo.Delay(attempt)
 }
 
 // sleep waits for d or until ctx is canceled.
