@@ -59,6 +59,7 @@ func main() {
 		jobs     = flag.Int("jobs", 1, "run this many calibration restarts in parallel (seeds seed, seed+1000, ...) and keep the best")
 		useCache = flag.Bool("cache", false, "memoize loss evaluations (shared across -jobs restarts)")
 		outPath  = flag.String("out", "", "write the calibration result as JSON (with history)")
+		prSpec   = flag.Bool("print-spec", false, "print the canonical simulator spec JSON for this flag combination and exit (the spec a simcald job submits)")
 
 		network = flag.String("network", "", "wf: one-link|star|series; mpi: backbone|backbone-links|tree4|fat-tree")
 		storage = flag.String("storage", "all", "wf: submit|all")
@@ -133,6 +134,12 @@ func main() {
 	}
 
 	holder := &statusHolder{}
+	// stopObs shuts the observability server down; it is called
+	// explicitly at the end of main, AFTER the run's deferred
+	// coordinator shutdown has closed the coordinator and cleared the
+	// status holder — so a late /metrics or /statusz scrape never
+	// reads a closed coordinator. simcald follows the same order.
+	stopObs := func() {}
 	if *pprofAddr != "" {
 		obs.Default().PublishExpvar("simcal")
 		srv, err := obs.StartServer(*pprofAddr, obs.ServerConfig{
@@ -142,11 +149,11 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("observability server: %w", err))
 		}
-		defer func() {
+		stopObs = func() {
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			defer cancel()
 			srv.Shutdown(ctx)
-		}()
+		}
 		fmt.Fprintf(os.Stderr, "observability server on http://%s (/metrics /statusz /healthz /debug/pprof)\n", srv.Addr())
 	}
 
@@ -161,7 +168,7 @@ func main() {
 		tracer = obs.NewTracer(f)
 	}
 
-	alg, err := parseAlg(*algName)
+	alg, err := opt.ByName(*algName)
 	if err != nil {
 		fatal(err)
 	}
@@ -189,6 +196,7 @@ func main() {
 
 	rc := runCfg{
 		outPath:     *outPath,
+		printSpec:   *prSpec,
 		jobs:        *jobs,
 		cache:       evalCache,
 		ckptPath:    *ckptPath,
@@ -236,6 +244,7 @@ func main() {
 			fatal(err)
 		}
 	}
+	stopObs()
 }
 
 // runReplay reconstructs the best-loss-vs-time convergence curve (the
@@ -272,6 +281,7 @@ func runReplay(path string) error {
 // runCfg bundles the per-run flags shared by both case studies.
 type runCfg struct {
 	outPath     string
+	printSpec   bool
 	jobs        int
 	cache       *cache.Cache
 	ckptPath    string
@@ -444,6 +454,13 @@ func (rc runCfg) simulator(sp simspec.Spec) (core.Simulator, func(), error) {
 		return nil, nil, err
 	}
 	shutdown := func() {
+		// Detach /statusz and /metrics from the coordinator before
+		// closing it: the obs server outlives the coordinator (it is
+		// shut down last), and its scrape hooks must not read a
+		// closed coordinator.
+		if rc.status != nil {
+			rc.status.set(nil)
+		}
 		coord.Close()
 		l.Close()
 		if ct != nil {
@@ -494,6 +511,19 @@ func applyRuntime(cal *core.Calibrator, rc runCfg) error {
 		return err
 	}
 	return nil
+}
+
+// printSpec writes the canonical simulator spec to stdout — the exact
+// bytes a distributed lease carries and the body a simcald job
+// submits, so `simcal -print-spec … | …` and a direct simcal run
+// calibrate the same simulator.
+func printSpec(sp simspec.Spec) error {
+	b, err := sp.Canonical()
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Printf("%s\n", b)
+	return err
 }
 
 // saveResult writes the result JSON when a path was given.
@@ -558,6 +588,9 @@ func runWF(o experiments.Options, alg core.Algorithm, lossName, network, storage
 		SizeIdx: []int{1}, WorkIdx: []int{1, 3}, FootIdx: []int{1, 2},
 		Workers: []int{2}, Reps: 3, Seed: o.Seed,
 	}, false)
+	if rc.printSpec {
+		return printSpec(sp)
+	}
 	sim, shutdown, err := rc.simulator(sp)
 	if err != nil {
 		return err
@@ -603,6 +636,9 @@ func runMPI(o experiments.Options, alg core.Algorithm, lossName, network, node, 
 		Benchmarks: []mpi.Benchmark{mpi.PingPong, mpi.PingPing, mpi.BiRandom},
 		Nodes:      []int{8}, MsgSizes: o.MPIMsgSizes, Rounds: 2, Reps: 3, Seed: o.Seed,
 	}, 2, false)
+	if rc.printSpec {
+		return printSpec(sp)
+	}
 	sim, shutdown, err := rc.simulator(sp)
 	if err != nil {
 		return err
@@ -642,27 +678,6 @@ func report(space core.Space, res *core.Result, start time.Time) {
 	sort.Strings(names)
 	for _, n := range names {
 		fmt.Printf("  %-24s %.6g\n", n, res.Best.Point[n])
-	}
-}
-
-func parseAlg(name string) (core.Algorithm, error) {
-	switch name {
-	case "GRID":
-		return opt.Grid{}, nil
-	case "RAND":
-		return opt.Random{}, nil
-	case "GRAD":
-		return opt.GradientDescent{}, nil
-	case "BO-GP":
-		return opt.NewBOGP(), nil
-	case "BO-RF":
-		return opt.NewBORF(), nil
-	case "BO-ET":
-		return opt.NewBOET(), nil
-	case "BO-GBRT":
-		return opt.NewBOGBRT(), nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", name)
 	}
 }
 

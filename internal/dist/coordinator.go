@@ -40,6 +40,10 @@ const (
 // the coordinator shuts down.
 var ErrCoordinatorClosed = errors.New("dist: coordinator closed")
 
+// ErrJobCanceled resolves leases purged by CancelJob: their job was
+// canceled while they sat in the queue.
+var ErrJobCanceled = errors.New("dist: job canceled")
+
 // CoordinatorConfig configures a Coordinator. The zero value works:
 // metrics and tracing are optional, the clock defaults to the wall
 // clock, and heartbeats default to the package cadence.
@@ -122,6 +126,7 @@ type leaseOutcome struct {
 type lease struct {
 	id       uint64
 	index    uint64
+	job      string // owning job ID; empty outside multi-job servers
 	spec     json.RawMessage
 	point    map[string]WireFloat
 	done     chan leaseOutcome // buffered 1: resolution never blocks
@@ -446,7 +451,7 @@ func (c *Coordinator) dispatchLoop(w *remoteWorker) {
 		if l == nil {
 			return
 		}
-		msg := &LeaseMsg{ID: l.id, Index: l.index, Spec: l.spec, Point: l.point, TraceID: c.cfg.TraceID, Attempt: attempt}
+		msg := &LeaseMsg{ID: l.id, Index: l.index, Job: l.job, Spec: l.spec, Point: l.point, TraceID: c.cfg.TraceID, Attempt: attempt}
 		if c.cfg.LeaseTimeout > 0 {
 			msg.TimeoutMS = c.cfg.LeaseTimeout.Milliseconds()
 		}
@@ -593,7 +598,7 @@ func (c *Coordinator) redeliverLoop(w *remoteWorker) {
 			}
 			l.attempt++
 			l.sentNS = now
-			msg := &LeaseMsg{ID: l.id, Index: l.index, Spec: l.spec, Point: l.point, TraceID: c.cfg.TraceID, Attempt: l.attempt}
+			msg := &LeaseMsg{ID: l.id, Index: l.index, Job: l.job, Spec: l.spec, Point: l.point, TraceID: c.cfg.TraceID, Attempt: l.attempt}
 			if c.cfg.LeaseTimeout > 0 {
 				msg.TimeoutMS = c.cfg.LeaseTimeout.Milliseconds()
 			}
@@ -957,6 +962,42 @@ func (c *Coordinator) Close() error {
 	return nil
 }
 
+// CancelJob abandons every lease belonging to job without disturbing
+// other jobs' queues: queued leases are marked canceled and resolve
+// immediately with ErrJobCanceled (dispatchers skip them when they
+// reach the queue head), while in-flight leases finish on their worker
+// but are never re-queued after a worker death — their late results
+// resolve into an abandoned channel. It returns the number of leases
+// canceled. The multi-tenant job server calls this when a job is
+// deleted, alongside canceling the job's own evaluation context.
+func (c *Coordinator) CancelJob(job string) int {
+	if job == "" {
+		return 0
+	}
+	c.mu.Lock()
+	n := 0
+	for _, l := range c.queue {
+		if l.job == job && !l.canceled {
+			l.canceled = true
+			n++
+			select {
+			case l.done <- leaseOutcome{err: ErrJobCanceled}:
+			default:
+			}
+		}
+	}
+	for _, w := range c.workers {
+		for _, l := range w.inflight {
+			if l.job == job && !l.canceled {
+				l.canceled = true
+				n++
+			}
+		}
+	}
+	c.mu.Unlock()
+	return n
+}
+
 // WorkerCount returns the number of currently connected workers.
 func (c *Coordinator) WorkerCount() int {
 	c.mu.Lock()
@@ -1016,7 +1057,13 @@ type CoordinatorStatus struct {
 	LocalEvals  int64 `json:"local_evals"`
 	// Requeues lists live (queued or in-flight) leases that have been
 	// re-queued at least once, deepest first, capped at 16 entries.
-	Requeues []LeaseRequeueStatus `json:"requeues,omitempty"`
+	// RequeuesTotal is the uncapped count, so a reader can tell when
+	// the list was truncated (RequeuesTotal > len(Requeues)).
+	Requeues      []LeaseRequeueStatus `json:"requeues,omitempty"`
+	RequeuesTotal int                  `json:"requeues_total"`
+	// JobQueueDepth breaks QueueDepth down by job ID for multi-job
+	// servers (leases without a job are omitted).
+	JobQueueDepth map[string]int `json:"job_queue_depth,omitempty"`
 }
 
 // Status reports a consistent snapshot of the fleet for /statusz.
@@ -1038,6 +1085,12 @@ func (c *Coordinator) Status() CoordinatorStatus {
 	}
 	for _, l := range c.queue {
 		addRequeued(l)
+		if l.job != "" && !l.canceled {
+			if st.JobQueueDepth == nil {
+				st.JobQueueDepth = make(map[string]int)
+			}
+			st.JobQueueDepth[l.job]++
+		}
 	}
 	for _, w := range c.workers {
 		st.Capacity += w.capacity
@@ -1063,6 +1116,7 @@ func (c *Coordinator) Status() CoordinatorStatus {
 		}
 		return st.Requeues[i].ID < st.Requeues[j].ID
 	})
+	st.RequeuesTotal = len(st.Requeues)
 	if len(st.Requeues) > 16 {
 		st.Requeues = st.Requeues[:16]
 	}
@@ -1116,13 +1170,23 @@ func (c *Coordinator) WaitForWorkers(ctx context.Context, n int) error {
 // existing dispatch, cache, resilience, and observability layers
 // untouched — distribution is invisible above the Simulator interface.
 func (c *Coordinator) Evaluator(spec []byte) *RemoteEvaluator {
-	return &RemoteEvaluator{c: c, spec: append(json.RawMessage(nil), spec...)}
+	return c.JobEvaluator("", spec)
+}
+
+// JobEvaluator is Evaluator for one job of a multi-tenant server: every
+// lease it enqueues is tagged with the job ID, so the job shows up in
+// per-job queue accounting (Status.JobQueueDepth), worker-side eval
+// trace events, and CancelJob can purge exactly this job's queued
+// leases. Many JobEvaluators share one coordinator fleet concurrently.
+func (c *Coordinator) JobEvaluator(job string, spec []byte) *RemoteEvaluator {
+	return &RemoteEvaluator{c: c, job: job, spec: append(json.RawMessage(nil), spec...)}
 }
 
 // RemoteEvaluator is a core.Simulator that evaluates points on the
 // coordinator's worker pool.
 type RemoteEvaluator struct {
 	c    *Coordinator
+	job  string
 	spec json.RawMessage
 	next atomic.Uint64
 }
@@ -1138,6 +1202,7 @@ func (e *RemoteEvaluator) Run(ctx context.Context, p core.Point) (float64, error
 	l := &lease{
 		id:         c.nextLease.Add(1),
 		index:      e.next.Add(1) - 1,
+		job:        e.job,
 		spec:       e.spec,
 		point:      pt,
 		done:       make(chan leaseOutcome, 1),

@@ -167,6 +167,13 @@ type LeaseMsg struct {
 	// in the result, and deduplicate lease frames by ID — a redelivered
 	// lease is never evaluated twice in one session.
 	Attempt int `json:"attempt,omitempty"`
+	// Job identifies the calibration job this lease belongs to when a
+	// multi-tenant server multiplexes several calibrations onto one
+	// coordinator (see Coordinator.JobEvaluator). The worker echoes it
+	// in its telemetry eval events; the coordinator uses it for
+	// per-job cancellation and per-job queue accounting. Empty for
+	// single-calibration runs.
+	Job string `json:"job,omitempty"`
 }
 
 // ResultMsg reports one finished evaluation.

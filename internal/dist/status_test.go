@@ -1,0 +1,161 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"simcal/internal/obs"
+)
+
+// TestStatusRequeueTruncation: Status caps the per-lease requeue list
+// at 16 entries but must report the uncapped total, so a /statusz
+// reader can tell the list was truncated instead of mistaking the cap
+// for the whole story.
+func TestStatusRequeueTruncation(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{})
+	defer c.Close()
+	c.mu.Lock()
+	for i := 0; i < 20; i++ {
+		c.queue = append(c.queue, &lease{
+			id:       uint64(i + 1),
+			index:    uint64(i),
+			requeues: 1 + i%3,
+			done:     make(chan leaseOutcome, 1),
+		})
+	}
+	// Canceled and never-requeued leases stay out of both the list and
+	// the total.
+	c.queue = append(c.queue,
+		&lease{id: 100, requeues: 5, canceled: true, done: make(chan leaseOutcome, 1)},
+		&lease{id: 101, requeues: 0, done: make(chan leaseOutcome, 1)},
+	)
+	c.mu.Unlock()
+
+	st := c.Status()
+	if len(st.Requeues) != 16 {
+		t.Errorf("len(Requeues) = %d, want capped at 16", len(st.Requeues))
+	}
+	if st.RequeuesTotal != 20 {
+		t.Errorf("RequeuesTotal = %d, want 20", st.RequeuesTotal)
+	}
+	if st.RequeuesTotal <= len(st.Requeues) {
+		t.Error("truncation is invisible: RequeuesTotal <= len(Requeues)")
+	}
+
+	// The total must survive the trip through /statusz (and stay
+	// present even when the list is empty — no omitempty).
+	srv, err := obs.StartServer("127.0.0.1:0", obs.ServerConfig{
+		Registry: obs.NewRegistry(),
+		Status:   func() any { return c.Status() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	resp, err := http.Get("http://" + srv.Addr() + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var doc struct {
+		Status struct {
+			Requeues      []json.RawMessage `json:"requeues"`
+			RequeuesTotal *int              `json:"requeues_total"`
+		} `json:"status"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/statusz does not parse: %v\n%s", err, body)
+	}
+	if doc.Status.RequeuesTotal == nil {
+		t.Fatalf("/statusz status lacks requeues_total:\n%s", body)
+	}
+	if *doc.Status.RequeuesTotal != 20 || len(doc.Status.Requeues) != 16 {
+		t.Errorf("/statusz requeues_total = %d with %d listed, want 20/16",
+			*doc.Status.RequeuesTotal, len(doc.Status.Requeues))
+	}
+}
+
+// TestStatusJobQueueDepth: queued leases carrying job IDs are broken
+// down per job (the simcald /statusz fleet view), and canceled leases
+// drop out of the counts.
+func TestStatusJobQueueDepth(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{})
+	defer c.Close()
+	c.mu.Lock()
+	for i := 0; i < 3; i++ {
+		c.queue = append(c.queue, &lease{id: uint64(i + 1), job: "j-000001", done: make(chan leaseOutcome, 1)})
+	}
+	c.queue = append(c.queue,
+		&lease{id: 10, job: "j-000002", done: make(chan leaseOutcome, 1)},
+		&lease{id: 11, job: "j-000002", canceled: true, done: make(chan leaseOutcome, 1)},
+		&lease{id: 12, done: make(chan leaseOutcome, 1)}, // job-less: omitted
+	)
+	c.mu.Unlock()
+
+	st := c.Status()
+	if got := st.JobQueueDepth["j-000001"]; got != 3 {
+		t.Errorf("JobQueueDepth[j-000001] = %d, want 3", got)
+	}
+	if got := st.JobQueueDepth["j-000002"]; got != 1 {
+		t.Errorf("JobQueueDepth[j-000002] = %d, want 1 (canceled lease excluded)", got)
+	}
+	if len(st.JobQueueDepth) != 2 {
+		t.Errorf("JobQueueDepth = %v, want exactly 2 jobs", st.JobQueueDepth)
+	}
+}
+
+// TestCancelJob: canceling a job resolves its queued leases with
+// ErrJobCanceled and leaves every other job's leases untouched — the
+// isolation property that lets one simcald tenant cancel without
+// perturbing its neighbors.
+func TestCancelJob(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{})
+	defer c.Close()
+	mine := make([]*lease, 3)
+	other := &lease{id: 50, job: "j-other", done: make(chan leaseOutcome, 1)}
+	c.mu.Lock()
+	for i := range mine {
+		mine[i] = &lease{id: uint64(i + 1), job: "j-mine", done: make(chan leaseOutcome, 1)}
+		c.queue = append(c.queue, mine[i])
+	}
+	c.queue = append(c.queue, other)
+	c.mu.Unlock()
+
+	if n := c.CancelJob("j-mine"); n != 3 {
+		t.Errorf("CancelJob(j-mine) = %d, want 3", n)
+	}
+	for i, l := range mine {
+		select {
+		case out := <-l.done:
+			if out.err != ErrJobCanceled {
+				t.Errorf("lease %d resolved with %v, want ErrJobCanceled", i, out.err)
+			}
+		default:
+			t.Errorf("lease %d not resolved by CancelJob", i)
+		}
+	}
+	select {
+	case out := <-other.done:
+		t.Errorf("other job's lease resolved with %v; must be untouched", out)
+	default:
+	}
+	// Canceled leases drop out of the queue-depth views.
+	st := c.Status()
+	if st.JobQueueDepth["j-mine"] != 0 {
+		t.Errorf("canceled job still shows queue depth %d", st.JobQueueDepth["j-mine"])
+	}
+	if st.JobQueueDepth["j-other"] != 1 {
+		t.Errorf("JobQueueDepth[j-other] = %d, want 1", st.JobQueueDepth["j-other"])
+	}
+	// Idempotent: a second cancel finds nothing to do.
+	if n := c.CancelJob("j-mine"); n != 0 {
+		t.Errorf("second CancelJob = %d, want 0", n)
+	}
+	if n := c.CancelJob(""); n != 0 {
+		t.Errorf("CancelJob(\"\") = %d, want 0", n)
+	}
+}

@@ -470,6 +470,9 @@ func (w *Worker) evaluate(ctx context.Context, conn Conn, sink *telemetrySink, l
 	if msg.TraceID != "" {
 		fields["trace_id"] = msg.TraceID
 	}
+	if msg.Job != "" {
+		fields["job"] = msg.Job
+	}
 	if err != nil {
 		fields["err"] = err.Error()
 	} else {

@@ -49,6 +49,16 @@ type ServerConfig struct {
 	// /statusz document. The returned value must be JSON-encodable;
 	// non-finite floats are replaced by the trace sentinels.
 	Status func() any
+	// Jobs, when non-nil, contributes the "jobs" member of the
+	// /statusz document — the calibration job server's view of
+	// submitted/running/finished jobs.
+	Jobs func() any
+	// Mount, when non-nil, registers additional routes on the server's
+	// mux before the standard endpoints — the hook the calibration job
+	// server uses to expose its /v1/jobs API on the same plane. It must
+	// not claim the standard paths (/metrics, /statusz, /healthz,
+	// /debug/...).
+	Mount func(mux *http.ServeMux)
 }
 
 // StartServer binds addr and serves the observability endpoints in a
@@ -66,6 +76,9 @@ func StartServer(addr string, cfg ServerConfig) (*Server, error) {
 		reg = Default()
 	}
 	mux := http.NewServeMux()
+	if cfg.Mount != nil {
+		cfg.Mount(mux)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
@@ -94,6 +107,11 @@ func StartServer(addr string, cfg ServerConfig) (*Server, error) {
 		if cfg.Status != nil {
 			if v := cfg.Status(); v != nil {
 				doc["status"] = v
+			}
+		}
+		if cfg.Jobs != nil {
+			if v := cfg.Jobs(); v != nil {
+				doc["jobs"] = v
 			}
 		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")

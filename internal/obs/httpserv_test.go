@@ -21,6 +21,12 @@ func TestServerEndpoints(t *testing.T) {
 		Registry: reg,
 		Refresh:  func() { refreshed++ },
 		Status:   func() any { return map[string]any{"queue_depth": 3} },
+		Jobs:     func() any { return map[string]any{"running": 2} },
+		Mount: func(mux *http.ServeMux) {
+			mux.HandleFunc("GET /v1/ping", func(w http.ResponseWriter, _ *http.Request) {
+				w.Write([]byte("pong\n"))
+			})
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -73,6 +79,7 @@ func TestServerEndpoints(t *testing.T) {
 		UptimeS     float64        `json:"uptime_s"`
 		Calibration map[string]any `json:"calibration"`
 		Status      map[string]any `json:"status"`
+		Jobs        map[string]any `json:"jobs"`
 	}
 	if err := json.Unmarshal([]byte(body), &doc); err != nil {
 		t.Fatalf("/statusz does not parse: %v\n%s", err, body)
@@ -89,8 +96,17 @@ func TestServerEndpoints(t *testing.T) {
 	if doc.Status["queue_depth"] != float64(3) {
 		t.Errorf("/statusz status = %v", doc.Status)
 	}
+	if doc.Jobs["running"] != float64(2) {
+		t.Errorf("/statusz jobs = %v", doc.Jobs)
+	}
 	if refreshed < 2 { // /metrics and /statusz each refresh
 		t.Errorf("refresh hook ran %d times, want >= 2", refreshed)
+	}
+
+	// Mounted routes share the plane with the standard endpoints.
+	body, _ = get("/v1/ping")
+	if body != "pong\n" {
+		t.Errorf("/v1/ping = %q", body)
 	}
 }
 

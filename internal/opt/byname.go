@@ -1,0 +1,35 @@
+package opt
+
+import (
+	"fmt"
+
+	"simcal/internal/core"
+)
+
+// AlgorithmNames lists the algorithm names ByName accepts, in the
+// paper's presentation order.
+var AlgorithmNames = []string{"GRID", "RAND", "GRAD", "BO-GP", "BO-RF", "BO-ET", "BO-GBRT"}
+
+// ByName constructs the algorithm a CLI flag or job request names. It
+// is the single name-to-algorithm mapping shared by cmd/simcal and the
+// calibration job server, so both accept exactly the same vocabulary.
+func ByName(name string) (core.Algorithm, error) {
+	switch name {
+	case "GRID":
+		return Grid{}, nil
+	case "RAND":
+		return Random{}, nil
+	case "GRAD":
+		return GradientDescent{}, nil
+	case "BO-GP":
+		return NewBOGP(), nil
+	case "BO-RF":
+		return NewBORF(), nil
+	case "BO-ET":
+		return NewBOET(), nil
+	case "BO-GBRT":
+		return NewBOGBRT(), nil
+	default:
+		return nil, fmt.Errorf("opt: unknown algorithm %q", name)
+	}
+}
