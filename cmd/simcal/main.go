@@ -50,7 +50,7 @@ import (
 func main() {
 	var (
 		study    = flag.String("case", "wf", "case study: wf (workflows) or mpi (message passing)")
-		algName  = flag.String("alg", "BO-GP", "algorithm: GRID, RAND, GRAD, BO-GP, BO-RF, BO-ET, BO-GBRT")
+		algName  = flag.String("alg", "BO-GP", "algorithm: "+opt.AlgorithmUsage())
 		lossName = flag.String("loss", "L1", "loss function (L1..L6 for wf, L1..L4 for mpi)")
 		evals    = flag.Int("evals", 100, "maximum loss evaluations")
 		budget   = flag.Duration("budget", 0, "optional wall-clock budget")
@@ -93,6 +93,9 @@ func main() {
 
 		chaosProfile = flag.String("chaos-profile", "", "inject seeded network faults on all dist connections, e.g. drop=0.05,delay=0.1:20ms,corrupt=0.01 (see internal/dist/chaos)")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the -chaos-profile fault schedule (same seed replays the same faults)")
+
+		asyncInflight = flag.Int("async-inflight", 0, "with -alg async-bo: cap concurrently running evaluations (default: the evaluation workers / fleet capacity)")
+		asyncReplay   = flag.String("async-replay", "", "with -alg async-bo: force the completion order recorded in this JSONL trace (its dist_async_completion events), reproducing the traced run bitwise")
 	)
 	flag.Parse()
 
@@ -171,6 +174,23 @@ func main() {
 	alg, err := opt.ByName(*algName)
 	if err != nil {
 		fatal(err)
+	}
+	if *asyncInflight > 0 || *asyncReplay != "" {
+		ab, ok := alg.(*opt.AsyncBayesOpt)
+		if !ok {
+			fatal(fmt.Errorf("-async-inflight and -async-replay require -alg async-bo, got %s", *algName))
+		}
+		ab.MaxInFlight = *asyncInflight
+		if *asyncReplay != "" {
+			if *jobs > 1 {
+				fatal(fmt.Errorf("-async-replay reproduces a single recorded run; it cannot be combined with -jobs %d", *jobs))
+			}
+			order, err := loadAsyncOrder(*asyncReplay)
+			if err != nil {
+				fatal(err)
+			}
+			ab.Replay = order
+		}
 	}
 	o := experiments.Default()
 	o.Seed = *seed
@@ -313,6 +333,28 @@ type distCfg struct {
 // or TCP behind a deterministic fault injector when -chaos-profile is
 // set. The second return is non-nil only in the chaos case, for
 // reporting injected-fault counts.
+// loadAsyncOrder extracts a recorded async completion order from a
+// JSONL trace's dist_async_completion events (see -async-replay).
+func loadAsyncOrder(path string) ([]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := obs.ReadTrace(f)
+	if err != nil {
+		return nil, err
+	}
+	order, err := obs.ReplayAsyncOrder(recs)
+	if err != nil {
+		return nil, err
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("trace %s contains no dist_async_completion events (was it an async-bo run with -trace?)", path)
+	}
+	return order, nil
+}
+
 func (d distCfg) transport() (dist.Transport, *chaos.Transport, error) {
 	tcp := dist.TCP{DialTimeout: d.dialTimeout}
 	if d.chaosProfile == "" {

@@ -47,6 +47,7 @@ import (
 	"simcal/internal/core"
 	"simcal/internal/dist"
 	"simcal/internal/obs"
+	"simcal/internal/opt"
 	"simcal/internal/service"
 	"simcal/internal/simspec"
 )
@@ -63,22 +64,25 @@ func main() {
 		ckptEvery   = flag.Int("checkpoint-every", 25, "evaluations between job checkpoint snapshots")
 		useCache    = flag.Bool("cache", true, "memoize loss evaluations across jobs (content-addressed by spec fingerprint)")
 
+		asyncInflight = flag.Int("async-inflight", 0, "async-bo jobs: max in-flight evaluations per job (0 = job worker count)")
+
 		leaseResend   = flag.Duration("lease-resend", 0, "with -listen: redeliver an unanswered lease after this long (0 = off)")
 		maxRequeues   = flag.Int("max-requeues", 0, "with -listen: quarantine a lease after this many requeues (0 = default 3)")
 		degradedGrace = flag.Duration("degraded-grace", 0, "with -listen: drain locally after the fleet has been empty this long (0 = default 30s)")
 	)
 	flag.Parse()
 	if err := run(daemonCfg{
-		httpAddr:    *httpAddr,
-		listen:      *listen,
-		distWorkers: *distWorkers,
-		maxRunning:  *maxRunning,
-		tenantQuota: *tenantQuota,
-		stateDir:    *stateDir,
-		ckptEvery:   *ckptEvery,
-		useCache:    *useCache,
-		leaseResend: *leaseResend,
-		maxRequeues: *maxRequeues, degradedGrace: *degradedGrace,
+		httpAddr:      *httpAddr,
+		listen:        *listen,
+		distWorkers:   *distWorkers,
+		maxRunning:    *maxRunning,
+		tenantQuota:   *tenantQuota,
+		stateDir:      *stateDir,
+		ckptEvery:     *ckptEvery,
+		useCache:      *useCache,
+		asyncInflight: *asyncInflight,
+		leaseResend:   *leaseResend,
+		maxRequeues:   *maxRequeues, degradedGrace: *degradedGrace,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "simcald:", err)
 		os.Exit(1)
@@ -94,6 +98,7 @@ type daemonCfg struct {
 	stateDir      string
 	ckptEvery     int
 	useCache      bool
+	asyncInflight int
 	leaseResend   time.Duration
 	maxRequeues   int
 	degradedGrace time.Duration
@@ -113,6 +118,15 @@ func run(cfg daemonCfg) error {
 		StateDir:        cfg.stateDir,
 		CheckpointEvery: cfg.ckptEvery,
 		Registry:        reg,
+	}
+	if cfg.asyncInflight > 0 {
+		svcCfg.Algorithm = func(name string) (core.Algorithm, error) {
+			alg, err := opt.ByName(name)
+			if ab, ok := alg.(*opt.AsyncBayesOpt); ok {
+				ab.MaxInFlight = cfg.asyncInflight
+			}
+			return alg, err
+		}
 	}
 	if cfg.useCache {
 		svcCfg.Cache = cache.New(reg)

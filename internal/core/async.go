@@ -1,0 +1,397 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Completion-driven evaluation for asynchronous algorithms: instead of
+// proposing a batch and joining on a barrier, an algorithm submits one
+// candidate whenever capacity frees up and consumes completions in
+// whatever order the fleet produces them. History order therefore
+// depends on completion timing — so every consumption is tagged with
+// the submission's sequence number, and the consumed order is itself
+// part of the checkpoint. Given the same seed and the same recorded
+// completion order, a replayed run is bitwise-identical to the
+// original: proposals are a deterministic function of (seed, history
+// in consumption order), and forcing consumption order forces history
+// order.
+
+// AsyncSimulator is optionally implemented by simulators that can
+// deliver completions through a callback instead of blocking a
+// goroutine per in-flight evaluation — the distributed plane's
+// RemoteEvaluator resolves leases this way. The done callback must be
+// invoked exactly once and must be cheap and non-blocking: it runs on
+// the simulator's delivery goroutine. AsyncRun uses this path only for
+// plain evaluations (no cache, no resilience executor attached);
+// otherwise it falls back to one goroutine per in-flight submission so
+// cache and retry semantics stay byte-for-byte those of the batch path.
+type AsyncSimulator interface {
+	Simulator
+	RunAsync(ctx context.Context, p Point, done func(loss float64, err error))
+}
+
+// AsyncCompletion is one finished asynchronous evaluation as consumed
+// by the algorithm. Seq is the submission sequence number Submit
+// returned; Sample is the recorded evaluation.
+type AsyncCompletion struct {
+	Seq      int
+	Sample   Sample
+	CacheHit bool
+}
+
+// AsyncPending identifies an evaluation that was submitted but not yet
+// consumed at checkpoint time. On resume the deterministic algorithm
+// re-proposes it (same seq, same unit — verified bitwise) and it is
+// evaluated for real.
+type AsyncPending struct {
+	Seq  int
+	Unit []float64
+}
+
+// asyncEval tracks one submission from Submit to consumption.
+type asyncEval struct {
+	seq  int
+	unit []float64
+
+	// Set by finish, read after the arrival is consumed.
+	done    bool
+	sample  Sample
+	hit     bool
+	wait    time.Duration
+	dur     time.Duration
+	replErr error
+}
+
+// AsyncRun is the completion-driven counterpart of Problem.Evaluate,
+// obtained from Problem.Async. Submit and Next/NextSeq are intended to
+// be called from the algorithm's single driver goroutine; completions
+// arrive from simulator goroutines and are buffered until consumed.
+// An evaluation joins history (and advances the budget's completed
+// count) at consumption time, so history order always equals
+// consumption order — the property replay relies on.
+type AsyncRun struct {
+	p      *Problem
+	notify chan struct{}
+
+	// replayBySeq maps a submission seq to its index in p.replay for
+	// resumed runs; replayInflight holds checkpointed in-flight units
+	// for bitwise re-proposal verification.
+	replayBySeq    map[int]int
+	replayInflight map[int][]float64
+
+	mu        sync.Mutex
+	pending   map[int]*asyncEval // submitted, not yet consumed
+	arrivals  []int              // finished seqs in raw arrival order, unconsumed
+	order     []int              // consumed seqs in consumption order
+	nextSeq   int
+	inflight  int // submitted, not yet finished
+	submitted int // live submissions counted against the budget
+}
+
+// Async returns the run's asynchronous evaluation interface, creating
+// it on first call. It fails when a resumed checkpoint carries samples
+// but no completion order — such a snapshot came from a batch
+// algorithm and cannot be replayed asynchronously.
+func (p *Problem) Async() (*AsyncRun, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.async != nil {
+		return p.async, nil
+	}
+	if len(p.replay) > 0 && len(p.replayOrder) != len(p.replay) {
+		return nil, fmt.Errorf(
+			"core: resume checkpoint stores %d samples but %d completion-order entries; cannot replay it asynchronously",
+			len(p.replay), len(p.replayOrder))
+	}
+	a := &AsyncRun{
+		p:       p,
+		notify:  make(chan struct{}, 1),
+		pending: make(map[int]*asyncEval),
+	}
+	if len(p.replayOrder) > 0 {
+		a.replayBySeq = make(map[int]int, len(p.replayOrder))
+		for i, seq := range p.replayOrder {
+			a.replayBySeq[seq] = i
+		}
+	}
+	if len(p.replayInflight) > 0 {
+		a.replayInflight = make(map[int][]float64, len(p.replayInflight))
+		for _, rec := range p.replayInflight {
+			a.replayInflight[rec.Seq] = rec.Unit
+		}
+	}
+	p.async = a
+	return a, nil
+}
+
+// Workers returns the configured loss-evaluation parallelism —
+// asynchronous algorithms size their in-flight window to it.
+func (p *Problem) Workers() int { return p.workers }
+
+// ReplayOrder returns the completion order recorded in the resume
+// checkpoint (submission sequence numbers in consumption order), or
+// nil for a fresh run. Asynchronous algorithms must force-consume
+// completions in this order until it is exhausted to reproduce the
+// original run bitwise.
+func (p *Problem) ReplayOrder() []int {
+	return append([]int(nil), p.replayOrder...)
+}
+
+// wake makes any blocked Next/NextSeq re-examine state. The channel is
+// buffered and the send non-blocking: a single pending token is enough
+// because waiters re-check everything under the lock on every wake.
+func (a *AsyncRun) wake() {
+	select {
+	case a.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Submit starts one asynchronous evaluation of the given unit-cube
+// position and returns its sequence number. It returns
+// ErrBudgetExhausted when the evaluation budget (count or deadline) has
+// no room for another submission — in-flight and finished-but-unconsumed
+// evaluations count against the budget, so an async algorithm can keep
+// the fleet saturated right up to the final evaluation. Submit never
+// blocks on the simulator.
+func (a *AsyncRun) Submit(ctx context.Context, unit []float64) (int, error) {
+	p := a.p
+	if err := ctx.Err(); err != nil {
+		return 0, ErrBudgetExhausted
+	}
+	p.mu.Lock()
+	recorded := p.evals
+	p.mu.Unlock()
+	a.mu.Lock()
+	if p.maxEvals > 0 && recorded+a.submitted >= p.maxEvals {
+		a.mu.Unlock()
+		return 0, ErrBudgetExhausted
+	}
+	seq := a.nextSeq
+	a.nextSeq++
+	a.submitted++
+	u := append([]float64(nil), unit...)
+	pe := &asyncEval{seq: seq, unit: u}
+	a.pending[seq] = pe
+	if idx, ok := a.replayBySeq[seq]; ok {
+		// Resume replay: serve the checkpointed sample without touching
+		// the simulator, exactly like the batch path; a diverging unit
+		// means the checkpoint belongs to a different configuration.
+		r := p.replay[idx]
+		pe.done = true
+		if !unitsEqual(r.Unit, u) {
+			pe.replErr = fmt.Errorf(
+				"core: checkpoint diverged at async submission %d: stored unit %v, algorithm proposed %v",
+				seq, r.Unit, u)
+		} else {
+			pe.sample = Sample{
+				Unit:    append([]float64(nil), r.Unit...),
+				Point:   r.Point.Clone(),
+				Loss:    r.Loss,
+				Elapsed: r.Elapsed,
+			}
+		}
+		a.arrivals = append(a.arrivals, seq)
+		a.mu.Unlock()
+		if p.obs != nil {
+			p.obs.BatchProposed(1)
+		}
+		a.wake()
+		return seq, nil
+	}
+	if want, ok := a.replayInflight[seq]; ok && !unitsEqual(want, u) {
+		pe.done = true
+		pe.replErr = fmt.Errorf(
+			"core: checkpoint diverged at in-flight submission %d: stored unit %v, algorithm proposed %v",
+			seq, want, u)
+		a.arrivals = append(a.arrivals, seq)
+		a.mu.Unlock()
+		a.wake()
+		return seq, nil
+	}
+	a.inflight++
+	a.mu.Unlock()
+	if p.obs != nil {
+		p.obs.BatchProposed(1)
+	}
+	submitAt := p.clock()
+	pt := p.Space.Decode(u)
+	settle := func(loss float64, hit bool, err error) {
+		aborted := err != nil && ctx.Err() != nil
+		if err != nil || math.IsNaN(loss) || math.IsInf(loss, -1) {
+			// Same normalization as the batch path: failures, NaN and
+			// -Inf all become +Inf so they lose incumbent comparisons.
+			loss = math.Inf(1)
+		}
+		now := p.clock()
+		s := Sample{Unit: append([]float64(nil), u...), Point: pt, Loss: loss, Elapsed: now.Sub(p.start)}
+		a.finish(pe, s, hit, now.Sub(submitAt), aborted)
+	}
+	if as, ok := p.sim.(AsyncSimulator); ok && p.cache == nil && p.exec == nil {
+		// Callback delivery: no goroutine parked per in-flight lease.
+		as.RunAsync(ctx, pt, func(loss float64, err error) {
+			settle(loss, false, err)
+		})
+		return seq, nil
+	}
+	go func() {
+		loss, hit, err := p.runSim(ctx, u, pt)
+		settle(loss, hit, err)
+	}()
+	return seq, nil
+}
+
+// finish records a raw completion. Aborted evaluations (budget expiry
+// mid-run, mirroring the batch path's phantom-sample rule) release
+// their budget slot and are never surfaced to the algorithm.
+func (a *AsyncRun) finish(pe *asyncEval, s Sample, hit bool, dur time.Duration, aborted bool) {
+	a.mu.Lock()
+	a.inflight--
+	if aborted {
+		a.submitted--
+		delete(a.pending, pe.seq)
+	} else {
+		pe.done = true
+		pe.sample = s
+		pe.hit = hit
+		pe.dur = dur
+		a.arrivals = append(a.arrivals, pe.seq)
+	}
+	a.mu.Unlock()
+	a.wake()
+}
+
+// InFlight returns the number of submissions not yet consumed
+// (running or buffered awaiting Next).
+func (a *AsyncRun) InFlight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.pending)
+}
+
+// Order returns the consumed completion order so far: each consumed
+// evaluation's submission sequence number, index-aligned with history.
+func (a *AsyncRun) Order() []int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]int(nil), a.order...)
+}
+
+// Next blocks until any submitted evaluation finishes, consumes it
+// (appending it to history and advancing the evaluation count), and
+// returns it. Buffered completions are consumed in arrival order. It
+// returns ErrBudgetExhausted when nothing is in flight and nothing is
+// buffered — the budget-gated Submit refused a refill, so no further
+// completion can ever arrive.
+func (a *AsyncRun) Next(ctx context.Context) (AsyncCompletion, error) {
+	for {
+		a.mu.Lock()
+		if len(a.arrivals) > 0 {
+			seq := a.arrivals[0]
+			a.arrivals = a.arrivals[1:]
+			pe := a.pending[seq]
+			delete(a.pending, seq)
+			a.mu.Unlock()
+			return a.consume(pe)
+		}
+		inflight := a.inflight
+		a.mu.Unlock()
+		if inflight == 0 {
+			return AsyncCompletion{}, ErrBudgetExhausted
+		}
+		// In-flight work always settles (finish or abort), so this wait
+		// terminates for the same reason the batch path's wg.Wait does.
+		<-a.notify
+	}
+}
+
+// NextSeq blocks until the submission with the given sequence number
+// finishes, consumes it, and returns it — the replay counterpart of
+// Next. Out-of-order finishes stay buffered until their turn. A seq
+// that was never submitted, or was already consumed, is a corrupt
+// replay order and fails loudly (unless the budget context expired, in
+// which case the aborted evaluation simply ends the run).
+func (a *AsyncRun) NextSeq(ctx context.Context, seq int) (AsyncCompletion, error) {
+	for {
+		a.mu.Lock()
+		pe, ok := a.pending[seq]
+		if !ok {
+			next := a.nextSeq
+			a.mu.Unlock()
+			if ctx.Err() != nil {
+				return AsyncCompletion{}, ErrBudgetExhausted
+			}
+			if seq < 0 || seq >= next {
+				return AsyncCompletion{}, fmt.Errorf(
+					"core: replay order references submission %d, which was never submitted", seq)
+			}
+			return AsyncCompletion{}, fmt.Errorf(
+				"core: replay order references submission %d twice", seq)
+		}
+		if pe.done {
+			for i, s := range a.arrivals {
+				if s == seq {
+					a.arrivals = append(a.arrivals[:i], a.arrivals[i+1:]...)
+					break
+				}
+			}
+			delete(a.pending, seq)
+			a.mu.Unlock()
+			return a.consume(pe)
+		}
+		a.mu.Unlock()
+		<-a.notify
+	}
+}
+
+// consume records one finished evaluation into history and fires the
+// same observer sequence as the batch path (EvalCompleted, CacheHit,
+// IncumbentImproved), then gives the checkpointer its boundary.
+// Consumption happens on the algorithm's driver goroutine, so order
+// and history stay index-aligned at every checkpoint.
+func (a *AsyncRun) consume(pe *asyncEval) (AsyncCompletion, error) {
+	if pe.replErr != nil {
+		return AsyncCompletion{}, pe.replErr
+	}
+	p := a.p
+	improved := p.record([]Sample{pe.sample})
+	a.mu.Lock()
+	a.submitted--
+	a.order = append(a.order, pe.seq)
+	a.mu.Unlock()
+	if p.obs != nil {
+		p.obs.EvalCompleted(pe.sample, pe.wait, pe.dur)
+		if pe.hit {
+			if co, ok := p.obs.(CacheObserver); ok {
+				co.CacheHit(pe.sample)
+			}
+		}
+		if improved[0] {
+			p.obs.IncumbentImproved(pe.sample)
+		}
+	}
+	p.maybeCheckpoint()
+	c := AsyncCompletion{Seq: pe.seq, CacheHit: pe.hit, Sample: pe.sample}
+	c.Sample.Unit = append([]float64(nil), pe.sample.Unit...)
+	c.Sample.Point = pe.sample.Point.Clone()
+	return c, nil
+}
+
+// snapshot returns checkpoint state: the consumed order and the
+// submitted-but-unconsumed evaluations (sorted by seq, so snapshots of
+// identical states are byte-identical).
+func (a *AsyncRun) snapshot() (order []int, inflight []AsyncPending) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	order = append([]int(nil), a.order...)
+	for seq, pe := range a.pending {
+		inflight = append(inflight, AsyncPending{Seq: seq, Unit: append([]float64(nil), pe.unit...)})
+	}
+	sort.Slice(inflight, func(i, j int) bool { return inflight[i].Seq < inflight[j].Seq })
+	return order, inflight
+}

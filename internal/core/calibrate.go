@@ -62,18 +62,21 @@ type Problem struct {
 	Space Space
 	RNG   *stats.RNG
 
-	sim      Simulator
-	workers  int
-	maxEvals int
-	start    time.Time
-	obs      Observer
-	fobs     FaultObserver
-	cache    *cache.Cache
-	cacheKey string
-	now      func() time.Time
-	exec     *resilience.Executor
-	replay   []Sample
-	ckpt     *checkpointer
+	sim            Simulator
+	workers        int
+	maxEvals       int
+	start          time.Time
+	obs            Observer
+	fobs           FaultObserver
+	cache          *cache.Cache
+	cacheKey       string
+	now            func() time.Time
+	exec           *resilience.Executor
+	replay         []Sample
+	replayOrder    []int
+	replayInflight []AsyncPending
+	ckpt           *checkpointer
+	async          *AsyncRun
 
 	mu      sync.Mutex
 	history []Sample
@@ -317,8 +320,17 @@ func (p *Problem) maybeCheckpoint() {
 		return
 	}
 	history := append([]Sample(nil), p.history...)
+	async := p.async
 	p.mu.Unlock()
-	p.ckpt.write(evals, p.clock().Sub(p.start), history)
+	var order []int
+	var inflight []AsyncPending
+	if async != nil {
+		// Consumption happens on the algorithm's driver goroutine — the
+		// same goroutine that triggers this snapshot — so the order is
+		// index-aligned with the history copied above.
+		order, inflight = async.snapshot()
+	}
+	p.ckpt.write(evals, p.clock().Sub(p.start), history, order, inflight)
 }
 
 // simRun invokes the simulator once under panic isolation: a panicking
@@ -613,6 +625,8 @@ func (c *Calibrator) Run(ctx context.Context) (*Result, error) {
 	}
 	if c.Resume != nil {
 		prob.replay = c.Resume.Samples
+		prob.replayOrder = c.Resume.Order
+		prob.replayInflight = c.Resume.InFlight
 		// Continue the elapsed axis where the snapshot left off: new
 		// samples stamp Elapsed = (now - start) = snapshot offset + time
 		// since resume.
@@ -699,6 +713,10 @@ func (c *Calibrator) validateResume(names []string) error {
 	if r.Evaluations != len(r.Samples) {
 		return fmt.Errorf("core: resume checkpoint evaluation count %d != %d stored samples",
 			r.Evaluations, len(r.Samples))
+	}
+	if len(r.Order) > 0 && len(r.Order) != len(r.Samples) {
+		return fmt.Errorf("core: resume checkpoint completion order has %d entries for %d samples",
+			len(r.Order), len(r.Samples))
 	}
 	return nil
 }

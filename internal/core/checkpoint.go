@@ -45,6 +45,16 @@ type Checkpoint struct {
 	Elapsed time.Duration
 	// Samples is the evaluation history in completion order.
 	Samples []Sample
+	// Order, present for asynchronous runs, gives each sample's
+	// submission sequence number, index-aligned with Samples. Resumed
+	// async runs force-consume completions in this order, which is what
+	// makes their replay bitwise-identical. Batch runs leave it empty.
+	Order []int
+	// InFlight, present for asynchronous runs, lists evaluations that
+	// were submitted but not yet consumed at snapshot time. On resume
+	// the algorithm re-proposes them deterministically (verified
+	// bitwise against these records) and they are evaluated for real.
+	InFlight []AsyncPending
 }
 
 // CheckpointSpec configures periodic checkpointing on a Calibrator.
@@ -112,13 +122,20 @@ func (v *lossValue) UnmarshalJSON(b []byte) error {
 }
 
 type checkpointDoc struct {
-	Kind        string          `json:"kind"` // "simcal-calibration-checkpoint"
-	Algorithm   string          `json:"algorithm"`
-	Seed        int64           `json:"seed"`
-	Space       []string        `json:"space"`
-	Evaluations int             `json:"evaluations"`
-	ElapsedNS   int64           `json:"elapsedNanos"`
-	Samples     []ckptSampleDoc `json:"samples"`
+	Kind        string            `json:"kind"` // "simcal-calibration-checkpoint"
+	Algorithm   string            `json:"algorithm"`
+	Seed        int64             `json:"seed"`
+	Space       []string          `json:"space"`
+	Evaluations int               `json:"evaluations"`
+	ElapsedNS   int64             `json:"elapsedNanos"`
+	Samples     []ckptSampleDoc   `json:"samples"`
+	Order       []int             `json:"order,omitempty"`
+	InFlight    []ckptInflightDoc `json:"inflight,omitempty"`
+}
+
+type ckptInflightDoc struct {
+	Seq  int       `json:"seq"`
+	Unit []float64 `json:"unit"`
 }
 
 type ckptSampleDoc struct {
@@ -150,6 +167,10 @@ func (c *Checkpoint) WriteJSON(w io.Writer) error {
 			Loss:      lossValue(s.Loss),
 			ElapsedNS: int64(s.Elapsed),
 		})
+	}
+	doc.Order = c.Order
+	for _, rec := range c.InFlight {
+		doc.InFlight = append(doc.InFlight, ckptInflightDoc{Seq: rec.Seq, Unit: rec.Unit})
 	}
 	return json.NewEncoder(w).Encode(doc)
 }
@@ -240,6 +261,47 @@ func ReadCheckpoint(in io.Reader) (*Checkpoint, error) {
 			Elapsed: time.Duration(s.ElapsedNS),
 		})
 	}
+	// Async state: a completion order must cover the samples exactly
+	// (it is index-aligned with them), every sequence number appears at
+	// most once across order and in-flight records, and in-flight units
+	// must be well-formed — resume would feed them straight back into
+	// the bitwise replay verifier.
+	seen := make(map[int]bool, len(doc.Order)+len(doc.InFlight))
+	if len(doc.Order) > 0 {
+		if len(doc.Order) != len(doc.Samples) {
+			return nil, fmt.Errorf("core: checkpoint completion order has %d entries for %d samples",
+				len(doc.Order), len(doc.Samples))
+		}
+		for _, seq := range doc.Order {
+			if seq < 0 {
+				return nil, fmt.Errorf("core: checkpoint completion order has negative sequence %d", seq)
+			}
+			if seen[seq] {
+				return nil, fmt.Errorf("core: checkpoint completion order repeats sequence %d", seq)
+			}
+			seen[seq] = true
+		}
+		ck.Order = doc.Order
+	}
+	for i, rec := range doc.InFlight {
+		if rec.Seq < 0 {
+			return nil, fmt.Errorf("core: checkpoint in-flight record %d has negative sequence %d", i, rec.Seq)
+		}
+		if seen[rec.Seq] {
+			return nil, fmt.Errorf("core: checkpoint in-flight record %d repeats sequence %d", i, rec.Seq)
+		}
+		seen[rec.Seq] = true
+		if len(rec.Unit) != len(doc.Space) {
+			return nil, fmt.Errorf("core: checkpoint in-flight record %d has %d unit coordinates for a %d-dimensional space",
+				i, len(rec.Unit), len(doc.Space))
+		}
+		for _, u := range rec.Unit {
+			if math.IsNaN(u) || math.IsInf(u, 0) {
+				return nil, fmt.Errorf("core: checkpoint in-flight record %d has a non-finite unit coordinate", i)
+			}
+		}
+		ck.InFlight = append(ck.InFlight, AsyncPending{Seq: rec.Seq, Unit: rec.Unit})
+	}
 	return ck, nil
 }
 
@@ -271,7 +333,7 @@ type checkpointer struct {
 // calibration continues (and keeps retrying on later boundaries), the
 // failure is only reported through the observer — losing a snapshot
 // must never kill the run it exists to protect.
-func (ck *checkpointer) write(evals int, elapsed time.Duration, history []Sample) {
+func (ck *checkpointer) write(evals int, elapsed time.Duration, history []Sample, order []int, inflight []AsyncPending) {
 	snap := &Checkpoint{
 		Algorithm:   ck.algorithm,
 		Seed:        ck.seed,
@@ -279,6 +341,8 @@ func (ck *checkpointer) write(evals int, elapsed time.Duration, history []Sample
 		Evaluations: evals,
 		Elapsed:     elapsed,
 		Samples:     history,
+		Order:       order,
+		InFlight:    inflight,
 	}
 	if err := snap.WriteFile(ck.path); err != nil {
 		if ck.fobs != nil {

@@ -115,3 +115,105 @@ func FuzzReadCheckpoint(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadCheckpointAsync targets the async extension of the
+// checkpoint format: completion-order and in-flight records. Torn
+// tails and mutated async fields must never panic, and any accepted
+// document's order/in-flight state must round-trip bitwise — a replay
+// order that shifted on re-read would force the wrong consumption
+// order on a resumed run.
+func FuzzReadCheckpointAsync(f *testing.F) {
+	var buf bytes.Buffer
+	ck := &Checkpoint{
+		Algorithm:   "async-bo",
+		Seed:        7,
+		Space:       []string{"x", "y"},
+		Evaluations: 3,
+		Elapsed:     time.Second,
+		Samples: []Sample{
+			{Unit: []float64{0.25, 0.75}, Point: Point{"x": 2.5, "y": 7.5}, Loss: 1.25, Elapsed: time.Millisecond},
+			{Unit: []float64{0.5, 0.5}, Point: Point{"x": 5, "y": 5}, Loss: math.Inf(1), Elapsed: 2 * time.Millisecond},
+			{Unit: []float64{0.125, 0.625}, Point: Point{"x": 1.25, "y": 6.25}, Loss: 0.5, Elapsed: 3 * time.Millisecond},
+		},
+		Order: []int{1, 0, 3},
+		InFlight: []AsyncPending{
+			{Seq: 2, Unit: []float64{0.0625, 0.9375}},
+			{Seq: 4, Unit: []float64{1.0 / 3.0, 2.0 / 3.0}},
+		},
+	}
+	if err := ck.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	// Torn tails: a crash mid-write can truncate anywhere, including
+	// inside the async records near the end of the document.
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-2])
+	f.Add(bytes.TrimRight(valid, "}\n"))
+	// Mutated async fields.
+	f.Add(bytes.Replace(valid, []byte(`"order":[1,0,3]`), []byte(`"order":[1,1,3]`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"order":[1,0,3]`), []byte(`"order":[-1,0,3]`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"order":[1,0,3]`), []byte(`"order":[1,0]`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"seq":2`), []byte(`"seq":1`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"seq":2`), []byte(`"seq":-2`), 1))
+	f.Add(bytes.Replace(valid, []byte(`[0.0625,0.9375]`), []byte(`[0.0625]`), 1))
+	f.Add([]byte(`{"kind":"simcal-calibration-checkpoint","algorithm":"A","space":["x"],"evaluations":0,"samples":[],"inflight":[{"seq":0,"unit":[0.5]}]}`))
+	f.Add([]byte(`{"kind":"simcal-calibration-checkpoint","algorithm":"A","space":["x"],"evaluations":0,"samples":[],"order":[0]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := ReadCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(ck.Order) > 0 && len(ck.Order) != len(ck.Samples) {
+			t.Fatalf("accepted checkpoint with %d order entries for %d samples", len(ck.Order), len(ck.Samples))
+		}
+		seen := make(map[int]bool, len(ck.Order)+len(ck.InFlight))
+		for _, seq := range ck.Order {
+			if seq < 0 || seen[seq] {
+				t.Fatalf("accepted checkpoint with invalid or repeated order seq %d", seq)
+			}
+			seen[seq] = true
+		}
+		for _, rec := range ck.InFlight {
+			if rec.Seq < 0 || seen[rec.Seq] {
+				t.Fatalf("accepted checkpoint with invalid or repeated in-flight seq %d", rec.Seq)
+			}
+			seen[rec.Seq] = true
+			if len(rec.Unit) != len(ck.Space) {
+				t.Fatalf("accepted in-flight record with %d unit coordinates for a %d-dimensional space", len(rec.Unit), len(ck.Space))
+			}
+			for _, u := range rec.Unit {
+				if math.IsNaN(u) || math.IsInf(u, 0) {
+					t.Fatal("accepted in-flight record with a non-finite unit coordinate")
+				}
+			}
+		}
+		var out bytes.Buffer
+		if err := ck.WriteJSON(&out); err != nil {
+			t.Fatalf("accepted checkpoint does not re-serialize: %v", err)
+		}
+		again, err := ReadCheckpoint(&out)
+		if err != nil {
+			t.Fatalf("round-trip rejected: %v", err)
+		}
+		if len(again.Order) != len(ck.Order) || len(again.InFlight) != len(ck.InFlight) {
+			t.Fatal("round-trip changed the async record counts")
+		}
+		for i := range ck.Order {
+			if again.Order[i] != ck.Order[i] {
+				t.Fatalf("order[%d] not stable: %d != %d", i, ck.Order[i], again.Order[i])
+			}
+		}
+		for i := range ck.InFlight {
+			if again.InFlight[i].Seq != ck.InFlight[i].Seq {
+				t.Fatalf("inflight[%d].Seq not stable", i)
+			}
+			for j := range ck.InFlight[i].Unit {
+				if math.Float64bits(again.InFlight[i].Unit[j]) != math.Float64bits(ck.InFlight[i].Unit[j]) {
+					t.Fatalf("inflight[%d].Unit[%d] not bitwise stable", i, j)
+				}
+			}
+		}
+	})
+}

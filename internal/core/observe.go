@@ -100,6 +100,27 @@ type SurrogateDetailObserver interface {
 	SurrogateFitDetail(d SurrogateDetail)
 }
 
+// AsyncObserver is an optional extension of Observer for asynchronous
+// algorithms (see opt.AsyncBayesOpt). AsyncProposed fires once per
+// async submission; AsyncCompletionConsumed fires when the driver
+// absorbs one completion into history. Both run on the algorithm's
+// driver goroutine. Timing arguments are wall-clock measurements and
+// deliberately excluded from the determinism contract: replayed runs
+// report different idle times but identical seq/index streams.
+type AsyncObserver interface {
+	// AsyncProposed fires after one async candidate is submitted: seq
+	// is its submission sequence number, fantasies the number of
+	// in-flight constant-liar rows the proposing fit conditioned on (0
+	// for random-phase proposals), and idle how long the freed worker
+	// slot waited for this refill.
+	AsyncProposed(seq, fantasies int, idle time.Duration)
+	// AsyncCompletionConsumed fires when the driver consumes one
+	// completion: index is its position in consumption order (aligned
+	// with history), and retracted reports whether a fantasy row
+	// imputed for this evaluation was retracted from the surrogate.
+	AsyncCompletionConsumed(seq, index int, loss float64, retracted bool)
+}
+
 // FaultObserver is an optional extension of Observer for the
 // fault-tolerance runtime. When the Calibrator's Observer also
 // implements it, recovery events — panics converted to errors, retried
@@ -148,6 +169,10 @@ type obsObserver struct {
 	prefixRows  *obs.Counter
 	cholRetries *obs.Counter
 	bufAllocs   *obs.Counter
+	asyncProps  *obs.Counter
+	fantasyRows *obs.Counter
+	retractions *obs.Counter
+	asyncIdleNS *obs.Counter
 	panics      *obs.Counter
 	retries     *obs.Counter
 	timeouts    *obs.Counter
@@ -182,6 +207,10 @@ func NewObsObserver(reg *obs.Registry, tracer *obs.Tracer) Observer {
 		o.prefixRows = reg.Counter("opt.surrogate_prefix_rows_reused")
 		o.cholRetries = reg.Counter("opt.surrogate_chol_retries")
 		o.bufAllocs = reg.Counter("opt.surrogate_buffer_allocs")
+		o.asyncProps = reg.Counter("opt.async_proposals")
+		o.fantasyRows = reg.Counter("opt.async_fantasy_rows")
+		o.retractions = reg.Counter("opt.async_retractions")
+		o.asyncIdleNS = reg.Counter("opt.async_worker_idle_ns")
 		o.panics = reg.Counter("eval_panics_recovered")
 		o.retries = reg.Counter("eval_retries")
 		o.timeouts = reg.Counter("eval_timeouts")
@@ -310,6 +339,28 @@ func (o *obsObserver) AcquisitionSolved(candidates int, predict, dur time.Durati
 		"candidates": candidates,
 		"predict_ns": int64(predict),
 		"dur_ns":     int64(dur),
+	})
+}
+
+// AsyncProposed implements AsyncObserver.
+func (o *obsObserver) AsyncProposed(seq, fantasies int, idle time.Duration) {
+	if o.asyncProps != nil {
+		o.asyncProps.Inc()
+		o.fantasyRows.Add(int64(fantasies))
+		o.asyncIdleNS.Add(int64(idle))
+	}
+}
+
+// AsyncCompletionConsumed implements AsyncObserver.
+func (o *obsObserver) AsyncCompletionConsumed(seq, index int, loss float64, retracted bool) {
+	if o.retractions != nil && retracted {
+		o.retractions.Inc()
+	}
+	o.tracer.Emit(obs.EventDistAsyncCompletion, obs.Fields{
+		"seq":       seq,
+		"index":     index,
+		"loss":      loss,
+		"retracted": retracted,
 	})
 }
 

@@ -1,0 +1,100 @@
+package dist
+
+import (
+	"context"
+	"sync"
+
+	"simcal/internal/core"
+)
+
+// Per-lease completion callbacks: the asynchronous optimizer keeps the
+// fleet saturated by refilling capacity the moment any lease resolves,
+// so it needs completion delivery without a goroutine parked per
+// in-flight evaluation. RunAsync registers a callback on the lease
+// itself; every resolution path (worker result, quarantine, local
+// fallback, job cancel, coordinator close, context expiry) funnels
+// through lease.deliver, which invokes the callback exactly once.
+
+// asyncWatch coordinates a RunAsync lease's context watcher with its
+// delivery: whichever side runs first wins, and the loser's cleanup
+// (stopping the watcher / skipping registration) is handled here.
+type asyncWatch struct {
+	mu      sync.Mutex
+	stop    func() bool // cancels the context.AfterFunc; nil until registered
+	settled bool
+}
+
+// RunAsync enqueues one lease and returns immediately; done is invoked
+// exactly once with the lease's outcome — a worker's loss, a
+// quarantine or cancel error, ErrCoordinatorClosed, or ctx.Err() when
+// the context expires first. done runs on a coordinator delivery
+// goroutine and must be cheap and non-blocking (core.AsyncRun's
+// completion handler qualifies). This is the completion-driven
+// counterpart of Run: same lease machinery, same requeue-on-death and
+// chaos hardening, no goroutine parked per in-flight evaluation.
+func (e *RemoteEvaluator) RunAsync(ctx context.Context, p core.Point, done func(loss float64, err error)) {
+	c := e.c
+	pt := make(map[string]WireFloat, len(p))
+	for k, v := range p {
+		pt[k] = WireFloat(v)
+	}
+	l := &lease{
+		id:         c.nextLease.Add(1),
+		index:      e.next.Add(1) - 1,
+		job:        e.job,
+		spec:       e.spec,
+		point:      pt,
+		attempt:    -1, // first dispatch is attempt 0
+		enqueuedNS: c.clock.Now().UnixNano(),
+	}
+	w := &asyncWatch{}
+	l.cb = func(out leaseOutcome) {
+		w.mu.Lock()
+		w.settled = true
+		stop := w.stop
+		w.mu.Unlock()
+		if stop != nil {
+			stop()
+		}
+		done(out.loss, out.err)
+	}
+	if err := ctx.Err(); err != nil {
+		l.deliver(leaseOutcome{err: err})
+		return
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		l.deliver(leaseOutcome{err: ErrCoordinatorClosed})
+		return
+	}
+	c.queue = append(c.queue, l)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	select {
+	case c.queueKick <- struct{}{}:
+	default:
+	}
+	// Watch for context expiry without a parked goroutine. Registered
+	// after enqueue: a cancellation in the tiny unwatched window is
+	// caught by AfterFunc firing immediately on registration. The
+	// watcher marks the lease canceled (so dispatchers skip it and
+	// worker deaths don't requeue it — mirroring Run's ctx branch)
+	// before delivering ctx.Err(); a real result racing the expiry
+	// loses at deliver's once-guard, exactly like Run's select.
+	stop := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		l.canceled = true
+		c.mu.Unlock()
+		l.deliver(leaseOutcome{err: ctx.Err()})
+	})
+	w.mu.Lock()
+	if w.settled {
+		// Delivery won before the watcher existed; release it now.
+		w.mu.Unlock()
+		stop()
+		return
+	}
+	w.stop = stop
+	w.mu.Unlock()
+}

@@ -129,13 +129,34 @@ type lease struct {
 	job      string // owning job ID; empty outside multi-job servers
 	spec     json.RawMessage
 	point    map[string]WireFloat
-	done     chan leaseOutcome // buffered 1: resolution never blocks
-	canceled bool              // guarded by Coordinator.mu
-	requeues int               // guarded by Coordinator.mu
-	attempt  int               // guarded by Coordinator.mu; -1 until first dispatch
+	done     chan leaseOutcome  // buffered 1: resolution never blocks
+	cb       func(leaseOutcome) // completion callback; nil for blocking Run leases
+	once     sync.Once          // deliver resolves a lease exactly once
+	canceled bool               // guarded by Coordinator.mu
+	requeues int                // guarded by Coordinator.mu
+	attempt  int                // guarded by Coordinator.mu; -1 until first dispatch
 
 	enqueuedNS int64 // guarded by Coordinator.mu; reset on requeue
 	sentNS     int64 // guarded by Coordinator.mu; stamped at dispatch
+}
+
+// deliver resolves the lease toward its waiter — the buffered channel a
+// blocking Run call drains, or the completion callback a RunAsync call
+// registered. Exactly one delivery wins; late results (a redelivery
+// racing the original answer, a cancel racing a resolve) are dropped
+// here instead of each call site reasoning about double sends. Must be
+// called without Coordinator.mu held: callbacks run inline.
+func (l *lease) deliver(out leaseOutcome) {
+	l.once.Do(func() {
+		if l.cb != nil {
+			l.cb(out)
+			return
+		}
+		select {
+		case l.done <- out:
+		default:
+		}
+	})
 }
 
 // remoteWorker is the coordinator's view of one connected worker.
@@ -537,7 +558,7 @@ func (c *Coordinator) resolve(w *remoteWorker, res *ResultMsg) {
 		}
 		out.err = err
 	}
-	l.done <- out
+	l.deliver(out)
 }
 
 // heartbeatLoop pings w every HeartbeatEvery and declares it dead after
@@ -715,11 +736,14 @@ func (c *Coordinator) workerDead(w *remoteWorker, cause error) {
 		c.fleetEmptySince = c.clock.Now() // the degraded-grace window opens
 	}
 	requeued := 0
-	var quarantined []*lease
+	var quarantined, abandoned []*lease
 	requeueNS := c.clock.Now().UnixNano()
 	for id, l := range w.inflight {
 		delete(w.inflight, id)
 		if c.closed || l.canceled {
+			if c.closed {
+				abandoned = append(abandoned, l)
+			}
 			continue
 		}
 		l.requeues++
@@ -756,6 +780,12 @@ func (c *Coordinator) workerDead(w *remoteWorker, cause error) {
 	for _, l := range quarantined {
 		c.quarantine(l, w.name, cause)
 	}
+	// Leases dropped because the coordinator closed mid-death: blocking
+	// Run calls observe closedCh themselves, but callback leases need
+	// an explicit resolution (deliver drops duplicates).
+	for _, l := range abandoned {
+		l.deliver(leaseOutcome{err: ErrCoordinatorClosed})
+	}
 }
 
 // quarantine dead-letters one poison lease: it is never re-queued
@@ -779,9 +809,9 @@ func (c *Coordinator) quarantine(l *lease, worker string, cause error) {
 		})
 	}
 	if c.cfg.LocalFactory == nil {
-		l.done <- leaseOutcome{err: fmt.Errorf(
+		l.deliver(leaseOutcome{err: fmt.Errorf(
 			"dist: lease %d quarantined after %d requeues (last worker %s: %v)",
-			l.id, requeues, worker, cause)}
+			l.id, requeues, worker, cause)})
 		return
 	}
 	go c.evalLocal(l, "quarantine")
@@ -910,7 +940,7 @@ func (c *Coordinator) evalLocal(l *lease, reason string) {
 		// stay transient for the calibrator's retry machinery).
 		out.err = fmt.Errorf("dist: local fallback (%s): %w", reason, err)
 	}
-	l.done <- out
+	l.deliver(out)
 }
 
 // localSimulator returns the cached LocalFactory simulator for spec,
@@ -950,14 +980,24 @@ func (c *Coordinator) Close() error {
 	c.mu.Unlock()
 	close(c.closedCh)
 	c.localCancel() // abandon in-flight local fallback evaluations
+	inflight := make([]*lease, 0)
 	for _, w := range workers {
+		c.mu.Lock()
+		for _, l := range w.inflight {
+			inflight = append(inflight, l)
+		}
+		c.mu.Unlock()
 		w.conn.Close()
 	}
 	for _, l := range queue {
-		select {
-		case l.done <- leaseOutcome{err: ErrCoordinatorClosed}:
-		default:
-		}
+		l.deliver(leaseOutcome{err: ErrCoordinatorClosed})
+	}
+	// Blocking Run calls also watch closedCh, but callback leases have
+	// no waiter to observe the shutdown — resolve in-flight ones
+	// explicitly (deliver drops the duplicate for anything a worker
+	// already answered).
+	for _, l := range inflight {
+		l.deliver(leaseOutcome{err: ErrCoordinatorClosed})
 	}
 	return nil
 }
@@ -976,14 +1016,12 @@ func (c *Coordinator) CancelJob(job string) int {
 	}
 	c.mu.Lock()
 	n := 0
+	var canceled []*lease
 	for _, l := range c.queue {
 		if l.job == job && !l.canceled {
 			l.canceled = true
 			n++
-			select {
-			case l.done <- leaseOutcome{err: ErrJobCanceled}:
-			default:
-			}
+			canceled = append(canceled, l)
 		}
 	}
 	for _, w := range c.workers {
@@ -995,6 +1033,11 @@ func (c *Coordinator) CancelJob(job string) int {
 		}
 	}
 	c.mu.Unlock()
+	// Deliver outside the lock: callback leases run their completion
+	// callback inline.
+	for _, l := range canceled {
+		l.deliver(leaseOutcome{err: ErrJobCanceled})
+	}
 	return n
 }
 

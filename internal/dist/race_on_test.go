@@ -1,0 +1,8 @@
+//go:build race
+
+package dist
+
+// raceEnabled reports whether the race detector is active; timing-based
+// acceptance tests skip under it (instrumentation skews wall-clock
+// ratios by an order of magnitude, not just a margin).
+const raceEnabled = true

@@ -49,6 +49,13 @@ const (
 	EventDistLeaseQuarantined = "dist_lease_quarantined"
 	EventDistDegraded         = "dist_degradation"
 	EventDistLocalEval        = "dist_local_eval"
+
+	// Async-calibration event: one record per completion the async
+	// optimizer consumed, carrying `seq` (submission sequence number)
+	// and `index` (position in consumption order). The seq sequence in
+	// index order IS the run's completion order — feeding it back via
+	// `simcal -async-replay` reproduces the run bitwise.
+	EventDistAsyncCompletion = "dist_async_completion"
 )
 
 // ConvergencePoint is one point of a replayed best-loss-vs-time curve.
@@ -117,6 +124,38 @@ func ReplayConvergenceRecords(recs []Record) ([]ConvergencePoint, error) {
 		})
 	}
 	return points, nil
+}
+
+// ReplayAsyncOrder reconstructs an asynchronous run's completion order
+// from its dist_async_completion trace events: the submission sequence
+// numbers sorted by consumption index. The result feeds an async
+// optimizer's replay mode, which re-runs the recorded order to a
+// bitwise-identical result. An empty slice (no async events) means the
+// trace came from a batch run.
+func ReplayAsyncOrder(recs []Record) ([]int, error) {
+	var order []int
+	for _, rec := range recs {
+		if rec.Name != EventDistAsyncCompletion {
+			continue
+		}
+		seq, ok := fieldFloat(rec.Fields, "seq")
+		if !ok {
+			return nil, fmt.Errorf("obs: dist_async_completion record %d lacks a seq field", rec.Seq)
+		}
+		idx, ok := fieldFloat(rec.Fields, "index")
+		if !ok {
+			return nil, fmt.Errorf("obs: dist_async_completion record %d lacks an index field", rec.Seq)
+		}
+		i := int(idx)
+		if i != len(order) {
+			return nil, fmt.Errorf("obs: dist_async_completion records out of order: index %d at position %d", i, len(order))
+		}
+		if seq != math.Trunc(seq) || seq < 0 {
+			return nil, fmt.Errorf("obs: dist_async_completion record %d has invalid seq %v", rec.Seq, seq)
+		}
+		order = append(order, int(seq))
+	}
+	return order, nil
 }
 
 // fieldFloat extracts a numeric field from a decoded JSON payload. The

@@ -137,7 +137,7 @@ func (b *BayesOpt) Optimize(ctx context.Context, prob *core.Problem) error {
 	// Cholesky factors — stays warm; a fit failure discards it.
 	var reg surrogate.Regressor
 	for iter := 0; ; iter++ {
-		X, y, ok := b.trainingSet(prob, maxFit)
+		X, y, ok := trainingSet(prob, maxFit)
 		var next [][]float64
 		if ok {
 			next, reg = b.proposeBatch(prob, observer, reg, X, y, nCands, batch, xi)
@@ -251,10 +251,11 @@ func notePanic(observer core.Observer, err error) {
 	}
 }
 
-// trainingSet extracts the surrogate's training data from the problem
-// history: infinite losses (failed simulations) are clamped to a large
-// penalty so the surrogate learns to avoid the region rather than choke.
-func (b *BayesOpt) trainingSet(prob *core.Problem, maxFit int) (X [][]float64, y []float64, ok bool) {
+// trainingSet extracts a surrogate's training data from the problem
+// history (shared by the batch and async BO drivers): infinite losses
+// (failed simulations) are clamped to a large penalty so the surrogate
+// learns to avoid the region rather than choke.
+func trainingSet(prob *core.Problem, maxFit int) (X [][]float64, y []float64, ok bool) {
 	hist := prob.History()
 	if len(hist) < 3 {
 		return nil, nil, false

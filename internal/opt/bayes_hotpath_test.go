@@ -24,7 +24,6 @@ func (p *probeAlg) Optimize(ctx context.Context, prob *core.Problem) error {
 // rows. The previous ceil-stride selection kept only ~301, silently
 // starving the surrogate of a quarter of its budget.
 func TestTrainingSetFillsMaxFitBudget(t *testing.T) {
-	b := &BayesOpt{}
 	const maxFit = 400
 	ran := false
 	probe := &probeAlg{fn: func(ctx context.Context, prob *core.Problem) error {
@@ -35,7 +34,7 @@ func TestTrainingSetFillsMaxFitBudget(t *testing.T) {
 		if _, err := prob.Evaluate(ctx, units); err != nil {
 			return err
 		}
-		X, y, ok := b.trainingSet(prob, maxFit)
+		X, y, ok := trainingSet(prob, maxFit)
 		if !ok {
 			t.Error("trainingSet reported no data on a 401-row history")
 		}

@@ -2,13 +2,21 @@ package opt
 
 import (
 	"fmt"
+	"strings"
 
 	"simcal/internal/core"
 )
 
 // AlgorithmNames lists the algorithm names ByName accepts, in the
-// paper's presentation order.
-var AlgorithmNames = []string{"GRID", "RAND", "GRAD", "BO-GP", "BO-RF", "BO-ET", "BO-GBRT"}
+// paper's presentation order (async-bo, this repo's extension, last).
+var AlgorithmNames = []string{"GRID", "RAND", "GRAD", "BO-GP", "BO-RF", "BO-ET", "BO-GBRT", "async-bo"}
+
+// AlgorithmUsage is the human-readable vocabulary for CLI usage text,
+// generated from AlgorithmNames so flag help can never drift from the
+// registry.
+func AlgorithmUsage() string {
+	return strings.Join(AlgorithmNames, ", ")
+}
 
 // ByName constructs the algorithm a CLI flag or job request names. It
 // is the single name-to-algorithm mapping shared by cmd/simcal and the
@@ -29,7 +37,10 @@ func ByName(name string) (core.Algorithm, error) {
 		return NewBOET(), nil
 	case "BO-GBRT":
 		return NewBOGBRT(), nil
+	case "async-bo":
+		return NewAsyncBO(), nil
 	default:
-		return nil, fmt.Errorf("opt: unknown algorithm %q", name)
+		return nil, fmt.Errorf("opt: unknown algorithm %q (registered: %s)",
+			name, strings.Join(sortedAlgorithmNames(), ", "))
 	}
 }

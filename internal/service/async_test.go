@@ -1,0 +1,64 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"simcal/internal/service"
+)
+
+// TestAsyncBOJobResultHasOnlyRealLosses: an async-bo job's published
+// result must contain only real simulator losses. Constant-liar
+// fantasy values are surrogate-internal; every loss served by
+// /v1/jobs/{id}/result re-evaluates to itself bitwise on the same
+// deterministic simulator.
+func TestAsyncBOJobResultHasOnlyRealLosses(t *testing.T) {
+	cfg := toyConfig(time.Millisecond)
+	svc, err := service.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	base := startHTTP(t, svc)
+
+	req := service.JobRequest{
+		Tenant:    "async",
+		Algorithm: "async-bo",
+		MaxEvals:  30,
+		Seed:      17,
+		Workers:   4,
+		Spec:      json.RawMessage(`{"toy":1}`),
+	}
+	st, resp := submitHTTP(t, base, req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit async-bo job: status %d", resp.StatusCode)
+	}
+	done := waitState(t, base, st.ID, service.StateDone)
+	if done.Evaluations != int64(req.MaxEvals) {
+		t.Errorf("job evaluations = %d, want %d", done.Evaluations, req.MaxEvals)
+	}
+
+	res := fetchResult(t, base, st.ID)
+	if res.Algorithm != "async-bo" {
+		t.Errorf("result algorithm = %q, want async-bo", res.Algorithm)
+	}
+	if len(res.History) != req.MaxEvals {
+		t.Fatalf("result history has %d samples, want %d", len(res.History), req.MaxEvals)
+	}
+	sim := toySim{}
+	for i, s := range res.History {
+		real, err := sim.Run(context.Background(), s.Point)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Loss != real {
+			t.Errorf("history[%d]: published loss %v, re-evaluation gives %v — an imputed value leaked into the result", i, s.Loss, real)
+		}
+	}
+	if real, _ := sim.Run(context.Background(), res.Best.Point); res.Best.Loss != real {
+		t.Errorf("best: published loss %v, re-evaluation gives %v", res.Best.Loss, real)
+	}
+}

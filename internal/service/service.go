@@ -85,8 +85,9 @@ type JobRequest struct {
 	// job calibrates. The same bytes a distributed lease would carry;
 	// cmd/simcal -print-spec emits them for any flag combination.
 	Spec json.RawMessage `json:"spec"`
-	// Algorithm names the search algorithm (GRID, RAND, GRAD, BO-GP,
-	// BO-RF, BO-ET, BO-GBRT).
+	// Algorithm names the search algorithm; the vocabulary is
+	// opt.AlgorithmNames (GRID, RAND, GRAD, the BO-* family, and the
+	// asynchronous async-bo).
 	Algorithm string `json:"algorithm"`
 	// MaxEvals bounds loss evaluations; BudgetS bounds wall-clock
 	// seconds. At least one must be positive.
